@@ -1,0 +1,111 @@
+//! Figure 12: throughput–latency curves for CHIME, Sherman, ROLEX, SMART
+//! and SMART-Opt under YCSB A/B/C/D/E/LOAD.
+//!
+//! Usage: `fig12 [--preload N] [--ops N] [--workloads C,LOAD,...]`
+//!
+//! Each curve sweeps the client count on one shared deployment; the paper's
+//! absolute numbers come from 100 Gbps hardware, so compare shapes and
+//! ratios (see EXPERIMENTS.md).
+
+use bench::driver::{deploy, print_row, run_deployed, Args, BenchSetup, IndexKind};
+use ycsb::Workload;
+
+fn main() {
+    let args = Args::parse();
+    let preload: u64 = args.get("preload", 200_000);
+    let ops: u64 = args.get("ops", 60_000);
+    let sweep = [20usize, 80, 160, 320, 640];
+    let which: String = args.get("workloads", "C,LOAD,D,A,B,E".to_string());
+    let workloads: Vec<Workload> = which
+        .split(',')
+        .map(|s| match s.trim() {
+            "A" => Workload::A,
+            "B" => Workload::B,
+            "C" => Workload::C,
+            "D" => Workload::D,
+            "E" => Workload::E,
+            "LOAD" => Workload::Load,
+            other => panic!("unknown workload {other}"),
+        })
+        .collect();
+
+    println!("# Figure 12: throughput-latency under YCSB workloads");
+    println!("# preload={preload} ops/point={ops}");
+    for w in workloads {
+        println!("\n## YCSB {}", w.name());
+        let kinds: Vec<(String, IndexKind)> = {
+            let mut v = vec![
+                (
+                    "CHIME".into(),
+                    IndexKind::Chime(chime::ChimeConfig::default()),
+                ),
+                (
+                    "Sherman".into(),
+                    IndexKind::Sherman(sherman::ShermanConfig::default()),
+                ),
+                (
+                    "SMART".into(),
+                    IndexKind::Smart(smart::SmartConfig::default()),
+                ),
+                (
+                    "SMART-Opt".into(),
+                    IndexKind::Smart(smart::SmartConfig {
+                        cache_bytes: 8 << 30,
+                        ..Default::default()
+                    }),
+                ),
+            ];
+            if w != Workload::Load {
+                // ROLEX is pre-trained; the paper excludes it from LOAD.
+                v.insert(2, ("ROLEX".into(), IndexKind::Rolex(rolex::RolexConfig::default())));
+            }
+            v
+        };
+        for (name, kind) in kinds {
+            let mut setup = BenchSetup {
+                kind,
+                workload: w,
+                preload,
+                ops,
+                clients: *sweep.last().unwrap(),
+                num_cns: 10,
+                ..Default::default()
+            };
+            // Scale per-CN cache with the scaled-down dataset (paper:
+            // 100 MB for 60M keys).
+            setup.kind = scale_cache(setup.kind, preload);
+            let ops_for = |c: usize| if w == Workload::E { ops / 4 } else { ops }.max(c as u64);
+            let mut dep = deploy(&setup);
+            for &clients in &sweep {
+                setup.clients = clients;
+                setup.ops = ops_for(clients);
+                let r = run_deployed(&setup, &mut dep);
+                print_row(&format!("{} {}", w.name(), name), clients, &r);
+            }
+        }
+    }
+}
+
+/// Scales the paper's 100 MB / 60 M-key CN cache to the loaded dataset.
+fn scale_cache(kind: IndexKind, preload: u64) -> IndexKind {
+    let cache = (preload as f64 / 60.0e6 * (100 << 20) as f64) as u64 + (64 << 10);
+    let hotspot = (preload as f64 / 60.0e6 * (30 << 20) as f64) as u64 + (16 << 10);
+    match kind {
+        IndexKind::Chime(mut c) => {
+            c.cache_bytes = cache;
+            c.hotspot_bytes = hotspot;
+            IndexKind::Chime(c)
+        }
+        IndexKind::Sherman(mut c) => {
+            c.cache_bytes = cache;
+            IndexKind::Sherman(c)
+        }
+        IndexKind::Rolex(c) => IndexKind::Rolex(c),
+        IndexKind::Smart(mut c) => {
+            if c.cache_bytes < (1 << 30) {
+                c.cache_bytes = cache;
+            }
+            IndexKind::Smart(c)
+        }
+    }
+}

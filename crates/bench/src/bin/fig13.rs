@@ -1,0 +1,76 @@
+//! Figure 13: variable-length KV items (indirect values) at 320 clients.
+//!
+//! CHIME-Indirect, Marlin (Sherman with indirect values), ROLEX-Indirect
+//! and SMART-RCU (SMART stores items inside its leaves, saving the extra
+//! block RTT — modeled by its plain inline mode with the paper's 64-byte
+//! items).
+//!
+//! Usage: `fig13 [--preload N] [--ops N] [--value N]`
+
+use bench::driver::{print_row, run, Args, BenchSetup, IndexKind};
+use ycsb::Workload;
+
+fn main() {
+    let args = Args::parse();
+    let preload: u64 = args.get("preload", 120_000);
+    let ops: u64 = args.get("ops", 50_000);
+    let value: usize = args.get("value", 64);
+    let clients = 320usize;
+
+    println!("# Figure 13: variable-length KV support ({clients} clients, {value}-B values)");
+    for w in [Workload::C, Workload::Load, Workload::D, Workload::A, Workload::B, Workload::E] {
+        println!("\n## YCSB {}", w.name());
+        let mut kinds: Vec<(&str, IndexKind)> = vec![
+            (
+                "CHIME-Indirect",
+                IndexKind::Chime(chime::ChimeConfig {
+                    indirect_values: true,
+                    value_size: value,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "Marlin (indirect B+)",
+                IndexKind::Sherman(sherman::ShermanConfig {
+                    indirect_values: true,
+                    value_size: value,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "SMART-RCU",
+                IndexKind::Smart(smart::SmartConfig {
+                    value_size: value,
+                    ..Default::default()
+                }),
+            ),
+        ];
+        if w != Workload::Load {
+            kinds.insert(
+                2,
+                (
+                    "ROLEX-Indirect",
+                    IndexKind::Rolex(rolex::RolexConfig {
+                        indirect_values: true,
+                        value_size: value,
+                        ..Default::default()
+                    }),
+                ),
+            );
+        }
+        for (name, kind) in kinds {
+            let setup = BenchSetup {
+                kind,
+                workload: w,
+                preload,
+                ops: if w == Workload::E { ops / 4 } else { ops },
+                clients,
+                num_cns: 10,
+                value_size: value,
+                ..Default::default()
+            };
+            let r = run(&setup);
+            print_row(name, clients, &r);
+        }
+    }
+}

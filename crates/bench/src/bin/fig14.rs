@@ -1,0 +1,72 @@
+//! Figure 14: compute-side cache consumption vs number of loaded items.
+//!
+//! Usage: `fig14 [--sizes 100000,200000,400000]`
+//!
+//! Loads each index with N items, warms the cache with one search per key,
+//! and reports the measured per-CN cache footprint plus a linear
+//! extrapolation to the paper's 60 M items (cache consumption is linear in
+//! the dataset size, §5.2).
+
+use bench::driver::{deploy, run_deployed, Args, BenchSetup, IndexKind};
+use ycsb::Workload;
+
+fn main() {
+    let args = Args::parse();
+    let sizes: String = args.get("sizes", "100000,200000,400000".to_string());
+    let sizes: Vec<u64> = sizes.split(',').map(|s| s.trim().parse().unwrap()).collect();
+    println!("# Figure 14: cache consumption vs loaded items (sufficient caches)");
+    println!(
+        "{:<10} {:>10} {:>14} {:>20}",
+        "index", "items", "cache (MB)", "@60M items (MB)"
+    );
+    for &n in &sizes {
+        let kinds = [
+            (
+                "CHIME",
+                IndexKind::Chime(chime::ChimeConfig {
+                    cache_bytes: 8 << 30,
+                    // The hotspot buffer is reported separately (fixed 30 MB
+                    // in the paper); exclude it from the structural cache.
+                    hotspot_bytes: 0,
+                    speculative_read: false,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "Sherman",
+                IndexKind::Sherman(sherman::ShermanConfig {
+                    cache_bytes: 8 << 30,
+                    ..Default::default()
+                }),
+            ),
+            ("ROLEX", IndexKind::Rolex(rolex::RolexConfig::default())),
+            (
+                "SMART",
+                IndexKind::Smart(smart::SmartConfig {
+                    cache_bytes: 8 << 30,
+                    ..Default::default()
+                }),
+            ),
+        ];
+        for (name, kind) in kinds {
+            let setup = BenchSetup {
+                kind,
+                preload: n,
+                ops: n, // one uniform pass to warm the cache
+                clients: 16,
+                num_cns: 1,
+                workload: Workload::C,
+                theta: 0.6, // flatter zipf touches more of the tree
+                mn_capacity: 4 << 30,
+                ..Default::default()
+            };
+            let mut dep = deploy(&setup);
+            let r = run_deployed(&setup, &mut dep);
+            let mb = r.cache_bytes as f64 / (1 << 20) as f64;
+            let extrap = mb * 60.0e6 / n as f64;
+            println!("{name:<10} {n:>10} {mb:>14.2} {extrap:>20.1}");
+        }
+    }
+    println!("\n# Paper reference @60M: CHIME 27.6 MB (+30 MB hotspot buffer),");
+    println!("# Sherman 23.6 MB, ROLEX 31.2 MB, SMART 503.2 MB.");
+}

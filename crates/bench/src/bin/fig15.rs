@@ -1,0 +1,115 @@
+//! Figure 15: factor analysis — applying CHIME's techniques one by one.
+//!
+//! 15a starts from Sherman and adds: the hopscotch leaf node, vacancy-bitmap
+//! piggybacking, leaf-metadata replication, and the speculative read.
+//! 15b starts from ROLEX and swaps in hopscotch leaves (CHIME-Learned).
+//!
+//! Usage: `fig15 [--preload N] [--ops N] [--clients N]`
+
+use bench::driver::{print_row, run, Args, BenchSetup, IndexKind};
+use ycsb::Workload;
+
+fn main() {
+    let args = Args::parse();
+    let preload: u64 = args.get("preload", 150_000);
+    let ops: u64 = args.get("ops", 60_000);
+    let clients: usize = args.get("clients", 320);
+
+    let hotspot = (preload as f64 / 60.0e6 * (30 << 20) as f64) as u64 + (16 << 10);
+    let base = chime::ChimeConfig {
+        speculative_read: false,
+        vacancy_piggyback: false,
+        metadata_replication: false,
+        sibling_validation: false,
+        hotspot_bytes: 0,
+        ..Default::default()
+    };
+    let variants: Vec<(&str, IndexKind)> = vec![
+        (
+            "Sherman",
+            IndexKind::Sherman(sherman::ShermanConfig::default()),
+        ),
+        ("+hopscotch leaf", IndexKind::Chime(base)),
+        (
+            "+vacancy piggyback",
+            IndexKind::Chime(chime::ChimeConfig {
+                vacancy_piggyback: true,
+                ..base
+            }),
+        ),
+        (
+            "+metadata replication",
+            IndexKind::Chime(chime::ChimeConfig {
+                vacancy_piggyback: true,
+                metadata_replication: true,
+                sibling_validation: true,
+                ..base
+            }),
+        ),
+        (
+            "+speculative read",
+            IndexKind::Chime(chime::ChimeConfig {
+                vacancy_piggyback: true,
+                metadata_replication: true,
+                sibling_validation: true,
+                speculative_read: true,
+                hotspot_bytes: hotspot,
+                ..base
+            }),
+        ),
+    ];
+    println!("# Figure 15a: factor analysis from Sherman ({clients} clients)");
+    for w in [Workload::C, Workload::Load, Workload::A] {
+        println!("\n## YCSB {}", w.name());
+        for (name, kind) in &variants {
+            let setup = BenchSetup {
+                kind: kind.clone(),
+                workload: w,
+                preload,
+                ops,
+                clients,
+                num_cns: 10,
+                ..Default::default()
+            };
+            let r = run(&setup);
+            print_row(name, clients, &r);
+        }
+    }
+
+    println!("\n# Figure 15b: factor analysis from ROLEX");
+    for w in [Workload::C, Workload::A] {
+        println!("\n## YCSB {}", w.name());
+        for (name, kind) in [
+            (
+                "ROLEX",
+                IndexKind::Rolex(rolex::RolexConfig::default()),
+            ),
+            (
+                "CHIME-Learned (hop leaves)",
+                IndexKind::Rolex(rolex::RolexConfig {
+                    hopscotch_leaves: true,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "CHIME",
+                IndexKind::Chime(chime::ChimeConfig {
+                    hotspot_bytes: hotspot,
+                    ..Default::default()
+                }),
+            ),
+        ] {
+            let setup = BenchSetup {
+                kind,
+                workload: w,
+                preload,
+                ops,
+                clients,
+                num_cns: 10,
+                ..Default::default()
+            };
+            let r = run(&setup);
+            print_row(name, clients, &r);
+        }
+    }
+}

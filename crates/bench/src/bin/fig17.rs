@@ -1,0 +1,45 @@
+//! Figure 17: the contribution of speculative reads at high client counts
+//! (YCSB C).
+//!
+//! With few clients the network is not saturated and speculation barely
+//! matters; past saturation, reading one entry instead of a neighborhood
+//! buys back bandwidth.
+//!
+//! Usage: `fig17 [--preload N] [--ops N]`
+
+use bench::driver::{deploy, print_row, run_deployed, Args, BenchSetup, IndexKind};
+use ycsb::Workload;
+
+fn main() {
+    let args = Args::parse();
+    let preload: u64 = args.get("preload", 150_000);
+    let ops: u64 = args.get("ops", 60_000);
+    let sweep = [160usize, 320, 640, 960, 1280];
+    let hotspot = (preload as f64 / 60.0e6 * (30 << 20) as f64) as u64 + (16 << 10);
+
+    println!("# Figure 17: speculative read (SR) contribution, YCSB C");
+    for (name, sr) in [("CHIME w/o SR", false), ("CHIME w/ SR", true)] {
+        let mut setup = BenchSetup {
+            kind: IndexKind::Chime(chime::ChimeConfig {
+                speculative_read: sr,
+                hotspot_bytes: if sr { hotspot } else { 0 },
+                ..Default::default()
+            }),
+            workload: Workload::C,
+            preload,
+            ops,
+            clients: *sweep.last().unwrap(),
+            num_cns: 10,
+            ..Default::default()
+        };
+        let mut dep = deploy(&setup);
+        for &c in &sweep {
+            setup.clients = c;
+            let r = run_deployed(&setup, &mut dep);
+            print_row(name, c, &r);
+            if sr {
+                println!("{:>34} hotspot hit ratio {:.1}%", "", r.hotspot_hit_ratio * 100.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Figure 18: sensitivity analysis (640 clients, YCSB C unless noted).
+//!
+//! * 18a — workload skewness (50% search + 50% update);
+//! * 18b — cache size;
+//! * 18c — inline value size;
+//! * 18d — indirect value size;
+//! * 18e — span size;
+//! * 18f — neighborhood size.
+//!
+//! Usage: `fig18 [--preload N] [--ops N] [--parts a,b,c,d,e,f]`
+
+use bench::driver::{print_row, run, Args, BenchSetup, IndexKind};
+use ycsb::Workload;
+
+fn main() {
+    let args = Args::parse();
+    let preload: u64 = args.get("preload", 120_000);
+    let ops: u64 = args.get("ops", 50_000);
+    let parts: String = args.get("parts", "a,b,c,d,e,f".to_string());
+    let clients = 640usize;
+
+    let base = |kind: IndexKind, w: Workload| BenchSetup {
+        kind,
+        workload: w,
+        preload,
+        ops,
+        clients,
+        num_cns: 10,
+        ..Default::default()
+    };
+    // Per-CN caches scaled like Fig. 12 (paper: 100 MB at 60 M keys).
+    let cache = (preload as f64 / 60.0e6 * (100 << 20) as f64) as u64 + (64 << 10);
+    let hotspot = (preload as f64 / 60.0e6 * (30 << 20) as f64) as u64 + (16 << 10);
+    let all_kinds = move || -> Vec<(&'static str, IndexKind)> {
+        vec![
+            (
+                "CHIME",
+                IndexKind::Chime(chime::ChimeConfig {
+                    cache_bytes: cache,
+                    hotspot_bytes: hotspot,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "Sherman",
+                IndexKind::Sherman(sherman::ShermanConfig {
+                    cache_bytes: cache,
+                    ..Default::default()
+                }),
+            ),
+            ("ROLEX", IndexKind::Rolex(rolex::RolexConfig::default())),
+            (
+                "SMART",
+                IndexKind::Smart(smart::SmartConfig {
+                    cache_bytes: cache,
+                    ..Default::default()
+                }),
+            ),
+        ]
+    };
+
+    if parts.contains('a') {
+        println!("# Figure 18a: skewness (50% search + 50% update)");
+        for theta in [0.5, 0.7, 0.9, 0.99] {
+            for (name, kind) in all_kinds() {
+                let mut s = base(kind, Workload::A);
+                s.theta = theta;
+                let r = run(&s);
+                print_row(&format!("theta {theta} {name}"), clients, &r);
+            }
+        }
+    }
+
+    if parts.contains('b') {
+        println!("\n# Figure 18b: cache size (YCSB C; bytes scaled to the dataset)");
+        for cache_kb in [64u64, 256, 1024, 4096, 16384] {
+            let cache = cache_kb << 10;
+            let kinds: Vec<(&str, IndexKind)> = vec![
+                (
+                    "CHIME",
+                    IndexKind::Chime(chime::ChimeConfig {
+                        cache_bytes: cache,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    "Sherman",
+                    IndexKind::Sherman(sherman::ShermanConfig {
+                        cache_bytes: cache,
+                        ..Default::default()
+                    }),
+                ),
+                ("ROLEX", IndexKind::Rolex(rolex::RolexConfig::default())),
+                (
+                    "SMART",
+                    IndexKind::Smart(smart::SmartConfig {
+                        cache_bytes: cache,
+                        ..Default::default()
+                    }),
+                ),
+            ];
+            for (name, kind) in kinds {
+                let r = run(&base(kind, Workload::C));
+                print_row(&format!("cache {cache_kb}KB {name}"), clients, &r);
+            }
+        }
+    }
+
+    if parts.contains('c') {
+        println!("\n# Figure 18c: inline value size (YCSB C)");
+        for v in [8usize, 64, 256, 512] {
+            let kinds: Vec<(&str, IndexKind)> = vec![
+                (
+                    "CHIME",
+                    IndexKind::Chime(chime::ChimeConfig {
+                        value_size: v,
+                        cache_bytes: cache,
+                        hotspot_bytes: hotspot,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    "Sherman",
+                    IndexKind::Sherman(sherman::ShermanConfig {
+                        value_size: v,
+                        cache_bytes: cache,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    "ROLEX",
+                    IndexKind::Rolex(rolex::RolexConfig {
+                        value_size: v,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    "SMART",
+                    IndexKind::Smart(smart::SmartConfig {
+                        value_size: v,
+                        cache_bytes: cache,
+                        ..Default::default()
+                    }),
+                ),
+            ];
+            for (name, kind) in kinds {
+                let mut s = base(kind, Workload::C);
+                s.value_size = v;
+                let r = run(&s);
+                print_row(&format!("value {v}B {name}"), clients, &r);
+            }
+        }
+    }
+
+    if parts.contains('d') {
+        println!("\n# Figure 18d: indirect value size (YCSB C)");
+        for v in [64usize, 256, 1024] {
+            let kinds: Vec<(&str, IndexKind)> = vec![
+                (
+                    "CHIME-Indirect",
+                    IndexKind::Chime(chime::ChimeConfig {
+                        indirect_values: true,
+                        value_size: v,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    "Marlin",
+                    IndexKind::Sherman(sherman::ShermanConfig {
+                        indirect_values: true,
+                        value_size: v,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    "ROLEX-Indirect",
+                    IndexKind::Rolex(rolex::RolexConfig {
+                        indirect_values: true,
+                        value_size: v,
+                        ..Default::default()
+                    }),
+                ),
+            ];
+            for (name, kind) in kinds {
+                let mut s = base(kind, Workload::C);
+                s.value_size = v;
+                let r = run(&s);
+                print_row(&format!("indirect {v}B {name}"), clients, &r);
+            }
+        }
+    }
+
+    if parts.contains('e') {
+        println!("\n# Figure 18e: span size (YCSB C)");
+        for span in [16usize, 32, 64, 128, 256, 512] {
+            let kinds: Vec<(&str, IndexKind)> = vec![
+                (
+                    "CHIME",
+                    IndexKind::Chime(chime::ChimeConfig {
+                        span,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    "Sherman",
+                    IndexKind::Sherman(sherman::ShermanConfig {
+                        span,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    "ROLEX",
+                    IndexKind::Rolex(rolex::RolexConfig {
+                        span,
+                        delta: span as u64,
+                        ..Default::default()
+                    }),
+                ),
+            ];
+            for (name, kind) in kinds {
+                let r = run(&base(kind, Workload::C));
+                print_row(&format!("span {span} {name}"), clients, &r);
+            }
+        }
+    }
+
+    if parts.contains('f') {
+        println!("\n# Figure 18f: neighborhood size (YCSB C, CHIME)");
+        for h in [2usize, 4, 8, 16] {
+            let r = run(&base(
+                IndexKind::Chime(chime::ChimeConfig {
+                    neighborhood: h,
+                    span: 64,
+                    ..Default::default()
+                }),
+                Workload::C,
+            ));
+            print_row(&format!("H = {h}"), clients, &r);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Figure 3: the motivating trade-offs (§3.1).
+//!
+//! * 3a — cache consumption vs read-amplification factor per range index;
+//! * 3b — throughput with limited bandwidth (1 MN, ample caches);
+//! * 3c — throughput with limited caches (10 MNs, small caches);
+//! * 3d — max load factor vs amplification for hashing schemes.
+//!
+//! Usage: `fig3 [--preload N] [--ops N]`
+
+use bench::driver::{deploy, print_row, run, run_deployed, Args, BenchSetup, IndexKind};
+use ycsb::Workload;
+
+fn main() {
+    let args = Args::parse();
+    let preload: u64 = args.get("preload", 150_000);
+    let ops: u64 = args.get("ops", 50_000);
+
+    fig3a(preload, ops / 2);
+    fig3b(preload, ops);
+    fig3c(preload, ops);
+    fig3d();
+}
+
+/// 3a: the trade-off scatter — amplification factor vs CN cache bytes.
+fn fig3a(preload: u64, ops: u64) {
+    println!("# Figure 3a: cache consumption vs amplification factor");
+    println!(
+        "{:<24} {:>12} {:>14}",
+        "index (span)", "amp factor", "cache (MB)"
+    );
+    let mut points: Vec<(String, IndexKind)> = Vec::new();
+    for span in [16usize, 64, 256] {
+        points.push((
+            format!("Sherman (span {span})"),
+            IndexKind::Sherman(sherman::ShermanConfig {
+                span,
+                cache_bytes: 8 << 30,
+                ..Default::default()
+            }),
+        ));
+    }
+    for span in [16usize, 64] {
+        points.push((
+            format!("ROLEX (span {span})"),
+            IndexKind::Rolex(rolex::RolexConfig {
+                span,
+                delta: span as u64,
+                ..Default::default()
+            }),
+        ));
+    }
+    points.push((
+        "SMART".into(),
+        IndexKind::Smart(smart::SmartConfig {
+            cache_bytes: 8 << 30,
+            ..Default::default()
+        }),
+    ));
+    points.push((
+        "CHIME".into(),
+        IndexKind::Chime(chime::ChimeConfig {
+            cache_bytes: 8 << 30,
+            hotspot_bytes: 0,
+            speculative_read: false,
+            ..Default::default()
+        }),
+    ));
+    for (name, kind) in points {
+        let setup = BenchSetup {
+            kind,
+            preload,
+            ops,
+            clients: 16,
+            num_cns: 1,
+            workload: Workload::C,
+            theta: 0.6,
+            ..Default::default()
+        };
+        let r = run(&setup);
+        println!(
+            "{name:<24} {:>12.1} {:>14.3}",
+            r.read_amp,
+            r.cache_bytes as f64 / (1 << 20) as f64
+        );
+    }
+}
+
+fn curve(label: &str, kind: IndexKind, preload: u64, ops: u64, num_mns: u16) {
+    let sweep = [40usize, 160, 480, 960];
+    let mut setup = BenchSetup {
+        kind,
+        preload,
+        ops,
+        clients: *sweep.last().unwrap(),
+        num_cns: 10,
+        num_mns,
+        // Regions are allocated eagerly: keep the pool within host RAM
+        // even with 10 MNs.
+        mn_capacity: (2 << 30) / num_mns as usize,
+        workload: Workload::C,
+        ..Default::default()
+    };
+    let mut dep = deploy(&setup);
+    for &c in &sweep {
+        setup.clients = c;
+        let r = run_deployed(&setup, &mut dep);
+        print_row(label, c, &r);
+    }
+}
+
+/// 3b: limited bandwidth (1 MN), ample caches.
+fn fig3b(preload: u64, ops: u64) {
+    println!("\n# Figure 3b: limited bandwidth (1 MN, 1000 MB caches)");
+    curve(
+        "Sherman",
+        IndexKind::Sherman(sherman::ShermanConfig {
+            cache_bytes: 1 << 30,
+            ..Default::default()
+        }),
+        preload,
+        ops,
+        1,
+    );
+    curve(
+        "ROLEX",
+        IndexKind::Rolex(rolex::RolexConfig::default()),
+        preload,
+        ops,
+        1,
+    );
+    curve(
+        "SMART",
+        IndexKind::Smart(smart::SmartConfig {
+            cache_bytes: 1 << 30,
+            ..Default::default()
+        }),
+        preload,
+        ops,
+        1,
+    );
+}
+
+/// 3c: limited caches (10 MNs), scaled to the dataset.
+fn fig3c(preload: u64, ops: u64) {
+    println!("\n# Figure 3c: limited caches (10 MNs, 100 MB-scaled caches)");
+    let cache = (preload as f64 / 60.0e6 * (100 << 20) as f64) as u64 + (32 << 10);
+    curve(
+        "Sherman",
+        IndexKind::Sherman(sherman::ShermanConfig {
+            cache_bytes: cache,
+            ..Default::default()
+        }),
+        preload,
+        ops,
+        10,
+    );
+    curve(
+        "ROLEX",
+        IndexKind::Rolex(rolex::RolexConfig::default()),
+        preload,
+        ops,
+        10,
+    );
+    curve(
+        "SMART",
+        IndexKind::Smart(smart::SmartConfig {
+            cache_bytes: cache,
+            ..Default::default()
+        }),
+        preload,
+        ops,
+        10,
+    );
+}
+
+/// 3d: hashing schemes — max load factor vs amplification (128 entries).
+fn fig3d() {
+    println!("\n# Figure 3d: hashing schemes (128-entry tables, 500 trials)");
+    println!(
+        "{:<16} {:>6} {:>12} {:>16}",
+        "scheme", "param", "amp factor", "max load factor"
+    );
+    for (scheme, amp) in hashstudy::fig3d_points() {
+        let lf = scheme.max_load_factor(128, 500, 7);
+        let param = match scheme {
+            hashstudy::Scheme::Assoc(b)
+            | hashstudy::Scheme::Hopscotch(b)
+            | hashstudy::Scheme::Race(b)
+            | hashstudy::Scheme::Farm(b) => b,
+        };
+        println!(
+            "{:<16} {param:>6} {amp:>12} {lf:>16.3}",
+            scheme.name()
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 4: the cost of extra metadata accesses and of neighborhood reads,
+//! measured as raw READ streams against the substrate (§3.2).
+//!
+//! * 4a — insert access patterns: hop range only (ideal) vs an extra
+//!   vacancy-bitmap READ vs fetching the entire leaf node;
+//! * 4b — search access patterns: neighborhood only vs an extra leaf
+//!   metadata READ vs the entire node;
+//! * 4c — neighborhood size 1..64 entries.
+//!
+//! Usage: `fig4 [--ops N]`
+
+use bench::driver::Args;
+use dmem::{Endpoint, GlobalAddr, NetConfig, Pool, RunAccounting};
+
+/// Entry size with 8-byte keys and values (1 ver + 2 bitmap + 8 + 8).
+const ENTRY: u64 = 19;
+/// Leaf node payload with span 64 (replicas included).
+const NODE: u64 = 8 * (10 + 8 * ENTRY);
+
+fn main() {
+    let args = Args::parse();
+    let ops: u64 = args.get("ops", 50_000);
+    let clients = 640u64;
+    let pool = Pool::with_defaults(1, 64 << 20);
+    let base = GlobalAddr::new(0, 4096);
+
+    println!("# Figure 4a: vacancy bitmap accesses (inserts, {clients} clients)");
+    println!("{:<28} {:>10} {:>12}", "pattern", "Mops", "bytes/op");
+    // Hop range ~ H entries on average plus the covering replica.
+    let hop = 8 * ENTRY + 10;
+    for (name, reads) in [
+        ("hop range only (ideal)", vec![hop]),
+        ("+ vacancy bitmap READ", vec![8, hop]),
+        ("entire leaf node", vec![NODE]),
+    ] {
+        let (mops, bpo) = stream(&pool, base, &reads, ops, clients);
+        println!("{name:<28} {mops:>10.2} {bpo:>12.0}");
+    }
+
+    println!("\n# Figure 4b: leaf metadata accesses (searches, {clients} clients)");
+    println!("{:<28} {:>10} {:>12}", "pattern", "Mops", "bytes/op");
+    let nbh = 8 * ENTRY + 10;
+    for (name, reads) in [
+        ("neighborhood + replica", vec![nbh]),
+        ("+ leaf metadata READ", vec![10, nbh]),
+        ("entire leaf node", vec![NODE]),
+    ] {
+        let (mops, bpo) = stream(&pool, base, &reads, ops, clients);
+        println!("{name:<28} {mops:>10.2} {bpo:>12.0}");
+    }
+
+    println!("\n# Figure 4c: neighborhood size (searches, {clients} clients)");
+    println!("{:<28} {:>10} {:>12} {:>10}", "neighborhood", "Mops", "bytes/op", "bound");
+    for h in [1u64, 2, 4, 8, 16, 32, 64] {
+        let (mops, bpo) = stream(&pool, base, &[h * ENTRY + 10], ops, clients);
+        let bound = if bpo * mops * 1e6 >= 12.4e9 { "BW" } else { "IOPS" };
+        println!("{:<28} {mops:>10.2} {bpo:>12.0} {bound:>10}", format!("{h} entries"));
+    }
+}
+
+/// Issues `ops` iterations of the given READ sizes (one doorbell batch per
+/// iteration) and models throughput for `clients` clients.
+fn stream(pool: &std::sync::Arc<Pool>, base: GlobalAddr, reads: &[u64], ops: u64, clients: u64) -> (f64, f64) {
+    let mut ep = Endpoint::new(std::sync::Arc::clone(pool));
+    let t0 = ep.clock_ns();
+    for i in 0..ops {
+        let mut bufs: Vec<Vec<u8>> = reads.iter().map(|&r| vec![0u8; r as usize]).collect();
+        let mut reqs: Vec<(GlobalAddr, &mut [u8])> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(j, b)| (base.add(((i * 131) % 1000) * 64 + j as u64 * 4096), &mut b[..]))
+            .collect();
+        // Each distinct access is its own round-trip (the paper's point:
+        // dependent metadata reads cannot be batched with the data read).
+        for req in reqs.iter_mut() {
+            ep.read(req.0, req.1);
+        }
+    }
+    let s = ep.stats();
+    let acc = RunAccounting {
+        ops,
+        clients,
+        mns: 1,
+        total_msgs: s.msgs,
+        total_wire_bytes: s.wire_bytes,
+        sum_latency_ns: ep.clock_ns() - t0,
+    };
+    let est = NetConfig::default().model(&acc);
+    (est.mops, est.bytes_per_op)
+}

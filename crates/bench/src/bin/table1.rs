@@ -1,0 +1,69 @@
+//! Table 1: round-trips per operation, best case (all internal nodes
+//! cached) and worst case (nothing cached).
+//!
+//! Measures actual RTT counts from the verb statistics of single CHIME
+//! operations and compares them to the paper's formulas (h = number of
+//! internal levels).
+//!
+//! Usage: `table1 [--preload N]`
+
+use bench::driver::Args;
+use dmem::{Pool, RangeIndex};
+use ycsb::KeySpace;
+
+fn main() {
+    let args = Args::parse();
+    let preload: u64 = args.get("preload", 120_000);
+    let samples = 400u64;
+
+    println!("# Table 1: round-trips per CHIME operation (measured)");
+    for (case, cache) in [("best (warm cache)", 1u64 << 30), ("worst (no cache)", 0)] {
+        let pool = Pool::with_defaults(1, 2 << 30);
+        let cfg = chime::ChimeConfig {
+            cache_bytes: cache,
+            hotspot_bytes: 0, // isolate the protocol RTTs from speculation
+            speculative_read: false,
+            ..Default::default()
+        };
+        let t = chime::Chime::create(&pool, cfg, 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for seq in 0..preload {
+            c.insert(KeySpace::key(seq), &[1u8; 8]).unwrap();
+        }
+        // Warm the cache (no-op when the budget is 0).
+        for seq in 0..preload.min(20_000) {
+            c.search(KeySpace::key(seq * 3 % preload));
+        }
+        let mut rtts = |label: &str, f: &mut dyn FnMut(&mut chime::ChimeClient, u64)| {
+            let before = c.stats().rtts;
+            for s in 0..samples {
+                f(&mut c, s);
+            }
+            let per_op = (c.stats().rtts - before) as f64 / samples as f64;
+            println!("  {label:<22} {per_op:>6.2} RTTs/op");
+        };
+        println!("\n## {case}");
+        rtts("search (hit)", &mut |c, s| {
+            c.search(KeySpace::key((s * 7) % preload)).unwrap();
+        });
+        rtts("search (miss)", &mut |c, s| {
+            assert!(c.search(KeySpace::key(preload + 100 + s)).is_none());
+        });
+        rtts("update", &mut |c, s| {
+            assert!(c.update(KeySpace::key((s * 11) % preload), &[2u8; 8]).unwrap());
+        });
+        rtts("insert (new key)", &mut |c, s| {
+            c.insert(KeySpace::key(preload + 10_000 + s), &[3u8; 8]).unwrap();
+        });
+        rtts("delete", &mut |c, s| {
+            assert!(c.delete(KeySpace::key(preload + 10_000 + s)).unwrap());
+        });
+        rtts("scan (100)", &mut |c, s| {
+            let mut out = Vec::new();
+            c.scan(KeySpace::key((s * 13) % preload), 100, &mut out);
+        });
+    }
+    println!("\n# Paper formulas: search 1-2 (best) / h+1..h+2 (worst); insert 3 / h+3;");
+    println!("# update/delete 3-4 / h+3..h+4; scan 1 / h+1 (plus per-100-item leaf reads).");
+}

@@ -1,0 +1,549 @@
+//! The generic experiment driver.
+//!
+//! A [`BenchSetup`] describes one measured point: which index, how many
+//! memory nodes / compute nodes / simulated clients, the workload, and the
+//! knobs the paper sweeps (cache size, value size, span, neighborhood,
+//! skew). [`run`] preloads the store, executes the operation mix while
+//! counting verbs and virtual latencies, and converts the counts into
+//! modeled throughput and latency percentiles with [`dmem::NetConfig`].
+//!
+//! Read-delegation/write-combining (RDWC, applied to every index in the
+//! paper) is modeled per CN: within one scheduling round, duplicate
+//! same-key reads/updates execute once and share the result.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dmem::{Bound, Histogram, NetConfig, Pool, RangeIndex, RunAccounting};
+use ycsb::{KeySpace, Op, OpGen, Workload, WorkloadState};
+
+/// Which index implementation a run measures.
+#[derive(Debug, Clone)]
+pub enum IndexKind {
+    /// CHIME with an explicit configuration (factor-analysis toggles).
+    Chime(chime::ChimeConfig),
+    /// Sherman B+ tree.
+    Sherman(sherman::ShermanConfig),
+    /// ROLEX learned index.
+    Rolex(rolex::RolexConfig),
+    /// SMART radix tree.
+    Smart(smart::SmartConfig),
+}
+
+impl IndexKind {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Chime(_) => "CHIME",
+            IndexKind::Sherman(_) => "Sherman",
+            IndexKind::Rolex(_) => "ROLEX",
+            IndexKind::Smart(_) => "SMART",
+        }
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct BenchSetup {
+    /// The index under test.
+    pub kind: IndexKind,
+    /// Memory nodes (capacity scales with this).
+    pub num_mns: u16,
+    /// Bytes per memory node.
+    pub mn_capacity: usize,
+    /// Compute nodes (each gets one cache + hotspot buffer).
+    pub num_cns: usize,
+    /// Total simulated clients, spread over the CNs.
+    pub clients: usize,
+    /// Keys preloaded before the measured phase.
+    pub preload: u64,
+    /// Operations executed in the measured phase (total).
+    pub ops: u64,
+    /// The workload mix.
+    pub workload: Workload,
+    /// Zipfian constant.
+    pub theta: f64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Model RDWC combining (on for every index, as in the paper).
+    pub rdwc: bool,
+    /// RNG seed base.
+    pub seed: u64,
+}
+
+impl Default for BenchSetup {
+    fn default() -> Self {
+        BenchSetup {
+            kind: IndexKind::Chime(chime::ChimeConfig::default()),
+            num_mns: 1,
+            mn_capacity: 2 << 30,
+            num_cns: 4,
+            clients: 64,
+            preload: 200_000,
+            ops: 200_000,
+            workload: Workload::C,
+            theta: ycsb::ZIPFIAN_CONSTANT,
+            value_size: 8,
+            rdwc: true,
+            seed: 42,
+        }
+    }
+}
+
+/// The modeled outcome of one run.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Modeled throughput, million ops/s.
+    pub mops: f64,
+    /// Median op latency, microseconds (saturation-inflated).
+    pub p50_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Mean latency, microseconds.
+    pub avg_us: f64,
+    /// The binding resource.
+    pub bound: Bound,
+    /// Mean wire bytes per operation.
+    pub bytes_per_op: f64,
+    /// Mean NIC messages per operation.
+    pub msgs_per_op: f64,
+    /// Mean round-trips per operation.
+    pub rtts_per_op: f64,
+    /// Wire bytes / application bytes (measured read amplification).
+    pub read_amp: f64,
+    /// Compute-side cache bytes per CN after the run.
+    pub cache_bytes: u64,
+    /// Hotspot-buffer hit ratio (CHIME only; 0 elsewhere).
+    pub hotspot_hit_ratio: f64,
+    /// Remote memory allocated across the pool, bytes.
+    pub remote_bytes: u64,
+}
+
+/// Builds the pool, index and per-CN client handles for a setup.
+pub struct Deployment {
+    /// The memory pool.
+    pub pool: Arc<Pool>,
+    /// Per-CN lists of client handles.
+    pub cns: Vec<Vec<Box<dyn RangeIndex + Send>>>,
+    /// Hotspot-stat probe (CHIME only).
+    hotspot_probe: Option<Vec<Arc<chime::CnState>>>,
+}
+
+/// Creates the index and preloads `setup.preload` keys.
+pub fn deploy(setup: &BenchSetup) -> Deployment {
+    let pool = Pool::with_defaults(setup.num_mns, setup.mn_capacity);
+    let per_cn = setup.clients.div_ceil(setup.num_cns);
+    let value = vec![0xABu8; setup.value_size];
+    match &setup.kind {
+        IndexKind::Chime(cfg) => {
+            let t = chime::Chime::create(&pool, *cfg, 0);
+            let cns: Vec<Arc<chime::CnState>> = (0..setup.num_cns).map(|_| t.new_cn()).collect();
+            {
+                let mut loader = t.client(&cns[0]);
+                for seq in 0..setup.preload {
+                    loader
+                        .insert(KeySpace::key(seq), &value)
+                        .expect("preload insert");
+                }
+            }
+            let handles = cns
+                .iter()
+                .map(|cn| {
+                    (0..per_cn)
+                        .map(|_| Box::new(t.client(cn)) as Box<dyn RangeIndex + Send>)
+                        .collect()
+                })
+                .collect();
+            Deployment {
+                pool,
+                cns: handles,
+                hotspot_probe: Some(cns),
+            }
+        }
+        IndexKind::Sherman(cfg) => {
+            let t = sherman::Sherman::create(&pool, *cfg, 0);
+            let cns: Vec<_> = (0..setup.num_cns).map(|_| t.new_cn()).collect();
+            {
+                let mut loader = t.client(&cns[0]);
+                for seq in 0..setup.preload {
+                    loader
+                        .insert(KeySpace::key(seq), &value)
+                        .expect("preload insert");
+                }
+            }
+            let handles = cns
+                .iter()
+                .map(|cn| {
+                    (0..per_cn)
+                        .map(|_| Box::new(t.client(cn)) as Box<dyn RangeIndex + Send>)
+                        .collect()
+                })
+                .collect();
+            Deployment {
+                pool,
+                cns: handles,
+                hotspot_probe: None,
+            }
+        }
+        IndexKind::Rolex(cfg) => {
+            let mut items: Vec<(u64, Vec<u8>)> = (0..setup.preload)
+                .map(|seq| (KeySpace::key(seq), value.clone()))
+                .collect();
+            items.sort_by_key(|&(k, _)| k);
+            items.dedup_by_key(|&mut (k, _)| k);
+            let mk_clients = |f: &mut dyn FnMut() -> Box<dyn RangeIndex + Send>| {
+                (0..setup.num_cns)
+                    .map(|_| (0..per_cn).map(|_| f()).collect())
+                    .collect::<Vec<Vec<_>>>()
+            };
+            let handles = if cfg.hopscotch_leaves {
+                let t = rolex::ChimeLearned::create(&pool, *cfg, &items);
+                mk_clients(&mut || Box::new(t.client()))
+            } else {
+                let t = rolex::Rolex::create(&pool, *cfg, &items);
+                mk_clients(&mut || Box::new(t.client()))
+            };
+            Deployment {
+                pool,
+                cns: handles,
+                hotspot_probe: None,
+            }
+        }
+        IndexKind::Smart(cfg) => {
+            let t = smart::Smart::create(&pool, *cfg, 0);
+            let cns: Vec<_> = (0..setup.num_cns).map(|_| t.new_cn()).collect();
+            {
+                let mut loader = t.client(&cns[0]);
+                for seq in 0..setup.preload {
+                    loader
+                        .insert(KeySpace::key(seq), &value)
+                        .expect("preload insert");
+                }
+            }
+            let handles = cns
+                .iter()
+                .map(|cn| {
+                    (0..per_cn)
+                        .map(|_| Box::new(t.client(cn)) as Box<dyn RangeIndex + Send>)
+                        .collect()
+                })
+                .collect();
+            Deployment {
+                pool,
+                cns: handles,
+                hotspot_probe: None,
+            }
+        }
+    }
+}
+
+/// Runs the measured phase and models the outcome.
+pub fn run(setup: &BenchSetup) -> BenchResult {
+    let mut dep = deploy(setup);
+    run_deployed(setup, &mut dep)
+}
+
+/// Runs the measured phase on an existing deployment.
+pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
+    let state = WorkloadState::new(setup.preload);
+    let value = vec![0xCDu8; setup.value_size];
+    let num_cns = dep.cns.len();
+    let ops_per_cn = setup.ops / num_cns as u64;
+    let mut hist = Histogram::new();
+    let mut total_msgs = 0u64;
+    let mut total_wire = 0u64;
+    let mut total_app = 0u64;
+    let mut total_rtts = 0u64;
+    let mut sum_latency = 0u64;
+    let mut executed = 0u64;
+    // Each CN schedules its clients round-robin; RDWC combines duplicate
+    // same-key read/update ops within one round. Client sweeps reuse one
+    // deployment: only the first `setup.clients / num_cns` handles per CN
+    // participate.
+    let active_per_cn = setup.clients.div_ceil(num_cns);
+    for (cn_id, all_clients) in dep.cns.iter_mut().enumerate() {
+        let n = active_per_cn.min(all_clients.len());
+        let clients = &mut all_clients[..n];
+        let mut gens: Vec<OpGen> = (0..clients.len())
+            .map(|i| {
+                OpGen::with_theta(
+                    setup.workload,
+                    Arc::clone(&state),
+                    setup.seed ^ ((cn_id as u64) << 32) ^ i as u64,
+                    setup.theta,
+                )
+            })
+            .collect();
+        let before: Vec<dmem::ClientStats> = clients.iter().map(|c| c.stats().clone()).collect();
+        let mut done = 0u64;
+        let mut scan_buf = Vec::new();
+        while done < ops_per_cn {
+            // One round: each client issues one op.
+            let mut combined: HashMap<(u8, u64), u64> = HashMap::new();
+            for (i, c) in clients.iter_mut().enumerate() {
+                if done >= ops_per_cn {
+                    break;
+                }
+                let op = gens[i].next_op();
+                let disc = match &op {
+                    Op::Read(_) => 0u8,
+                    Op::Update(_) => 1,
+                    Op::Insert(_) => 2,
+                    Op::Scan(..) => 3,
+                };
+                let key = op.key();
+                if setup.rdwc && disc <= 1 {
+                    if let Some(&lat) = combined.get(&(disc, key)) {
+                        // Combined with an in-flight same-key op: the
+                        // client pays the same latency, no new traffic.
+                        hist.record(lat);
+                        sum_latency += lat;
+                        done += 1;
+                        executed += 1;
+                        continue;
+                    }
+                }
+                let t0 = c.clock_ns();
+                match op {
+                    Op::Read(k) => {
+                        let _ = c.search(k);
+                    }
+                    Op::Update(k) => {
+                        let _ = c.update(k, &value).expect("update");
+                    }
+                    Op::Insert(k) => {
+                        c.insert(k, &value).expect("insert");
+                    }
+                    Op::Scan(k, n) => {
+                        scan_buf.clear();
+                        c.scan(k, n, &mut scan_buf);
+                    }
+                }
+                let lat = c.clock_ns() - t0;
+                hist.record(lat);
+                sum_latency += lat;
+                if setup.rdwc && disc <= 1 {
+                    combined.insert((disc, key), lat);
+                }
+                done += 1;
+                executed += 1;
+            }
+        }
+        for (i, c) in clients.iter().enumerate() {
+            let d = c.stats().since(&before[i]);
+            total_msgs += d.msgs;
+            total_wire += d.wire_bytes;
+            total_app += d.app_bytes;
+            total_rtts += d.rtts;
+        }
+    }
+    let net = NetConfig::default();
+    let acc = RunAccounting {
+        ops: executed,
+        clients: setup.clients as u64,
+        mns: setup.num_mns as u64,
+        total_msgs,
+        total_wire_bytes: total_wire,
+        sum_latency_ns: sum_latency,
+    };
+    let est = net.model(&acc);
+    let cache_bytes = dep
+        .cns
+        .iter()
+        .map(|cs| cs.first().map(|c| c.cache_bytes()).unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    let hit_ratio = dep
+        .hotspot_probe
+        .as_ref()
+        .map(|cns| {
+            let (h, l) = cns
+                .iter()
+                .map(|c| c.hotspot_stats())
+                .fold((0, 0), |(a, b), (h, l)| (a + h, b + l));
+            if l == 0 {
+                0.0
+            } else {
+                h as f64 / l as f64
+            }
+        })
+        .unwrap_or(0.0);
+    // At saturation, queueing delay dominates and is roughly exponential,
+    // so the tail stretches beyond the uniform inflation of the mean.
+    let queue = est.inflation - 1.0;
+    let tail = 1.0 + 2.0 * queue / (1.0 + queue);
+    BenchResult {
+        mops: est.mops,
+        p50_us: hist.quantile(0.5) as f64 * est.inflation / 1_000.0,
+        p99_us: hist.quantile(0.99) as f64 * est.inflation * tail / 1_000.0,
+        avg_us: est.avg_latency_ns / 1_000.0,
+        bound: est.bound,
+        bytes_per_op: est.bytes_per_op,
+        msgs_per_op: est.msgs_per_op,
+        rtts_per_op: total_rtts as f64 / executed as f64,
+        read_amp: if total_app == 0 {
+            0.0
+        } else {
+            total_wire as f64 / total_app as f64
+        },
+        cache_bytes,
+        hotspot_hit_ratio: hit_ratio,
+        remote_bytes: dep.pool.allocated_bytes(),
+    }
+}
+
+/// Prints a standard result row.
+pub fn print_row(label: &str, clients: usize, r: &BenchResult) {
+    println!(
+        "{label:<28} {clients:>5}  {:>8.3} Mops  p50 {:>8.1} us  p99 {:>8.1} us  {:>7.0} B/op  {:>5.2} rtt/op  amp {:>6.1}  cache {:>8.2} MB  [{:?}]",
+        r.mops,
+        r.p50_us,
+        r.p99_us,
+        r.bytes_per_op,
+        r.rtts_per_op,
+        r.read_amp,
+        r.cache_bytes as f64 / (1 << 20) as f64,
+        r.bound,
+    );
+}
+
+/// Parses `--flag value` style arguments (tiny, dependency-free).
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self::parse()
+    }
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        let mut map = HashMap::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let val = args.next().unwrap_or_else(|| "true".into());
+                map.insert(name.to_string(), val);
+            }
+        }
+        Args { map }
+    }
+
+    /// Returns the flag value parsed as `T`, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.map
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a boolean flag is present and truthy.
+    pub fn flag(&self, name: &str) -> bool {
+        self.get(name, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(kind: IndexKind, workload: Workload) -> BenchSetup {
+        BenchSetup {
+            kind,
+            num_cns: 2,
+            clients: 8,
+            preload: 5_000,
+            ops: 4_000,
+            mn_capacity: 512 << 20,
+            workload,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn chime_runs_all_workloads() {
+        for w in Workload::ALL {
+            let r = run(&tiny(IndexKind::Chime(chime::ChimeConfig::default()), w));
+            assert!(r.mops > 0.0, "workload {w:?}");
+            assert!(r.p99_us >= r.p50_us);
+        }
+    }
+
+    #[test]
+    fn all_indexes_run_ycsb_c() {
+        let kinds = [
+            IndexKind::Chime(chime::ChimeConfig::default()),
+            IndexKind::Sherman(sherman::ShermanConfig::default()),
+            IndexKind::Rolex(rolex::RolexConfig::default()),
+            IndexKind::Smart(smart::SmartConfig::default()),
+        ];
+        for k in kinds {
+            let name = k.name();
+            let r = run(&tiny(k, Workload::C));
+            assert!(r.mops > 0.0, "{name}");
+            assert!(r.bytes_per_op > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn chime_beats_sherman_on_read_amplification() {
+        let rc = run(&tiny(
+            IndexKind::Chime(chime::ChimeConfig::default()),
+            Workload::C,
+        ));
+        let rs = run(&tiny(
+            IndexKind::Sherman(sherman::ShermanConfig::default()),
+            Workload::C,
+        ));
+        assert!(
+            rc.bytes_per_op * 2.0 < rs.bytes_per_op,
+            "CHIME {:.0} B/op vs Sherman {:.0} B/op",
+            rc.bytes_per_op,
+            rs.bytes_per_op
+        );
+    }
+
+    #[test]
+    fn smart_cache_dwarfs_chime_cache() {
+        let rc = run(&tiny(
+            IndexKind::Chime(chime::ChimeConfig::default()),
+            Workload::C,
+        ));
+        let rs = run(&tiny(
+            IndexKind::Smart(smart::SmartConfig::default()),
+            Workload::C,
+        ));
+        assert!(
+            rs.cache_bytes > 3 * rc.cache_bytes,
+            "SMART {} vs CHIME {}",
+            rs.cache_bytes,
+            rc.cache_bytes
+        );
+    }
+
+    #[test]
+    fn more_clients_more_throughput_until_saturation() {
+        let mk = |clients| BenchSetup {
+            clients,
+            ..tiny(IndexKind::Chime(chime::ChimeConfig::default()), Workload::C)
+        };
+        let r8 = run(&mk(8));
+        let r64 = run(&mk(64));
+        assert!(r64.mops > r8.mops * 2.0, "{} vs {}", r64.mops, r8.mops);
+    }
+
+    #[test]
+    fn rdwc_does_not_hurt() {
+        let mk = |rdwc| BenchSetup {
+            rdwc,
+            clients: 32,
+            ..tiny(IndexKind::Chime(chime::ChimeConfig::default()), Workload::C)
+        };
+        let with = run(&mk(true));
+        let without = run(&mk(false));
+        assert!(with.mops >= without.mops * 0.99);
+    }
+}

@@ -1,0 +1,2 @@
+//! Experiment harness library (figure runners live in `src/bin`).
+pub mod driver;

@@ -1,0 +1,422 @@
+//! Pure hopscotch-hashing logic over a cyclic window of a leaf node.
+//!
+//! Remote inserts fetch only a *hop range* of the leaf (the entries that can
+//! possibly be examined or moved); this module performs the hopping on that
+//! local window, tracking exactly which slots changed so the writer can bump
+//! entry-level versions and write the range back. Splits reuse the same code
+//! through [`build_table`], which fills a whole-span window from scratch.
+//!
+//! Key 0 is the reserved empty sentinel (asserted at the public API).
+
+use dmem::hash::home_entry;
+
+/// Cyclic distance from `a` forward to `b` in a table of `span` entries.
+#[inline]
+pub fn cyc_dist(a: usize, b: usize, span: usize) -> usize {
+    (b + span - a) % span
+}
+
+/// A local, mutable view of a cyclic range of leaf entries.
+#[derive(Debug, Clone)]
+pub struct Window {
+    span: usize,
+    h: usize,
+    start: usize,
+    keys: Vec<u64>,
+    values: Vec<Vec<u8>>,
+    bitmaps: Vec<u16>,
+    dirty: Vec<bool>,
+}
+
+impl Window {
+    /// Creates a window over `len` entries starting at absolute index
+    /// `start` (cyclic), in a table of `span` entries with neighborhood `h`.
+    pub fn new(span: usize, h: usize, start: usize, len: usize) -> Self {
+        assert!(len <= span && start < span);
+        Window {
+            span,
+            h,
+            start,
+            keys: vec![0; len],
+            values: vec![Vec::new(); len],
+            bitmaps: vec![0; len],
+            dirty: vec![false; len],
+        }
+    }
+
+    /// Number of entries covered.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` when the window covers no entries.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Absolute index of the first covered entry.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Table span.
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// Converts an absolute entry index to a window-relative one.
+    ///
+    /// Returns `None` when the index is not covered.
+    pub fn rel(&self, abs: usize) -> Option<usize> {
+        let d = cyc_dist(self.start, abs % self.span, self.span);
+        (d < self.len()).then_some(d)
+    }
+
+    fn abs(&self, rel: usize) -> usize {
+        (self.start + rel) % self.span
+    }
+
+    /// Loads the content of one covered slot (used when parsing a fetch).
+    pub fn set_slot(&mut self, abs: usize, key: u64, value: Vec<u8>, bitmap: u16) {
+        let r = self.rel(abs).expect("slot not covered");
+        self.keys[r] = key;
+        self.values[r] = value;
+        self.bitmaps[r] = bitmap;
+    }
+
+    /// Returns `(key, value, bitmap)` of a covered slot.
+    pub fn slot(&self, abs: usize) -> (u64, &[u8], u16) {
+        let r = self.rel(abs).expect("slot not covered");
+        (self.keys[r], &self.values[r], self.bitmaps[r])
+    }
+
+    /// Returns `true` if the covered slot holds no key.
+    pub fn slot_empty(&self, abs: usize) -> bool {
+        let r = self.rel(abs).expect("slot not covered");
+        self.keys[r] == 0
+    }
+
+    /// Absolute indices of the slots modified since the window was filled.
+    pub fn dirty_slots(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&r| self.dirty[r])
+            .map(|r| self.abs(r))
+            .collect()
+    }
+
+    fn mark(&mut self, rel: usize) {
+        self.dirty[rel] = true;
+    }
+
+    /// First empty covered slot at cyclic distance >= 0 from `from`,
+    /// scanning forward within the window.
+    pub fn first_empty_from(&self, from: usize) -> Option<usize> {
+        let d0 = self.rel(from)?;
+        (d0..self.len()).find(|&r| self.keys[r] == 0).map(|r| self.abs(r))
+    }
+
+    /// Looks `key` up via its home entry's hopscotch bitmap. The home entry
+    /// and its whole neighborhood must be covered by the window.
+    pub fn find_in_neighborhood(&self, key: u64) -> Option<usize> {
+        let home = home_entry(key, self.span);
+        let (_, _, bm) = self.slot(home);
+        (0..self.h)
+            .filter(|&d| bm & (1 << d) != 0)
+            .map(|d| (home + d) % self.span)
+            .find(|&p| self.slot(p).0 == key)
+    }
+
+    /// Updates the stored value of the key at absolute slot `abs`.
+    pub fn set_value(&mut self, abs: usize, value: Vec<u8>) {
+        let r = self.rel(abs).expect("slot not covered");
+        self.values[r] = value;
+        self.mark(r);
+    }
+
+    /// Clears slot `abs` and the corresponding bit in its home's bitmap.
+    ///
+    /// The home entry must also be covered by the window.
+    pub fn remove(&mut self, abs: usize) {
+        let r = self.rel(abs).expect("slot not covered");
+        let key = self.keys[r];
+        assert_ne!(key, 0, "removing an empty slot");
+        let hm = home_entry(key, self.span);
+        let hr = self.rel(hm).expect("home entry not covered");
+        let bit = cyc_dist(hm, abs, self.span);
+        self.bitmaps[hr] &= !(1u16 << bit);
+        self.keys[r] = 0;
+        self.values[r] = Vec::new();
+        self.mark(r);
+        self.mark(hr);
+    }
+
+    /// Inserts `key` by hopping within the window.
+    ///
+    /// `empty` is the absolute index of a known-empty covered slot at or
+    /// after `key`'s home entry. On success returns the final slot; on
+    /// failure (no feasible hop) returns `Err(NeedSplit)` with the window
+    /// untouched.
+    pub fn insert(&mut self, key: u64, value: Vec<u8>, empty: usize) -> Result<usize, NeedSplit> {
+        assert_ne!(key, 0, "key 0 is the empty sentinel");
+        let home = home_entry(key, self.span);
+        debug_assert!(self.rel(home).is_some(), "home entry not covered");
+        debug_assert!(self.slot_empty(empty), "target slot not empty");
+        // Plan on a copy of the occupancy so failure leaves us untouched.
+        let plan = self.plan_hops(home, empty)?;
+        // Execute the plan: each move shifts a key (and value) into the
+        // current empty slot and vacates its old position.
+        for &(from, to) in &plan {
+            let fr = self.rel(from).unwrap();
+            let tr = self.rel(to).unwrap();
+            let k = self.keys[fr];
+            let hm = home_entry(k, self.span);
+            let hr = self.rel(hm).expect("home of hopped key not covered");
+            self.bitmaps[hr] &= !(1u16 << cyc_dist(hm, from, self.span));
+            self.bitmaps[hr] |= 1u16 << cyc_dist(hm, to, self.span);
+            self.keys[tr] = k;
+            self.values[tr] = std::mem::take(&mut self.values[fr]);
+            self.keys[fr] = 0;
+            self.mark(fr);
+            self.mark(tr);
+            self.mark(hr);
+        }
+        let final_slot = plan.last().map(|&(from, _)| from).unwrap_or(empty);
+        let fr = self.rel(final_slot).unwrap();
+        let hr = self.rel(home).unwrap();
+        self.keys[fr] = key;
+        self.values[fr] = value;
+        self.bitmaps[hr] |= 1u16 << cyc_dist(home, final_slot, self.span);
+        self.mark(fr);
+        self.mark(hr);
+        Ok(final_slot)
+    }
+
+    /// Computes the hop plan (a sequence of `(from, to)` moves) that frees a
+    /// slot within `home`'s neighborhood, starting from `empty`.
+    fn plan_hops(&self, home: usize, mut empty: usize) -> Result<Vec<(usize, usize)>, NeedSplit> {
+        let mut plan = Vec::new();
+        'outer: while cyc_dist(home, empty, self.span) >= self.h {
+            // Candidates, farthest-swappable first: positions empty-H+1 ..
+            // empty-1 (cyclic).
+            for d in (1..self.h).rev() {
+                let cand = (empty + self.span - d) % self.span;
+                let Some(cr) = self.rel(cand) else {
+                    return Err(NeedSplit);
+                };
+                let k = self.keys[cr];
+                if k == 0 {
+                    // A closer empty slot; adopt it (it can only help).
+                    if cyc_dist(home, cand, self.span) < cyc_dist(home, empty, self.span) {
+                        empty = cand;
+                        continue 'outer;
+                    }
+                    continue;
+                }
+                let hm = home_entry(k, self.span);
+                if cyc_dist(hm, empty, self.span) < self.h && self.rel(hm).is_some() {
+                    plan.push((cand, empty));
+                    empty = cand;
+                    continue 'outer;
+                }
+            }
+            return Err(NeedSplit);
+        }
+        Ok(plan)
+    }
+}
+
+/// Returned when no feasible hopping exists: the leaf must split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeedSplit;
+
+/// Builds a full hopscotch table of `span` entries from `items`.
+///
+/// Returns `None` when some item cannot be placed (the caller splits
+/// further). Used by node splits to rebuild both halves locally.
+pub fn build_table(span: usize, h: usize, items: &[(u64, Vec<u8>)]) -> Option<Window> {
+    let mut w = Window::new(span, h, 0, span);
+    for (k, v) in items {
+        let home = home_entry(*k, span);
+        let empty = find_empty(&w, home)?;
+        w.insert(*k, v.clone(), empty).ok()?;
+    }
+    Some(w)
+}
+
+/// First empty slot at or (cyclically) after `home` in a full-span window.
+fn find_empty(w: &Window, home: usize) -> Option<usize> {
+    let span = w.span();
+    (0..span)
+        .map(|d| (home + d) % span)
+        .find(|&i| w.slot_empty(i))
+}
+
+/// Verifies hopscotch invariants of a full-span window (test helper):
+/// every key sits within H of its home, and the bitmaps exactly describe
+/// the occupancy.
+pub fn check_invariants(w: &Window) -> Result<(), String> {
+    let span = w.span();
+    for i in 0..span {
+        let (k, _, _) = w.slot(i);
+        if k != 0 {
+            let hm = home_entry(k, span);
+            let d = cyc_dist(hm, i, span);
+            if d >= w.h {
+                return Err(format!("key {k} at {i} is {d} from home {hm}"));
+            }
+            let (_, _, bm) = w.slot(hm);
+            if bm & (1 << d) == 0 {
+                return Err(format!("bitmap of home {hm} misses key {k} at {i}"));
+            }
+        }
+    }
+    for i in 0..span {
+        let (_, _, bm) = w.slot(i);
+        for d in 0..16 {
+            if bm & (1 << d) != 0 {
+                let pos = (i + d) % span;
+                let (k, _, _) = w.slot(pos);
+                if k == 0 || home_entry(k, span) != i {
+                    return Err(format!("bitmap of {i} claims {pos} wrongly"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> Vec<u8> {
+        x.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn cyclic_distance() {
+        assert_eq!(cyc_dist(5, 7, 16), 2);
+        assert_eq!(cyc_dist(7, 5, 16), 14);
+        assert_eq!(cyc_dist(3, 3, 16), 0);
+    }
+
+    #[test]
+    fn window_rel_abs() {
+        let w = Window::new(16, 4, 14, 6); // covers 14,15,0,1,2,3
+        assert_eq!(w.rel(14), Some(0));
+        assert_eq!(w.rel(1), Some(3));
+        assert_eq!(w.rel(4), None);
+    }
+
+    #[test]
+    fn simple_insert_no_hops() {
+        let mut w = Window::new(16, 4, 0, 16);
+        let key = 42u64;
+        let home = dmem::hash::home_entry(key, 16);
+        let pos = w.insert(key, v(1), home).unwrap();
+        assert_eq!(pos, home);
+        let (k, val, _) = w.slot(pos);
+        assert_eq!(k, key);
+        assert_eq!(val, &v(1)[..]);
+        check_invariants(&w).unwrap();
+        // Dirty slots: the inserted one (home bitmap is the same slot).
+        assert_eq!(w.dirty_slots(), vec![home]);
+    }
+
+    #[test]
+    fn build_table_many_keys() {
+        let items: Vec<_> = (1..=50u64).map(|k| (k, v(k))).collect();
+        let w = build_table(64, 8, &items).expect("50/64 must fit");
+        check_invariants(&w).unwrap();
+        for (k, val) in &items {
+            let hm = dmem::hash::home_entry(*k, 64);
+            let found = (0..8).any(|d| {
+                let (kk, vv, _) = w.slot((hm + d) % 64);
+                kk == *k && vv == &val[..]
+            });
+            assert!(found, "key {k} not within its neighborhood");
+        }
+    }
+
+    #[test]
+    fn remove_clears_bitmap() {
+        let items: Vec<_> = (1..=40u64).map(|k| (k, v(k))).collect();
+        let mut w = build_table(64, 8, &items).unwrap();
+        for k in 1..=40u64 {
+            let hm = dmem::hash::home_entry(k, 64);
+            let pos = (0..8)
+                .map(|d| (hm + d) % 64)
+                .find(|&p| w.slot(p).0 == k)
+                .unwrap();
+            w.remove(pos);
+        }
+        check_invariants(&w).unwrap();
+        for i in 0..64 {
+            assert!(w.slot_empty(i));
+            assert_eq!(w.slot(i).2, 0);
+        }
+    }
+
+    /// Finds a key whose home entry is `home`, avoiding key 0.
+    fn key_with_home(span: usize, home: usize, salt: u64) -> u64 {
+        (1 + salt * 1_000_000..)
+            .find(|&k| dmem::hash::home_entry(k, span) == home)
+            .unwrap()
+    }
+
+    #[test]
+    fn need_split_when_no_feasible_hop() {
+        // span 16, H = 4. New key homes at 0; the only empty slot is 8,
+        // and every candidate (slots 5..7) is homed too far back to move.
+        let span = 16;
+        let h = 4;
+        let mut w = Window::new(span, h, 0, span);
+        for p in 0..=7usize {
+            if p == 0 {
+                let k = key_with_home(span, 0, 99);
+                w.set_slot(0, k, v(k), 1); // occupies its own home
+            } else {
+                let home = if p >= 5 { p - 3 } else { p };
+                let k = key_with_home(span, home, p as u64);
+                w.set_slot(p, k, v(k), 0);
+            }
+        }
+        let key = key_with_home(span, 0, 7777);
+        let before: Vec<_> = (0..span).map(|i| w.slot(i).0).collect();
+        assert_eq!(w.insert(key, v(key), 8), Err(NeedSplit));
+        // Failure must leave the window untouched.
+        let after: Vec<_> = (0..span).map(|i| w.slot(i).0).collect();
+        assert_eq!(before, after);
+        assert!(w.dirty_slots().is_empty());
+    }
+
+    #[test]
+    fn hopping_moves_keys_and_preserves_invariants() {
+        // Dense table to force hops: 56 of 64 slots.
+        let items: Vec<_> = (1..=56u64).map(|k| (k, v(k))).collect();
+        let w = build_table(64, 8, &items).expect("should fit at 87% load");
+        check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn dirty_tracking_is_minimal() {
+        let items: Vec<_> = (1..=30u64).map(|k| (k, v(k))).collect();
+        let w0 = build_table(64, 8, &items).unwrap();
+        // Re-create a clean window with the same content.
+        let mut w = Window::new(64, 8, 0, 64);
+        for i in 0..64 {
+            let (k, val, bm) = w0.slot(i);
+            w.set_slot(i, k, val.to_vec(), bm);
+        }
+        assert!(w.dirty_slots().is_empty());
+        let key = 1000u64;
+        let home = dmem::hash::home_entry(key, 64);
+        let empty = find_empty(&w, home).unwrap();
+        w.insert(key, v(key), empty).unwrap();
+        let dirty = w.dirty_slots();
+        assert!(!dirty.is_empty());
+        // At most: each hop touches from/to/home, plus the final insert.
+        assert!(dirty.len() <= 3 * 8);
+        check_invariants(&w).unwrap();
+    }
+}

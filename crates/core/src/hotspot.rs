@@ -1,0 +1,185 @@
+//! The hotness-aware hotspot buffer (§4.3, Fig. 11).
+//!
+//! A small per-CN cache mapping `(leaf address, key index)` to a key
+//! fingerprint and an access counter. Before a neighborhood read, the client
+//! consults the buffer for hot entries inside the target neighborhood and,
+//! on a fingerprint match, speculatively READs just that entry. Eviction is
+//! least-frequently-used, as in the paper.
+
+use std::collections::{BTreeSet, HashMap};
+
+use dmem::GlobalAddr;
+
+/// Bytes per buffer entry: 8 (leaf address) + 2 (key index) +
+/// 2 (fingerprint) + 4 (counter), as in Fig. 11.
+pub const ENTRY_BYTES: u64 = 16;
+
+type Slot = (u64, u16);
+
+#[derive(Debug, Clone, Copy)]
+struct HotEntry {
+    fp: u16,
+    count: u32,
+}
+
+/// The LFU hotspot buffer.
+pub struct HotspotBuffer {
+    map: HashMap<Slot, HotEntry>,
+    by_count: BTreeSet<(u32, Slot)>,
+    capacity: usize,
+    hits: u64,
+    lookups: u64,
+}
+
+impl HotspotBuffer {
+    /// Creates a buffer with a byte budget (`bytes / 16` entries).
+    pub fn new(bytes: u64) -> Self {
+        HotspotBuffer {
+            map: HashMap::new(),
+            by_count: BTreeSet::new(),
+            capacity: (bytes / ENTRY_BYTES) as usize,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Number of descriptions currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.map.len() as u64 * ENTRY_BYTES
+    }
+
+    /// Records an access to the KV at `(leaf, idx)` whose key has
+    /// fingerprint `fp` (§4.3: called on every remote KV entry access).
+    pub fn on_access(&mut self, leaf: GlobalAddr, idx: u16, fp: u16) {
+        if self.capacity == 0 {
+            return;
+        }
+        let slot = (leaf.raw(), idx);
+        if let Some(e) = self.map.get_mut(&slot) {
+            self.by_count.remove(&(e.count, slot));
+            if e.fp == fp {
+                e.count = e.count.saturating_add(1);
+            } else {
+                // Outdated description: new key moved in.
+                e.fp = fp;
+                e.count = 1;
+            }
+            self.by_count.insert((e.count, slot));
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            // Evict the least frequently used entry.
+            if let Some(&victim) = self.by_count.iter().next() {
+                self.by_count.remove(&victim);
+                self.map.remove(&victim.1);
+            }
+        }
+        self.map.insert(slot, HotEntry { fp, count: 1 });
+        self.by_count.insert((1, slot));
+    }
+
+    /// Looks for the hottest hotspot among `indices` of `leaf` whose
+    /// fingerprint matches `fp`. Returns the key index to speculatively
+    /// read, if any.
+    pub fn lookup(
+        &mut self,
+        leaf: GlobalAddr,
+        indices: impl Iterator<Item = u16>,
+        fp: u16,
+    ) -> Option<u16> {
+        self.lookups += 1;
+        let best = indices
+            .filter_map(|i| {
+                self.map
+                    .get(&(leaf.raw(), i))
+                    .filter(|e| e.fp == fp)
+                    .map(|e| (e.count, i))
+            })
+            .max();
+        if best.is_some() {
+            self.hits += 1;
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// `(buffer hits, lookups)` — the Fig. 19c hit ratio.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.lookups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(off: u64) -> GlobalAddr {
+        GlobalAddr::new(0, off)
+    }
+
+    #[test]
+    fn access_then_lookup() {
+        let mut b = HotspotBuffer::new(1024);
+        b.on_access(leaf(0x1000), 5, 0xAB);
+        assert_eq!(b.lookup(leaf(0x1000), 0..8, 0xAB), Some(5));
+        assert_eq!(b.lookup(leaf(0x1000), 0..8, 0xCD), None);
+        assert_eq!(b.lookup(leaf(0x2000), 0..8, 0xAB), None);
+        assert_eq!(b.hit_stats(), (1, 3));
+    }
+
+    #[test]
+    fn hottest_wins_among_matches() {
+        let mut b = HotspotBuffer::new(1024);
+        b.on_access(leaf(1), 3, 0xAB);
+        for _ in 0..5 {
+            b.on_access(leaf(1), 6, 0xAB);
+        }
+        assert_eq!(b.lookup(leaf(1), 0..8, 0xAB), Some(6));
+    }
+
+    #[test]
+    fn fingerprint_change_resets_counter() {
+        let mut b = HotspotBuffer::new(1024);
+        for _ in 0..10 {
+            b.on_access(leaf(1), 3, 0xAB);
+        }
+        b.on_access(leaf(1), 5, 0xCD);
+        b.on_access(leaf(1), 5, 0xCD);
+        // Slot 3's key changed: counter resets to 1, below slot 5's 2.
+        b.on_access(leaf(1), 3, 0xEE);
+        assert_eq!(b.lookup(leaf(1), 0..8, 0xEE), Some(3));
+        b.on_access(leaf(1), 3, 0xEE);
+        // With matching fingerprints both qualify; 5 is colder than 3 now.
+        assert_eq!(b.lookup(leaf(1), 0..8, 0xCD), Some(5));
+    }
+
+    #[test]
+    fn lfu_eviction() {
+        let mut b = HotspotBuffer::new(2 * ENTRY_BYTES);
+        b.on_access(leaf(1), 0, 1);
+        b.on_access(leaf(1), 0, 1); // count 2
+        b.on_access(leaf(1), 1, 2); // count 1
+        b.on_access(leaf(1), 2, 3); // evicts the LFU (idx 1)
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.lookup(leaf(1), 0..8, 1), Some(0));
+        assert_eq!(b.lookup(leaf(1), 0..8, 2), None);
+        assert_eq!(b.lookup(leaf(1), 0..8, 3), Some(2));
+    }
+
+    #[test]
+    fn zero_budget_disables() {
+        let mut b = HotspotBuffer::new(0);
+        b.on_access(leaf(1), 0, 1);
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Node layouts (Fig. 6 / Fig. 10 of the paper).
+//!
+//! All offsets below are *logical* (payload-space) offsets; the versioned
+//! layout of [`dmem::versioned`] interleaves the physical cache-line version
+//! bytes. Each object (header/replica/entry) begins with its own version
+//! byte.
+//!
+//! Leaf node (optimized, Fig. 10): blocks of `[metadata replica][H entries]`
+//! so that every neighborhood read covers or abuts a replica, followed by the
+//! 8-byte lock word (vacancy bitmap + argmax + lock bit). With metadata
+//! replication disabled there is a single header at offset 0. With
+//! sibling-based validation disabled the replicas additionally carry fence
+//! keys (Fig. 16's comparison).
+//!
+//! Internal node (Fig. 6): header with level/valid/fence keys/sibling
+//! followed by `span` pivot entries and the lock word.
+
+use dmem::versioned::Layout;
+
+/// Geometry of a hopscotch leaf node.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafLayout {
+    /// Entries per node.
+    pub span: usize,
+    /// Neighborhood size H.
+    pub h: usize,
+    /// Stored key size in bytes (>= 8; the first 8 hold the `u64` key).
+    pub key_size: usize,
+    /// Inline value (or indirect pointer) size in bytes.
+    pub value_size: usize,
+    /// Metadata replicas every H entries (vs a single header).
+    pub replication: bool,
+    /// Replicas carry fence keys (sibling validation disabled).
+    pub fences: bool,
+    /// Vacancy bitmap shares the lock word (vs a separate word).
+    pub piggyback: bool,
+}
+
+impl LeafLayout {
+    /// Bytes per entry: version byte, hopscotch bitmap, key, value.
+    pub fn entry_size(&self) -> usize {
+        1 + 2 + self.key_size + self.value_size
+    }
+
+    /// Bytes per metadata replica: version byte, sibling pointer, valid
+    /// flag, and (without sibling validation) low/high fence keys.
+    pub fn replica_size(&self) -> usize {
+        1 + 8 + 1 + if self.fences { 2 * self.key_size } else { 0 }
+    }
+
+    fn block_size(&self) -> usize {
+        self.replica_size() + self.h * self.entry_size()
+    }
+
+    /// Total logical payload bytes.
+    pub fn payload_len(&self) -> usize {
+        if self.replication {
+            (self.span / self.h) * self.block_size()
+        } else {
+            self.replica_size() + self.span * self.entry_size()
+        }
+    }
+
+    /// The versioned layout of the payload.
+    pub fn versioned(&self) -> Layout {
+        Layout::new(self.payload_len())
+    }
+
+    /// Physical offset of the 8-byte lock word.
+    pub fn lock_off(&self) -> usize {
+        self.versioned().lock_offset()
+    }
+
+    /// Physical offset of the separate vacancy word (piggybacking off).
+    pub fn vacancy_off(&self) -> usize {
+        assert!(!self.piggyback);
+        self.lock_off() + 8
+    }
+
+    /// Total physical node size.
+    pub fn node_size(&self) -> usize {
+        self.versioned().node_size() + if self.piggyback { 0 } else { 8 }
+    }
+
+    /// Logical offset of entry `i`.
+    pub fn entry_off(&self, i: usize) -> usize {
+        debug_assert!(i < self.span);
+        if self.replication {
+            (i / self.h) * self.block_size()
+                + self.replica_size()
+                + (i % self.h) * self.entry_size()
+        } else {
+            self.replica_size() + i * self.entry_size()
+        }
+    }
+
+    /// Logical offset of the metadata replica of block `b`.
+    pub fn replica_off(&self, b: usize) -> usize {
+        if self.replication {
+            debug_assert!(b < self.span / self.h);
+            b * self.block_size()
+        } else {
+            debug_assert_eq!(b, 0);
+            0
+        }
+    }
+
+    /// Logical ranges to fetch for a neighborhood read of home entry `home`.
+    ///
+    /// With replication on, exactly one replica is covered; the ranges are
+    /// `[a, b)` pairs, two of them when the neighborhood wraps around the
+    /// table (fetched with one doorbell batch).
+    pub fn neighborhood_ranges(&self, home: usize) -> Vec<(usize, usize)> {
+        debug_assert!(home < self.span);
+        let last = home + self.h - 1;
+        if last < self.span {
+            let start = if self.replication && home.is_multiple_of(self.h) {
+                self.replica_off(home / self.h)
+            } else {
+                self.entry_off(home)
+            };
+            vec![(start, self.entry_off(last) + self.entry_size())]
+        } else {
+            // Wrap-around: [home, span) plus [0, last % span].
+            vec![
+                (
+                    self.entry_off(home),
+                    self.entry_off(self.span - 1) + self.entry_size(),
+                ),
+                (
+                    self.replica_off(0),
+                    self.entry_off(last % self.span) + self.entry_size(),
+                ),
+            ]
+        }
+    }
+
+    /// Logical ranges to fetch for a hop-range read covering cyclic entries
+    /// `[a, e]` (inclusive). At least one replica is always covered when
+    /// replication is on.
+    pub fn hop_ranges(&self, a: usize, e: usize) -> Vec<(usize, usize)> {
+        debug_assert!(a < self.span && e < self.span);
+        let mut segs: Vec<(usize, usize)> = Vec::new();
+        if a <= e {
+            segs.push((a, e));
+        } else {
+            segs.push((a, self.span - 1));
+            segs.push((0, e));
+        }
+        segs.iter()
+            .map(|&(s, t)| {
+                let start = if self.replication && (s % self.h == 0 || s / self.h == t / self.h) {
+                    // Same block (no interior replica) or block-aligned:
+                    // begin at the block's replica.
+                    self.replica_off(s / self.h)
+                } else {
+                    self.entry_off(s)
+                };
+                (start, self.entry_off(t) + self.entry_size())
+            })
+            .collect()
+    }
+
+    /// Block indices whose replica is fully covered by logical `[a, b)`.
+    pub fn replicas_in(&self, a: usize, b: usize) -> Vec<usize> {
+        if !self.replication {
+            return if a == 0 { vec![0] } else { vec![] };
+        }
+        (0..self.span / self.h)
+            .filter(|&blk| {
+                let r = self.replica_off(blk);
+                r >= a && r + self.replica_size() <= b
+            })
+            .collect()
+    }
+
+    /// Metadata bytes per node (everything that is not key/value payload),
+    /// used by the Fig. 16 comparison.
+    pub fn metadata_bytes(&self) -> usize {
+        let replicas = if self.replication {
+            (self.span / self.h) * self.replica_size()
+        } else {
+            self.replica_size()
+        };
+        // Per-entry metadata: version byte + hopscotch bitmap.
+        let per_entry = 3 * self.span;
+        // Cache-line version bytes.
+        let line_bytes = self.versioned().lines();
+        replicas + per_entry + line_bytes + 8
+    }
+}
+
+/// Field offsets inside a leaf entry (relative to the entry start).
+pub mod entry_field {
+    /// Version byte.
+    pub const VER: usize = 0;
+    /// 2-byte hopscotch bitmap.
+    pub const BITMAP: usize = 1;
+    /// Key (first 8 bytes of the key field).
+    pub const KEY: usize = 3;
+}
+
+/// Field offsets inside a leaf metadata replica / header.
+pub mod replica_field {
+    /// Version byte.
+    pub const VER: usize = 0;
+    /// 8-byte sibling pointer.
+    pub const SIBLING: usize = 1;
+    /// Valid flag.
+    pub const VALID: usize = 9;
+    /// Low fence key (fence mode only).
+    pub const FENCE_LOW: usize = 10;
+}
+
+/// Geometry of an internal (B+-tree) node.
+#[derive(Debug, Clone, Copy)]
+pub struct InternalLayout {
+    /// Maximum number of pivot entries.
+    pub span: usize,
+}
+
+/// Field offsets inside an internal-node header.
+pub mod internal_field {
+    /// Version byte.
+    pub const VER: usize = 0;
+    /// Node level (leaves are level 0, their parents level 1, ...).
+    pub const LEVEL: usize = 1;
+    /// Valid flag.
+    pub const VALID: usize = 2;
+    /// Number of used entries (u16).
+    pub const COUNT: usize = 3;
+    /// Low fence key.
+    pub const FENCE_LOW: usize = 5;
+    /// High fence key.
+    pub const FENCE_HIGH: usize = 13;
+    /// Sibling pointer.
+    pub const SIBLING: usize = 21;
+    /// Header size.
+    pub const SIZE: usize = 29;
+}
+
+impl InternalLayout {
+    /// Bytes per pivot entry: version byte, pivot key, child pointer.
+    pub const ENTRY_SIZE: usize = 17;
+
+    /// Total logical payload bytes.
+    pub fn payload_len(&self) -> usize {
+        internal_field::SIZE + self.span * Self::ENTRY_SIZE
+    }
+
+    /// The versioned layout of the payload.
+    pub fn versioned(&self) -> Layout {
+        Layout::new(self.payload_len())
+    }
+
+    /// Physical offset of the lock word.
+    pub fn lock_off(&self) -> usize {
+        self.versioned().lock_offset()
+    }
+
+    /// Total physical node size.
+    pub fn node_size(&self) -> usize {
+        self.versioned().node_size()
+    }
+
+    /// Logical offset of entry `i`.
+    pub fn entry_off(&self, i: usize) -> usize {
+        debug_assert!(i < self.span);
+        internal_field::SIZE + i * Self::ENTRY_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_leaf() -> LeafLayout {
+        LeafLayout {
+            span: 64,
+            h: 8,
+            key_size: 8,
+            value_size: 8,
+            replication: true,
+            fences: false,
+            piggyback: true,
+        }
+    }
+
+    #[test]
+    fn leaf_geometry_defaults() {
+        let l = default_leaf();
+        assert_eq!(l.entry_size(), 19);
+        assert_eq!(l.replica_size(), 10);
+        assert_eq!(l.payload_len(), 8 * (10 + 8 * 19));
+        assert_eq!(l.node_size(), l.versioned().node_size());
+    }
+
+    #[test]
+    fn entry_offsets_monotone_and_disjoint() {
+        let l = default_leaf();
+        let mut prev_end = 0;
+        for i in 0..l.span {
+            if i % l.h == 0 {
+                assert_eq!(l.replica_off(i / l.h), prev_end);
+                prev_end += l.replica_size();
+            }
+            assert_eq!(l.entry_off(i), prev_end);
+            prev_end += l.entry_size();
+        }
+        assert_eq!(prev_end, l.payload_len());
+    }
+
+    #[test]
+    fn neighborhood_covers_exactly_h_entries_plus_replica() {
+        let l = default_leaf();
+        for home in 0..l.span {
+            let ranges = l.neighborhood_ranges(home);
+            let total: usize = ranges.iter().map(|&(a, b)| b - a).sum();
+            // H entries plus at least one replica; wrap may include the
+            // block-0 replica as well.
+            assert!(total >= l.h * l.entry_size() + l.replica_size());
+            assert!(total <= l.h * l.entry_size() + 2 * l.replica_size());
+            // Exactly one replica must be fully covered per read.
+            let covered: usize = ranges.iter().map(|&(a, b)| l.replicas_in(a, b).len()).sum();
+            assert!(covered >= 1, "home {home} covers no replica");
+        }
+    }
+
+    #[test]
+    fn neighborhood_wraps_into_two_ranges() {
+        let l = default_leaf();
+        assert_eq!(l.neighborhood_ranges(0).len(), 1);
+        assert_eq!(l.neighborhood_ranges(60).len(), 2);
+    }
+
+    #[test]
+    fn hop_ranges_cover_requested_entries() {
+        let l = default_leaf();
+        for (a, e) in [(0, 10), (5, 5), (50, 63), (60, 3), (8, 15)] {
+            let ranges = l.hop_ranges(a, e);
+            // Every entry in cyclic [a, e] falls inside some range.
+            let mut i = a;
+            loop {
+                let off = l.entry_off(i);
+                assert!(
+                    ranges
+                        .iter()
+                        .any(|&(s, t)| off >= s && off + l.entry_size() <= t),
+                    "entry {i} not covered for [{a},{e}]"
+                );
+                if i == e {
+                    break;
+                }
+                i = (i + 1) % l.span;
+            }
+            let covered: usize = ranges.iter().map(|&(s, t)| l.replicas_in(s, t).len()).sum();
+            assert!(covered >= 1, "hop range [{a},{e}] covers no replica");
+        }
+    }
+
+    #[test]
+    fn no_replication_layout() {
+        let l = LeafLayout {
+            replication: false,
+            ..default_leaf()
+        };
+        assert_eq!(l.replica_off(0), 0);
+        assert_eq!(l.entry_off(0), l.replica_size());
+        assert_eq!(l.payload_len(), 10 + 64 * 19);
+        // Most neighborhoods cover no replica.
+        let ranges = l.neighborhood_ranges(20);
+        assert!(l.replicas_in(ranges[0].0, ranges[0].1).is_empty());
+    }
+
+    #[test]
+    fn fences_enlarge_replicas() {
+        let with = LeafLayout {
+            fences: true,
+            ..default_leaf()
+        };
+        assert_eq!(
+            with.replica_size(),
+            default_leaf().replica_size() + 16
+        );
+        assert!(with.metadata_bytes() > default_leaf().metadata_bytes());
+    }
+
+    #[test]
+    fn separate_vacancy_word_when_no_piggyback() {
+        let l = LeafLayout {
+            piggyback: false,
+            ..default_leaf()
+        };
+        assert_eq!(l.vacancy_off(), l.lock_off() + 8);
+        assert_eq!(l.node_size(), l.versioned().node_size() + 8);
+    }
+
+    #[test]
+    fn internal_geometry() {
+        let il = InternalLayout { span: 64 };
+        assert_eq!(il.payload_len(), 29 + 64 * 17);
+        assert_eq!(il.entry_off(0), 29);
+        assert_eq!(il.entry_off(1), 46);
+        assert!(il.node_size() > il.payload_len());
+    }
+}

@@ -1,0 +1,33 @@
+//! CHIME: a cache-efficient and high-performance hybrid range index on
+//! disaggregated memory (SOSP'24).
+//!
+//! CHIME combines B+-tree internal nodes (low compute-side cache
+//! consumption) with hopscotch-hashing leaf nodes (low memory-side read
+//! amplification), synchronized entirely with one-sided RDMA verbs:
+//!
+//! * [`hopscotch`] — the hopping algorithm over cyclic leaf windows;
+//! * [`layout`] / [`lockword`] — node geometry, the replica scheme and the
+//!   vacancy-bitmap / argmax lock word;
+//! * [`leaf`] / [`internal`] — remote node operations with three-level
+//!   optimistic synchronization;
+//! * [`cache`] / [`hotspot`] — compute-side internal-node cache and the
+//!   hotness-aware speculative-read buffer;
+//! * [`tree`] — the full index: search / insert / update / delete / scan
+//!   with node splits, up-propagation and sibling-based validation.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod hopscotch;
+pub mod hotspot;
+pub mod internal;
+pub mod layout;
+pub mod leaf;
+pub mod lockword;
+pub mod tree;
+pub mod varkey;
+
+pub use config::ChimeConfig;
+pub use tree::{Chime, ChimeClient, CnState};
+pub use varkey::{VarKeyClient, VarKeyTree};

@@ -1,0 +1,278 @@
+//! The 8-byte lock word (Fig. 8 / Fig. 9).
+//!
+//! CHIME packs three things into the node's 8-byte lock field:
+//!
+//! * bit 0 — the lock itself (acquired with a masked-CAS whose compare mask
+//!   is `0x1`, so the unknown vacancy bits never fail the compare; the old
+//!   value returned by the atomic hands the client the vacancy bitmap for
+//!   free);
+//! * bits 1..=10 — `argmax_keys`, the entry index holding the node's maximum
+//!   key (1023 = none), used to resolve the half-split insert corner case;
+//! * bits 11..=63 — the vacancy bitmap: 53 groups of `ceil(span/53)` entries
+//!   each; a set bit means *at least one empty entry in the group*.
+//!
+//! With vacancy piggybacking disabled the same encoding (minus the lock bit)
+//! lives in a separate word that costs a dedicated READ.
+
+/// Number of vacancy bits available in the lock word.
+pub const VACANCY_BITS: usize = 53;
+/// Sentinel `argmax` value meaning "node holds no keys".
+pub const ARGMAX_NONE: u16 = 0x3FF;
+
+const LOCK_BIT: u64 = 1;
+const ARGMAX_SHIFT: u32 = 1;
+const ARGMAX_MASK: u64 = 0x3FF;
+const VACANCY_SHIFT: u32 = 11;
+
+/// A decoded lock word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockWord(pub u64);
+
+impl LockWord {
+    /// The initial word of a freshly created node: unlocked, no max key,
+    /// every group marked as having empty entries.
+    pub fn initial(groups: usize) -> Self {
+        let mut w = LockWord(0);
+        w = w.with_argmax(ARGMAX_NONE);
+        for g in 0..groups {
+            w = w.with_vacancy_bit(g, true);
+        }
+        w
+    }
+
+    /// Whether the lock bit is set.
+    pub fn locked(self) -> bool {
+        self.0 & LOCK_BIT != 0
+    }
+
+    /// Returns the word with the lock bit set/cleared.
+    pub fn with_locked(self, on: bool) -> Self {
+        if on {
+            LockWord(self.0 | LOCK_BIT)
+        } else {
+            LockWord(self.0 & !LOCK_BIT)
+        }
+    }
+
+    /// The `argmax_keys` field.
+    pub fn argmax(self) -> u16 {
+        ((self.0 >> ARGMAX_SHIFT) & ARGMAX_MASK) as u16
+    }
+
+    /// Returns the word with `argmax_keys` replaced.
+    pub fn with_argmax(self, v: u16) -> Self {
+        assert!(v as u64 <= ARGMAX_MASK);
+        LockWord((self.0 & !(ARGMAX_MASK << ARGMAX_SHIFT)) | ((v as u64) << ARGMAX_SHIFT))
+    }
+
+    /// Whether vacancy group `g` is marked as having an empty entry.
+    pub fn vacancy_bit(self, g: usize) -> bool {
+        assert!(g < VACANCY_BITS);
+        self.0 & (1u64 << (VACANCY_SHIFT as usize + g)) != 0
+    }
+
+    /// Returns the word with vacancy bit `g` set/cleared.
+    pub fn with_vacancy_bit(self, g: usize, on: bool) -> Self {
+        assert!(g < VACANCY_BITS);
+        let m = 1u64 << (VACANCY_SHIFT as usize + g);
+        if on {
+            LockWord(self.0 | m)
+        } else {
+            LockWord(self.0 & !m)
+        }
+    }
+}
+
+/// Mapping between entry indices and vacancy-bitmap groups.
+#[derive(Debug, Clone, Copy)]
+pub struct VacancyMap {
+    span: usize,
+    group_size: usize,
+}
+
+impl VacancyMap {
+    /// Creates the mapping for a table of `span` entries.
+    pub fn new(span: usize) -> Self {
+        assert!(span > 0 && span <= 1023, "argmax field limits span to 1023");
+        VacancyMap {
+            span,
+            group_size: span.div_ceil(VACANCY_BITS),
+        }
+    }
+
+    /// Entries per group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of groups in use.
+    pub fn groups(&self) -> usize {
+        self.span.div_ceil(self.group_size)
+    }
+
+    /// Group of entry `i`.
+    pub fn group_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.span);
+        i / self.group_size
+    }
+
+    /// Inclusive entry range `[start, end]` of group `g`.
+    pub fn group_range(&self, g: usize) -> (usize, usize) {
+        debug_assert!(g < self.groups());
+        let start = g * self.group_size;
+        (start, (start + self.group_size - 1).min(self.span - 1))
+    }
+
+    /// First group, scanning cyclically from the group of `from`, whose
+    /// vacancy bit is set. Returns `None` when the node is full.
+    pub fn first_vacant_group(&self, word: LockWord, from: usize) -> Option<usize> {
+        let g0 = self.group_of(from);
+        let n = self.groups();
+        (0..n)
+            .map(|d| (g0 + d) % n)
+            .find(|&g| word.vacancy_bit(g))
+    }
+
+    /// Recomputes the vacancy bit of each group overlapping cyclic entry
+    /// range `[a, e]` from an occupancy oracle, returning the updated word.
+    ///
+    /// The caller guarantees it knows the true occupancy of every entry in
+    /// those groups (hop-range reads are group-aligned for this reason).
+    pub fn recompute(
+        &self,
+        mut word: LockWord,
+        a: usize,
+        e: usize,
+        mut occupied: impl FnMut(usize) -> bool,
+    ) -> LockWord {
+        let mut g = self.group_of(a);
+        let last_g = self.group_of(e);
+        loop {
+            let (s, t) = self.group_range(g);
+            let any_empty = (s..=t).any(|i| !occupied(i));
+            word = word.with_vacancy_bit(g, any_empty);
+            if g == last_g {
+                break;
+            }
+            g = (g + 1) % self.groups();
+        }
+        word
+    }
+
+    /// Rounds cyclic range `[a, e]` outward to group boundaries.
+    pub fn align_to_groups(&self, a: usize, e: usize) -> (usize, usize) {
+        let (s, _) = self.group_range(self.group_of(a));
+        let (_, t) = self.group_range(self.group_of(e));
+        (s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_bit_roundtrip() {
+        let w = LockWord(0);
+        assert!(!w.locked());
+        assert!(w.with_locked(true).locked());
+        assert!(!w.with_locked(true).with_locked(false).locked());
+    }
+
+    #[test]
+    fn argmax_roundtrip_and_isolation() {
+        let w = LockWord(0).with_locked(true).with_argmax(513);
+        assert_eq!(w.argmax(), 513);
+        assert!(w.locked());
+        let w2 = w.with_argmax(ARGMAX_NONE);
+        assert_eq!(w2.argmax(), ARGMAX_NONE);
+        assert!(w2.locked());
+    }
+
+    #[test]
+    fn vacancy_bits_roundtrip() {
+        let mut w = LockWord(0);
+        w = w.with_vacancy_bit(0, true).with_vacancy_bit(52, true);
+        assert!(w.vacancy_bit(0));
+        assert!(w.vacancy_bit(52));
+        assert!(!w.vacancy_bit(1));
+        w = w.with_vacancy_bit(52, false);
+        assert!(!w.vacancy_bit(52));
+    }
+
+    #[test]
+    fn initial_word_all_vacant() {
+        let vm = VacancyMap::new(64);
+        let w = LockWord::initial(vm.groups());
+        assert!(!w.locked());
+        assert_eq!(w.argmax(), ARGMAX_NONE);
+        for g in 0..vm.groups() {
+            assert!(w.vacancy_bit(g));
+        }
+    }
+
+    #[test]
+    fn group_mapping_span_64() {
+        let vm = VacancyMap::new(64);
+        assert_eq!(vm.group_size(), 2);
+        assert_eq!(vm.groups(), 32);
+        assert_eq!(vm.group_of(0), 0);
+        assert_eq!(vm.group_of(63), 31);
+        assert_eq!(vm.group_range(31), (62, 63));
+    }
+
+    #[test]
+    fn group_mapping_small_span() {
+        let vm = VacancyMap::new(16);
+        assert_eq!(vm.group_size(), 1);
+        assert_eq!(vm.groups(), 16);
+    }
+
+    #[test]
+    fn group_mapping_large_span() {
+        let vm = VacancyMap::new(512);
+        assert_eq!(vm.group_size(), 10);
+        assert_eq!(vm.groups(), 52);
+        assert_eq!(vm.group_range(51), (510, 511));
+    }
+
+    #[test]
+    fn first_vacant_group_scans_cyclically() {
+        let vm = VacancyMap::new(64);
+        let mut w = LockWord(0);
+        w = w.with_vacancy_bit(3, true);
+        // From entry 60 (group 30), the scan wraps to group 3.
+        assert_eq!(vm.first_vacant_group(w, 60), Some(3));
+        assert_eq!(vm.first_vacant_group(LockWord(0), 0), None);
+    }
+
+    #[test]
+    fn recompute_updates_only_touched_groups() {
+        let vm = VacancyMap::new(64);
+        let w = LockWord::initial(vm.groups());
+        // Entries 4..=7 (groups 2, 3) are now full.
+        let w2 = vm.recompute(w, 4, 7, |i| (4..=7).contains(&i));
+        assert!(!w2.vacancy_bit(2));
+        assert!(!w2.vacancy_bit(3));
+        assert!(w2.vacancy_bit(1));
+        assert!(w2.vacancy_bit(4));
+    }
+
+    #[test]
+    fn recompute_wraps() {
+        let vm = VacancyMap::new(64);
+        let w = LockWord::initial(vm.groups());
+        // Cyclic range [62, 1] covers groups 31 and 0.
+        let w2 = vm.recompute(w, 62, 1, |_| true);
+        assert!(!w2.vacancy_bit(31));
+        assert!(!w2.vacancy_bit(0));
+        assert!(w2.vacancy_bit(1));
+    }
+
+    #[test]
+    fn align_to_groups_rounds_outward() {
+        let vm = VacancyMap::new(64);
+        assert_eq!(vm.align_to_groups(5, 8), (4, 9));
+        assert_eq!(vm.align_to_groups(4, 9), (4, 9));
+    }
+}

@@ -1,0 +1,1741 @@
+//! The CHIME tree: search / insert / update / delete / scan.
+//!
+//! A [`Chime`] handle owns the shared description of one remote tree
+//! (geometry, root-pointer slot). Each compute node creates one [`CnState`]
+//! (internal-node cache + hotspot buffer, shared by its clients) and any
+//! number of [`ChimeClient`]s, each with its own verb endpoint.
+//!
+//! The operation protocols follow §4.4 of the paper, including sibling-based
+//! validation with the `argmax_keys` corner case, Sherman-style node splits
+//! with up-propagation, and hotness-aware speculative reads.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dmem::hash::{fingerprint16, home_entry};
+use dmem::{ChunkAlloc, ClientStats, Endpoint, GlobalAddr, IndexError, Pool, RangeIndex};
+
+use crate::cache::NodeCache;
+use crate::config::ChimeConfig;
+use crate::hopscotch::{build_table, Window};
+use crate::hotspot::HotspotBuffer;
+use crate::internal::{InternalNode, InternalOps};
+use crate::layout::{InternalLayout, LeafLayout};
+use crate::leaf::{LeafMeta, LeafOps, LockedRead};
+use crate::lockword::{LockWord, ARGMAX_NONE};
+
+const OP_RETRY_LIMIT: usize = 100_000;
+
+/// Shared description of one remote CHIME tree.
+pub struct Shared {
+    pool: Arc<Pool>,
+    /// The tree configuration.
+    pub cfg: ChimeConfig,
+    root_slot: GlobalAddr,
+    leaf: LeafOps,
+    internal: InternalOps,
+}
+
+/// A handle to a CHIME tree on the memory pool.
+///
+/// # Examples
+///
+/// ```
+/// use chime::{Chime, ChimeConfig};
+/// use dmem::{Pool, RangeIndex};
+///
+/// let pool = Pool::with_defaults(1, 64 << 20);
+/// let tree = Chime::create(&pool, ChimeConfig::default(), 0);
+/// let cn = tree.new_cn();
+/// let mut client = tree.client(&cn);
+/// client.insert(7, b"hello").unwrap();
+/// assert_eq!(client.search(7).unwrap()[..5], *b"hello");
+/// assert!(client.delete(7).unwrap());
+/// ```
+#[derive(Clone)]
+pub struct Chime {
+    shared: Arc<Shared>,
+}
+
+/// Per-compute-node shared state: the internal-node cache and the hotspot
+/// buffer, shared by all clients of that CN.
+pub struct CnState {
+    cache: Mutex<NodeCache>,
+    hotspot: Mutex<HotspotBuffer>,
+    root_hint: Mutex<GlobalAddr>,
+    lock_table: Arc<dmem::LocalLockTable>,
+}
+
+impl CnState {
+    /// Bytes of compute-side memory this CN spends on the index.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.lock().bytes() + self.hotspot.lock().bytes()
+    }
+
+    /// `(hits, lookups)` of the hotspot buffer.
+    pub fn hotspot_stats(&self) -> (u64, u64) {
+        self.hotspot.lock().hit_stats()
+    }
+}
+
+/// Per-client operation counters beyond the raw verb statistics.
+#[derive(Debug, Default, Clone)]
+pub struct OpCounters {
+    /// Speculative reads attempted.
+    pub spec_attempts: u64,
+    /// Speculative reads that returned the correct value.
+    pub spec_hits: u64,
+    /// Leaf splits this client performed.
+    pub splits: u64,
+    /// Sibling chases (half-split windows observed).
+    pub chases: u64,
+    /// Leaf merges this client performed.
+    pub merges: u64,
+    /// Compute-side cache invalidations triggered by sibling validation.
+    pub invalidations: u64,
+}
+
+/// One client of a CHIME tree (implements [`RangeIndex`]).
+pub struct ChimeClient {
+    shared: Arc<Shared>,
+    cn: Arc<CnState>,
+    ep: Endpoint,
+    alloc: ChunkAlloc,
+    /// Operation counters.
+    pub counters: OpCounters,
+}
+
+/// Where a traversal landed: the leaf plus validation context.
+struct LeafLoc {
+    addr: GlobalAddr,
+    /// The next child pointer in the parent (sibling-validation expectation);
+    /// `None` when the leaf is the parent's last child.
+    expected: Option<GlobalAddr>,
+    via_cache: bool,
+    parent: GlobalAddr,
+}
+
+impl Chime {
+    /// Creates a new empty tree whose root pointer lives in well-known slot
+    /// `slot` of memory node 0.
+    pub fn create(pool: &Arc<Pool>, cfg: ChimeConfig, slot: u64) -> Self {
+        cfg.validate();
+        let leaf = LeafOps::new(leaf_layout(&cfg));
+        let internal = InternalOps {
+            layout: InternalLayout {
+                span: cfg.internal_span,
+            },
+        };
+        let shared = Arc::new(Shared {
+            pool: Arc::clone(pool),
+            cfg,
+            root_slot: dmem::root_slot(slot),
+            leaf,
+            internal,
+        });
+        let t = Chime { shared };
+        t.bootstrap();
+        t
+    }
+
+    fn bootstrap(&self) {
+        let s = &self.shared;
+        let mut ep = Endpoint::new(Arc::clone(&s.pool));
+        let mut alloc = ChunkAlloc::with_defaults();
+        let leaf_addr = alloc
+            .alloc(&mut ep, s.leaf.layout.node_size() as u64)
+            .expect("pool too small for bootstrap");
+        let w = Window::new(s.cfg.span, s.cfg.neighborhood, 0, s.cfg.span);
+        let meta = LeafMeta {
+            sibling: GlobalAddr::NULL,
+            valid: true,
+            fences: s.leaf.layout.fences.then_some((0, u64::MAX)),
+        };
+        s.leaf.write_new(&mut ep, leaf_addr, &w, &meta);
+        let root_addr = alloc
+            .alloc(&mut ep, s.internal.layout.node_size() as u64)
+            .expect("pool too small for bootstrap");
+        let root = InternalNode {
+            addr: root_addr,
+            level: 1,
+            valid: true,
+            fence_low: 0,
+            fence_high: u64::MAX,
+            sibling: GlobalAddr::NULL,
+            entries: vec![(0, leaf_addr)],
+            nv: 0,
+        };
+        s.internal.write_new(&mut ep, &root);
+        ep.write(s.root_slot, &root_addr.raw().to_le_bytes());
+    }
+
+    /// Creates the shared state for one compute node.
+    pub fn new_cn(&self) -> Arc<CnState> {
+        Arc::new(CnState {
+            cache: Mutex::new(NodeCache::new(self.shared.cfg.cache_bytes)),
+            hotspot: Mutex::new(HotspotBuffer::new(self.shared.cfg.hotspot_bytes)),
+            root_hint: Mutex::new(GlobalAddr::NULL),
+            lock_table: Arc::new(dmem::LocalLockTable::new()),
+        })
+    }
+
+    /// Creates a client attached to compute node `cn`.
+    pub fn client(&self, cn: &Arc<CnState>) -> ChimeClient {
+        ChimeClient {
+            shared: Arc::clone(&self.shared),
+            cn: Arc::clone(cn),
+            ep: Endpoint::new(Arc::clone(&self.shared.pool)),
+            alloc: ChunkAlloc::sim_scaled(),
+            counters: OpCounters::default(),
+        }
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &ChimeConfig {
+        &self.shared.cfg
+    }
+}
+
+/// Derives the leaf geometry from a configuration.
+pub fn leaf_layout(cfg: &ChimeConfig) -> LeafLayout {
+    LeafLayout {
+        span: cfg.span,
+        h: cfg.neighborhood,
+        key_size: cfg.key_size,
+        value_size: if cfg.indirect_values { 8 } else { cfg.value_size },
+        replication: cfg.metadata_replication,
+        fences: !cfg.sibling_validation,
+        piggyback: cfg.vacancy_piggyback,
+    }
+}
+
+impl ChimeClient {
+    fn leaf(&self) -> LeafOps {
+        self.shared.leaf
+    }
+
+    fn span(&self) -> usize {
+        self.shared.cfg.span
+    }
+
+    fn h(&self) -> usize {
+        self.shared.cfg.neighborhood
+    }
+
+    /// Queues locally for a remote node lock (Sherman's local lock table):
+    /// contending clients of one CN hand the lock over locally instead of
+    /// hammering the MN with CAS retries.
+    fn local_lock(&self, addr: GlobalAddr) -> dmem::LocalLockGuard {
+        let table = Arc::clone(&self.cn.lock_table);
+        table.acquire(addr.raw())
+    }
+
+    /// Reads the root pointer slot and refreshes the CN-wide hint.
+    fn refresh_root(&mut self) -> GlobalAddr {
+        let mut b = [0u8; 8];
+        self.ep.read(self.shared.root_slot, &mut b);
+        let addr = GlobalAddr::from_raw(u64::from_le_bytes(b));
+        *self.cn.root_hint.lock() = addr;
+        addr
+    }
+
+    fn root(&mut self) -> GlobalAddr {
+        let hint = *self.cn.root_hint.lock();
+        if hint.is_null() {
+            self.refresh_root()
+        } else {
+            hint
+        }
+    }
+
+    /// Reads an internal node through the CN cache; remote reads populate it.
+    fn read_internal_cached(&mut self, addr: GlobalAddr, key: u64) -> (InternalNode, bool) {
+        if let Some(n) = self.cn.cache.lock().get(addr) {
+            if n.covers(key) {
+                return (n, true);
+            }
+        }
+        let n = self.shared.internal.read(&mut self.ep, addr);
+        if n.valid {
+            self.cn.cache.lock().insert(n.clone());
+        }
+        (n, false)
+    }
+
+    /// Traverses internal levels down to the parent of the target leaf.
+    fn locate_leaf(&mut self, key: u64) -> LeafLoc {
+        let mut addr = self.root();
+        for _ in 0..OP_RETRY_LIMIT {
+            let (node, via_cache) = self.read_internal_cached(addr, key);
+            if !node.valid {
+                self.cn.cache.lock().invalidate(addr);
+                addr = self.refresh_root();
+                continue;
+            }
+            if !node.covers(key) {
+                if key >= node.fence_high && !node.sibling.is_null() {
+                    // B-link lateral move (half-split at this level).
+                    addr = node.sibling;
+                } else {
+                    addr = self.refresh_root();
+                }
+                continue;
+            }
+            let (child, mut next) = node.select(key);
+            if node.level == 1 {
+                if next.is_none() && !node.sibling.is_null() {
+                    // The leaf is its parent's last child: the expected
+                    // sibling pointer is the *first child of the parent's
+                    // B-link sibling* (usually cached). Without it, every
+                    // interior last-child access would look half-split.
+                    next = self.first_child_of(node.sibling);
+                }
+                return LeafLoc {
+                    addr: child,
+                    expected: next,
+                    via_cache,
+                    parent: node.addr,
+                };
+            }
+            addr = child;
+        }
+        panic!("locate_leaf retry limit for key {key}");
+    }
+
+    /// First child pointer of the internal node at `addr` (cached when
+    /// possible). Used to resolve the expected sibling of last children.
+    fn first_child_of(&mut self, addr: GlobalAddr) -> Option<GlobalAddr> {
+        if let Some(n) = self.cn.cache.lock().get(addr) {
+            return n.entries.first().map(|e| e.1);
+        }
+        let n = self.shared.internal.read(&mut self.ep, addr);
+        if !n.valid {
+            return None;
+        }
+        self.cn.cache.lock().insert(n.clone());
+        n.entries.first().map(|e| e.1)
+    }
+
+    /// Like [`Self::locate_leaf`] but returns the parent node itself
+    /// (used by scans to batch-read consecutive leaves).
+    fn locate_parent(&mut self, key: u64) -> InternalNode {
+        let mut addr = self.root();
+        for _ in 0..OP_RETRY_LIMIT {
+            let (node, _) = self.read_internal_cached(addr, key);
+            if !node.valid {
+                addr = self.refresh_root();
+                continue;
+            }
+            if !node.covers(key) {
+                if key >= node.fence_high && !node.sibling.is_null() {
+                    addr = node.sibling;
+                } else {
+                    addr = self.refresh_root();
+                }
+                continue;
+            }
+            if node.level == 1 {
+                return node;
+            }
+            let (child, _) = node.select(key);
+            addr = child;
+        }
+        panic!("locate_parent retry limit for key {key}");
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    fn search_impl(&mut self, key: u64) -> Option<Vec<u8>> {
+        assert_ne!(key, 0, "key 0 is reserved");
+        let cfg = self.shared.cfg;
+        let span = self.span();
+        let h = self.h();
+        let fp = fingerprint16(key);
+        let home = home_entry(key, span);
+        for attempt in 0..OP_RETRY_LIMIT {
+            let loc = self.locate_leaf(key);
+            // Hotness-aware speculative read (§4.3).
+            if cfg.speculative_read && cfg.hotspot_bytes > 0 {
+                let idx = {
+                    let mut buf = self.cn.hotspot.lock();
+                    buf.lookup(loc.addr, (0..h).map(|d| ((home + d) % span) as u16), fp)
+                };
+                if let Some(idx) = idx {
+                    self.counters.spec_attempts += 1;
+                    if let Some(v) =
+                        self.leaf()
+                            .spec_read(&mut self.ep, loc.addr, idx as usize, key)
+                    {
+                        self.counters.spec_hits += 1;
+                        self.ep.note_app_bytes(cfg.value_size as u64 + 8);
+                        self.cn.hotspot.lock().on_access(loc.addr, idx, fp);
+                        return Some(self.resolve_value(v));
+                    }
+                }
+            }
+            let r = self.leaf().read_neighborhood(&mut self.ep, loc.addr, key);
+            if !r.meta.valid {
+                self.cn.cache.lock().invalidate(loc.parent);
+                self.refresh_root();
+                continue;
+            }
+            // Fence-key validation path (sibling validation disabled).
+            if let Some((lo, hi)) = r.meta.fences {
+                if key < lo {
+                    self.cn.cache.lock().invalidate(loc.parent);
+                    self.refresh_root();
+                    continue;
+                }
+                if !dmem::hash::in_range(key, lo, hi) {
+                    self.counters.chases += 1;
+                    self.cn.cache.lock().invalidate(loc.parent);
+                    return self.chase_fences(r.meta.sibling, key);
+                }
+            }
+            if let Some((idx, v)) = r.found {
+                self.ep.note_app_bytes(cfg.value_size as u64 + 8);
+                if cfg.hotspot_bytes > 0 {
+                    self.cn.hotspot.lock().on_access(loc.addr, idx as u16, fp);
+                }
+                return Some(self.resolve_value(v));
+            }
+            if r.meta.fences.is_some() {
+                return None; // fences proved ownership; the key is absent
+            }
+            // Sibling-based validation (§4.2.3).
+            match loc.expected {
+                Some(e) if r.meta.sibling == e => return None,
+                None if r.meta.sibling.is_null() => return None,
+                _ => {
+                    if loc.via_cache && attempt == 0 {
+                        // Cache validation: refresh the parent and retry.
+                        self.counters.invalidations += 1;
+                        self.cn.cache.lock().invalidate(loc.parent);
+                        continue;
+                    }
+                    // Half-split window: chase the sibling chain.
+                    self.counters.chases += 1;
+                    return self.chase(loc.addr, key);
+                }
+            }
+        }
+        panic!("search retry limit for key {key}");
+    }
+
+    /// Sibling chase with whole-node reads (sibling-validation mode).
+    fn chase(&mut self, mut addr: GlobalAddr, key: u64) -> Option<Vec<u8>> {
+        for _ in 0..OP_RETRY_LIMIT {
+            let snap = self.leaf().read_full(&mut self.ep, addr);
+            if !snap.meta.valid {
+                return self.search_impl(key);
+            }
+            if let Some((_, v)) = snap.find(key, self.h()) {
+                let v = v.to_vec();
+                return Some(self.resolve_value(v));
+            }
+            match snap.max_key() {
+                Some(mx) if mx >= key => return None,
+                _ => {}
+            }
+            if snap.meta.sibling.is_null() {
+                return None;
+            }
+            addr = snap.meta.sibling;
+        }
+        panic!("chase retry limit for key {key}");
+    }
+
+    /// Sibling chase guided by fence keys (fence mode).
+    fn chase_fences(&mut self, mut addr: GlobalAddr, key: u64) -> Option<Vec<u8>> {
+        for _ in 0..OP_RETRY_LIMIT {
+            if addr.is_null() {
+                return None;
+            }
+            let r = self.leaf().read_neighborhood(&mut self.ep, addr, key);
+            if !r.meta.valid {
+                return self.search_impl(key);
+            }
+            let (lo, hi) = r.meta.fences.expect("fence mode");
+            if key < lo {
+                return self.search_impl(key);
+            }
+            if !dmem::hash::in_range(key, lo, hi) {
+                addr = r.meta.sibling;
+                continue;
+            }
+            return r.found.map(|(_, v)| v).map(|v| self.resolve_value(v));
+        }
+        panic!("fence chase retry limit for key {key}");
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Decides whether the locked leaf still owns `key`; on a half-split it
+    /// returns the sibling the caller should move to.
+    fn owns_key(
+        &mut self,
+        key: u64,
+        loc_expected: Option<GlobalAddr>,
+        lr: &LockedRead,
+    ) -> Option<GlobalAddr> {
+        if let Some((lo, hi)) = lr.meta.fences {
+            // Fence mode: exact ownership.
+            if !dmem::hash::in_range(key, lo, hi) {
+                return Some(lr.meta.sibling);
+            }
+            assert!(key >= lo, "routed below fence_low");
+            return None;
+        }
+        match loc_expected {
+            Some(e) if lr.meta.sibling == e => None,
+            _ if lr.meta.sibling.is_null() => None,
+            _ => match lr.max_key {
+                // Empty node ⇒ no split happened ⇒ routing was valid.
+                None => None,
+                // key <= max is always sound: a split leaves only keys
+                // below the propagated pivot behind, so max < pivot.
+                Some(mx) if key <= mx => None,
+                // key > max: the key is definitely NOT here. Searches,
+                // updates and deletes may chase the chain (presence checks
+                // are sound); inserts must NOT place the key by this
+                // heuristic — deletes can open a gap below the pivot — and
+                // instead re-traverse from a fresh parent (see insert_impl).
+                Some(_) => Some(lr.meta.sibling),
+            },
+        }
+    }
+
+    fn insert_impl(&mut self, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        assert_ne!(key, 0, "key 0 is reserved");
+        let stored = self.store_value(key, value)?;
+        let span = self.span();
+        let home = home_entry(key, span);
+        let mut override_addr: Option<GlobalAddr> = None;
+        for _ in 0..OP_RETRY_LIMIT {
+            let (addr, expected, parent) = match override_addr.take() {
+                Some(a) => (a, None, GlobalAddr::NULL),
+                None => {
+                    let loc = self.locate_leaf(key);
+                    (loc.addr, loc.expected, loc.parent)
+                }
+            };
+            // On an ownership miss in sibling-validation mode, inserts must
+            // not trust the rightward heuristic (unsound under deletes);
+            // they invalidate the cached parent and re-traverse until the
+            // pending split has propagated.
+            let mut on_miss = |me: &mut Self, next: GlobalAddr, fenced: bool| {
+                if fenced {
+                    override_addr = Some(next);
+                } else {
+                    me.cn.cache.lock().invalidate(parent);
+                    me.refresh_root();
+                }
+            };
+            if !self.shared.cfg.vacancy_piggyback {
+                // Without the vacancy bitmap the insert cannot identify the
+                // hop range remotely: lock and fetch the entire leaf
+                // (the paper's pre-piggybacking baseline).
+                let _lk = self.local_lock(addr);
+                let word = self.leaf().lock_plain(&mut self.ep, addr);
+                let lr = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                if !lr.meta.valid {
+                    self.leaf().unlock(&mut self.ep, addr, word);
+                    self.cn.cache.lock().invalidate(parent);
+                    self.refresh_root();
+                    continue;
+                }
+                if let Some(next) = self.owns_key(key, expected, &lr) {
+                    self.counters.chases += 1;
+                    let fenced = lr.meta.fences.is_some();
+                    self.leaf().unlock(&mut self.ep, addr, word);
+                    on_miss(self, next, fenced);
+                    continue;
+                }
+                match self.insert_into_full_window(addr, word, lr, key, &stored)? {
+                    true => return Ok(()),
+                    false => continue,
+                }
+            }
+            let _lk = self.local_lock(addr);
+            let word = self.leaf().lock(&mut self.ep, addr);
+            let Some(mut lr) = self.leaf().read_hop_window(&mut self.ep, addr, home, word) else {
+                // Vacancy bitmap shows a full node: read everything & split.
+                let lr = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                if !lr.meta.valid {
+                    self.leaf().unlock(&mut self.ep, addr, word);
+                    self.cn.cache.lock().invalidate(parent);
+                    self.refresh_root();
+                    continue;
+                }
+                if let Some(next) = self.owns_key(key, expected, &lr) {
+                    let fenced = lr.meta.fences.is_some();
+                    self.leaf().unlock(&mut self.ep, addr, word);
+                    on_miss(self, next, fenced);
+                    continue;
+                }
+                self.split_leaf(addr, lr)?;
+                continue;
+            };
+            if !lr.meta.valid {
+                // The leaf was merged away: drop the stale route.
+                self.leaf().unlock(&mut self.ep, addr, word);
+                self.cn.cache.lock().invalidate(parent);
+                self.refresh_root();
+                continue;
+            }
+            if let Some(next) = self.owns_key(key, expected, &lr) {
+                self.counters.chases += 1;
+                let fenced = lr.meta.fences.is_some();
+                self.leaf().unlock(&mut self.ep, addr, word);
+                on_miss(self, next, fenced);
+                continue;
+            }
+            // Duplicate: update in place.
+            if let Some(pos) = lr.w.find_in_neighborhood(key) {
+                lr.w.set_value(pos, stored.clone());
+                let leaf = self.leaf();
+                leaf.write_window_and_unlock(
+                    &mut self.ep,
+                    addr,
+                    &lr.w,
+                    &lr.evs,
+                    lr.nv,
+                    &lr.meta,
+                    word,
+                );
+                return Ok(());
+            }
+            // Find the true first empty slot at/after home in the window.
+            let Some(empty) = lr.w.first_empty_from(home) else {
+                // The vacant group's empties sat before `home` (conservative
+                // bitmap): fall back to a full-node window.
+                let lr_full = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                match self.insert_into_full_window(addr, word, lr_full, key, &stored)? {
+                    true => return Ok(()),
+                    false => continue,
+                }
+            };
+            match lr.w.insert(key, stored.clone(), empty) {
+                Ok(pos) => {
+                    let new_word = self.word_after_insert(&lr, word, key, pos, empty);
+                    let leaf = self.leaf();
+                    leaf.write_window_and_unlock(
+                        &mut self.ep,
+                        addr,
+                        &lr.w,
+                        &lr.evs,
+                        lr.nv,
+                        &lr.meta,
+                        new_word,
+                    );
+                    return Ok(());
+                }
+                Err(_) => {
+                    // No feasible hopping: split.
+                    let lr_full = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                    self.split_leaf(addr, lr_full)?;
+                    continue;
+                }
+            }
+        }
+        panic!("insert retry limit for key {key}");
+    }
+
+    /// Inserts into a freshly read full-node window; returns `Ok(true)` on
+    /// success, `Ok(false)` to retry after a split.
+    fn insert_into_full_window(
+        &mut self,
+        addr: GlobalAddr,
+        word: LockWord,
+        mut lr: LockedRead,
+        key: u64,
+        stored: &[u8],
+    ) -> Result<bool, IndexError> {
+        let home = home_entry(key, self.span());
+        if let Some(pos) = lr.w.find_in_neighborhood(key) {
+            lr.w.set_value(pos, stored.to_vec());
+            let leaf = self.leaf();
+            leaf.write_window_and_unlock(&mut self.ep, addr, &lr.w, &lr.evs, lr.nv, &lr.meta, word);
+            return Ok(true);
+        }
+        let empty = (0..self.span())
+            .map(|d| (home + d) % self.span())
+            .find(|&i| lr.w.slot_empty(i));
+        let Some(empty) = empty else {
+            self.split_leaf(addr, lr)?;
+            return Ok(false);
+        };
+        match lr.w.insert(key, stored.to_vec(), empty) {
+            Ok(pos) => {
+                let new_word = self.word_after_insert(&lr, word, key, pos, empty);
+                let leaf = self.leaf();
+                leaf.write_window_and_unlock(
+                    &mut self.ep,
+                    addr,
+                    &lr.w,
+                    &lr.evs,
+                    lr.nv,
+                    &lr.meta,
+                    new_word,
+                );
+                Ok(true)
+            }
+            Err(_) => {
+                self.split_leaf(addr, lr)?;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Computes the post-insert lock word (vacancy + argmax).
+    fn word_after_insert(
+        &self,
+        lr: &LockedRead,
+        word: LockWord,
+        key: u64,
+        pos: usize,
+        empty: usize,
+    ) -> LockWord {
+        let w = &lr.w;
+        let vm = self.leaf().vm;
+        // Only `empty`'s occupancy changed; recompute its group exactly.
+        let g = vm.group_of(empty);
+        let (gs, ge) = vm.group_range(g);
+        let any_empty = (gs..=ge).any(|i| w.rel(i).map(|_| w.slot_empty(i)).unwrap_or(false));
+        let mut new_word = word.with_vacancy_bit(g, any_empty);
+        // Track the maximum key's position.
+        let new_max = match lr.max_key {
+            None => Some(pos),
+            Some(mx) if key > mx => Some(pos),
+            Some(mx) => {
+                // The old max may have been hopped to a new slot.
+                let old_am = word.argmax() as usize % self.span();
+                if w.rel(old_am).is_some() && w.slot(old_am).0 != mx {
+                    Some(
+                        (0..self.span())
+                            .filter(|&i| w.rel(i).is_some())
+                            .find(|&i| w.slot(i).0 == mx)
+                            .expect("max key vanished during hop"),
+                    )
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(am) = new_max {
+            new_word = new_word.with_argmax(am as u16);
+        }
+        new_word
+    }
+
+    fn update_impl(&mut self, key: u64, value: &[u8]) -> Result<bool, IndexError> {
+        assert_ne!(key, 0, "key 0 is reserved");
+        let stored = self.store_value(key, value)?;
+        let span = self.span();
+        let home = home_entry(key, span);
+        let mut override_addr: Option<GlobalAddr> = None;
+        for _ in 0..OP_RETRY_LIMIT {
+            let (addr, expected, parent) = match override_addr.take() {
+                Some(a) => (a, None, GlobalAddr::NULL),
+                None => {
+                    let loc = self.locate_leaf(key);
+                    (loc.addr, loc.expected, loc.parent)
+                }
+            };
+            let _lk = self.local_lock(addr);
+            let word = if self.shared.cfg.vacancy_piggyback {
+                self.leaf().lock(&mut self.ep, addr)
+            } else {
+                self.leaf().lock_plain(&mut self.ep, addr)
+            };
+            let mut lr = self.leaf().read_nbh_window(&mut self.ep, addr, home, word);
+            if !lr.meta.valid {
+                // The leaf was merged away: drop the stale route.
+                self.leaf().unlock(&mut self.ep, addr, word);
+                self.cn.cache.lock().invalidate(parent);
+                self.refresh_root();
+                continue;
+            }
+            if let Some(next) = self.owns_key(key, expected, &lr) {
+                self.counters.chases += 1;
+                self.leaf().unlock(&mut self.ep, addr, word);
+                if next.is_null() {
+                    return Ok(false);
+                }
+                override_addr = Some(next);
+                continue;
+            }
+            let Some(pos) = lr.w.find_in_neighborhood(key) else {
+                self.leaf().unlock(&mut self.ep, addr, word);
+                return Ok(false);
+            };
+            lr.w.set_value(pos, stored);
+            let leaf = self.leaf();
+            leaf.write_window_and_unlock(&mut self.ep, addr, &lr.w, &lr.evs, lr.nv, &lr.meta, word);
+            return Ok(true);
+        }
+        panic!("update retry limit for key {key}");
+    }
+
+    fn delete_impl(&mut self, key: u64) -> Result<bool, IndexError> {
+        assert_ne!(key, 0, "key 0 is reserved");
+        let span = self.span();
+        let home = home_entry(key, span);
+        let mut override_addr: Option<GlobalAddr> = None;
+        for _ in 0..OP_RETRY_LIMIT {
+            let (addr, expected, parent) = match override_addr.take() {
+                Some(a) => (a, None, GlobalAddr::NULL),
+                None => {
+                    let loc = self.locate_leaf(key);
+                    (loc.addr, loc.expected, loc.parent)
+                }
+            };
+            let _lk = self.local_lock(addr);
+            let word = if self.shared.cfg.vacancy_piggyback {
+                self.leaf().lock(&mut self.ep, addr)
+            } else {
+                self.leaf().lock_plain(&mut self.ep, addr)
+            };
+            let mut lr = self.leaf().read_nbh_window(&mut self.ep, addr, home, word);
+            if !lr.meta.valid {
+                // The leaf was merged away: drop the stale route.
+                self.leaf().unlock(&mut self.ep, addr, word);
+                self.cn.cache.lock().invalidate(parent);
+                self.refresh_root();
+                continue;
+            }
+            if let Some(next) = self.owns_key(key, expected, &lr) {
+                self.counters.chases += 1;
+                self.leaf().unlock(&mut self.ep, addr, word);
+                if next.is_null() {
+                    return Ok(false);
+                }
+                override_addr = Some(next);
+                continue;
+            }
+            if lr.w.find_in_neighborhood(key).is_none() {
+                self.leaf().unlock(&mut self.ep, addr, word);
+                return Ok(false);
+            }
+            // Deleting the maximum key requires recomputing argmax from the
+            // whole node.
+            let deleting_max = lr.max_key == Some(key);
+            if deleting_max {
+                lr = self.leaf().read_full_locked(&mut self.ep, addr, word);
+            }
+            let pos = lr
+                .w
+                .find_in_neighborhood(key)
+                .expect("key vanished under lock");
+            lr.w.remove(pos);
+            let vm = self.leaf().vm;
+            let mut new_word = word.with_vacancy_bit(vm.group_of(pos), true);
+            if deleting_max {
+                let am = (0..span)
+                    .filter(|&i| !lr.w.slot_empty(i))
+                    .max_by_key(|&i| lr.w.slot(i).0);
+                new_word = new_word.with_argmax(am.map(|i| i as u16).unwrap_or(ARGMAX_NONE));
+            }
+            // Underflow check (§4.4 Delete): when the whole node was in
+            // hand and it dropped below a quarter full, attempt a merge
+            // with the right sibling after the delete completes.
+            let underflow = deleting_max
+                && (0..span).filter(|&i| !lr.w.slot_empty(i)).count() <= span / 4;
+            let probe = if underflow {
+                (0..span)
+                    .filter(|&i| !lr.w.slot_empty(i))
+                    .map(|i| lr.w.slot(i).0)
+                    .next()
+            } else {
+                None
+            };
+            let leaf = self.leaf();
+            leaf.write_window_and_unlock(
+                &mut self.ep,
+                addr,
+                &lr.w,
+                &lr.evs,
+                lr.nv,
+                &lr.meta,
+                new_word,
+            );
+            if underflow {
+                // Best-effort merge; drop the local guard first so the
+                // merge can take locks in parent-first order.
+                drop(_lk);
+                self.try_merge(addr, probe.unwrap_or(key));
+            }
+            return Ok(true);
+        }
+        panic!("delete retry limit for key {key}");
+    }
+
+    /// Best-effort merge of the underflowed leaf `addr` with its right
+    /// sibling *under the same parent* (merging across parent boundaries
+    /// would break routing).
+    ///
+    /// Lock order: parent -> left leaf -> right leaf. Holding the parent
+    /// throughout pins both pivots (no racing parent split can move them),
+    /// so the pivot removal is a plain in-place rewrite. Leaf locks are
+    /// taken without the CN-local table here: remote holders always release
+    /// their leaf lock before waiting on a parent, so the spin is bounded
+    /// and the parent-first order introduces no cycle.
+    fn try_merge(&mut self, addr: GlobalAddr, probe_key: u64) {
+        let cfg = self.shared.cfg;
+        // Find and lock the (fresh) parent of `addr`.
+        let parent_addr = self.locate_parent(probe_key).addr;
+        let _pk = self.local_lock(parent_addr);
+        self.shared.internal.lock(&mut self.ep, parent_addr);
+        let mut parent = self.shared.internal.read(&mut self.ep, parent_addr);
+        let unlock_parent = |me: &mut Self| {
+            me.shared.internal.unlock(&mut me.ep, parent_addr);
+        };
+        if !parent.valid {
+            return unlock_parent(self);
+        }
+        let Some(i) = parent.entries.iter().position(|e| e.1 == addr) else {
+            return unlock_parent(self);
+        };
+        let Some(&(sib_pivot, sib)) = parent.entries.get(i + 1) else {
+            return unlock_parent(self); // last child: partner elsewhere
+        };
+        // Lock and re-validate the left leaf.
+        let xword = self.leaf().lock(&mut self.ep, addr);
+        let xlr = self.leaf().read_full_locked(&mut self.ep, addr, xword);
+        let span = cfg.span;
+        let xcount = (0..span).filter(|&j| !xlr.w.slot_empty(j)).count();
+        if !xlr.meta.valid || xlr.meta.sibling != sib || xcount > span / 4 {
+            self.leaf().unlock(&mut self.ep, addr, xword);
+            return unlock_parent(self);
+        }
+        // Lock the right leaf and check the combined fit.
+        let sword = self.leaf().lock(&mut self.ep, sib);
+        let slr = self.leaf().read_full_locked(&mut self.ep, sib, sword);
+        let mut items: Vec<(u64, Vec<u8>)> = Vec::new();
+        for w in [&xlr.w, &slr.w] {
+            for j in 0..span {
+                if !w.slot_empty(j) {
+                    let (k, v, _) = w.slot(j);
+                    items.push((k, v.to_vec()));
+                }
+            }
+        }
+        let merged = if !slr.meta.valid || items.len() > (span * 2) / 3 {
+            None
+        } else {
+            build_table(span, cfg.neighborhood, &items)
+        };
+        let Some(merged) = merged else {
+            self.leaf().unlock(&mut self.ep, sib, sword);
+            self.leaf().unlock(&mut self.ep, addr, xword);
+            return unlock_parent(self);
+        };
+        self.counters.merges += 1;
+        // Publish order: merged left node (all keys stay reachable) ->
+        // invalidate the right node -> drop its pivot from the parent.
+        let (old_lo, _) = xlr.meta.fences.unwrap_or((0, u64::MAX));
+        let (_, sib_hi) = slr.meta.fences.unwrap_or((0, u64::MAX));
+        let meta = LeafMeta {
+            sibling: slr.meta.sibling,
+            valid: true,
+            fences: self.leaf().layout.fences.then_some((old_lo, sib_hi)),
+        };
+        self.leaf()
+            .rewrite_and_unlock(&mut self.ep, addr, &merged, xlr.nv, &meta);
+        let empty = Window::new(span, cfg.neighborhood, 0, span);
+        let dead = LeafMeta {
+            sibling: GlobalAddr::NULL,
+            valid: false,
+            fences: self.leaf().layout.fences.then_some((sib_pivot, sib_pivot)),
+        };
+        self.leaf()
+            .rewrite_and_unlock(&mut self.ep, sib, &empty, slr.nv, &dead);
+        assert!(i + 1 > 0);
+        parent.entries.remove(i + 1);
+        self.shared.internal.write_and_unlock(&mut self.ep, &parent);
+        self.cn.cache.lock().invalidate(parent_addr);
+    }
+
+    // ------------------------------------------------------------------
+    // Split & up-propagation
+    // ------------------------------------------------------------------
+
+    /// Splits the locked leaf `addr` (whose full content is in `lr`),
+    /// releases its lock and up-propagates the new pivots.
+    fn split_leaf(&mut self, addr: GlobalAddr, lr: LockedRead) -> Result<(), IndexError> {
+        self.counters.splits += 1;
+        let cfg = self.shared.cfg;
+        let mut items: Vec<(u64, Vec<u8>)> = (0..cfg.span)
+            .filter(|&i| !lr.w.slot_empty(i))
+            .map(|i| {
+                let (k, v, _) = lr.w.slot(i);
+                (k, v.to_vec())
+            })
+            .collect();
+        items.sort_by_key(|&(k, _)| k);
+        assert!(items.len() >= 2, "splitting a near-empty node");
+        let mid = items.len() / 2;
+        // Build chains (usually exactly one chunk per half).
+        let chunks = {
+            let mut c = build_chunks(cfg.span, cfg.neighborhood, &items[..mid]);
+            c.extend(build_chunks(cfg.span, cfg.neighborhood, &items[mid..]));
+            c
+        };
+        assert!(chunks.len() >= 2);
+        // Boundary pivots: max of previous chunk + 1 (argmax-corner rule).
+        let mut pivots = Vec::with_capacity(chunks.len());
+        pivots.push(0u64); // unused for chunk 0 (keeps the old low bound)
+        for pair in chunks.windows(2) {
+            let prev_max = pair[0].1.last().expect("chunk cannot be empty").0;
+            pivots.push(prev_max + 1);
+        }
+        // Allocate the new nodes (all but chunk 0, which reuses `addr`).
+        let node_size = self.leaf().layout.node_size() as u64;
+        let mut addrs = vec![addr];
+        for _ in 1..chunks.len() {
+            addrs.push(self.alloc.alloc(&mut self.ep, node_size)?);
+        }
+        let (old_lo, old_hi) = lr.meta.fences.unwrap_or((0, u64::MAX));
+        // Write new nodes right-to-left so each points at an already
+        // written sibling; the old node is rewritten last (publish point).
+        for i in (1..chunks.len()).rev() {
+            let sibling = if i + 1 < chunks.len() {
+                addrs[i + 1]
+            } else {
+                lr.meta.sibling
+            };
+            let hi = if i + 1 < chunks.len() {
+                pivots[i + 1]
+            } else {
+                old_hi
+            };
+            let meta = LeafMeta {
+                sibling,
+                valid: true,
+                fences: self.leaf().layout.fences.then_some((pivots[i], hi)),
+            };
+            self.leaf()
+                .write_new(&mut self.ep, addrs[i], &chunks[i].0, &meta);
+        }
+        let meta0 = LeafMeta {
+            sibling: addrs[1],
+            valid: true,
+            fences: self.leaf().layout.fences.then_some((old_lo, pivots[1])),
+        };
+        self.leaf()
+            .rewrite_and_unlock(&mut self.ep, addr, &chunks[0].0, lr.nv, &meta0);
+        // Up-propagate every new pivot.
+        for i in 1..chunks.len() {
+            self.insert_into_parent(1, pivots[i], addrs[i])?;
+        }
+        Ok(())
+    }
+
+    /// Inserts `(pivot, child)` into the internal node at `level` covering
+    /// `pivot`, splitting upward as needed (Sherman's Steps 1–3).
+    fn insert_into_parent(
+        &mut self,
+        level: u8,
+        pivot: u64,
+        child: GlobalAddr,
+    ) -> Result<(), IndexError> {
+        for _ in 0..OP_RETRY_LIMIT {
+            let root_addr = self.refresh_root();
+            let mut node = self.shared.internal.read(&mut self.ep, root_addr);
+            if node.level < level {
+                continue; // racing root growth; re-read the slot
+            }
+            // Descend to `level`.
+            let mut ok = true;
+            while node.level > level {
+                if !node.covers(pivot) {
+                    if pivot >= node.fence_high && !node.sibling.is_null() {
+                        node = self.shared.internal.read(&mut self.ep, node.sibling);
+                        continue;
+                    }
+                    ok = false;
+                    break;
+                }
+                let (c, _) = node.select(pivot);
+                node = self.shared.internal.read(&mut self.ep, c);
+            }
+            if !ok || node.level != level {
+                continue;
+            }
+            // Lateral moves at the target level.
+            while node.valid && !node.covers(pivot) && pivot >= node.fence_high {
+                if node.sibling.is_null() {
+                    break;
+                }
+                node = self.shared.internal.read(&mut self.ep, node.sibling);
+            }
+            if !node.valid || !node.covers(pivot) {
+                continue;
+            }
+            // Lock and re-read the authoritative copy.
+            let addr = node.addr;
+            let _lk = self.local_lock(addr);
+            self.shared.internal.lock(&mut self.ep, addr);
+            let mut fresh = self.shared.internal.read(&mut self.ep, addr);
+            if !fresh.valid || !fresh.covers(pivot) {
+                self.shared.internal.unlock(&mut self.ep, addr);
+                continue;
+            }
+            match fresh.entries.binary_search_by_key(&pivot, |e| e.0) {
+                Ok(i) => {
+                    // Idempotent re-insert of the same pivot.
+                    assert_eq!(fresh.entries[i].1, child, "pivot collision");
+                    self.shared.internal.unlock(&mut self.ep, addr);
+                    return Ok(());
+                }
+                Err(i) => {
+                    if fresh.entries.len() < self.shared.cfg.internal_span {
+                        fresh.entries.insert(i, (pivot, child));
+                        self.shared.internal.write_and_unlock(&mut self.ep, &fresh);
+                        self.cn.cache.lock().invalidate(addr);
+                        return Ok(());
+                    }
+                }
+            }
+            // Node full: split it (unlocks), then retry this insert.
+            self.split_internal(&mut fresh, root_addr)?;
+        }
+        panic!("insert_into_parent retry limit (pivot {pivot})");
+    }
+
+    /// Splits a locked, full internal node and up-propagates (or grows a
+    /// new root). Leaves the node unlocked.
+    fn split_internal(
+        &mut self,
+        node: &mut InternalNode,
+        root_addr: GlobalAddr,
+    ) -> Result<(), IndexError> {
+        let mid = node.entries.len() / 2;
+        let split_key = node.entries[mid].0;
+        let upper: Vec<_> = node.entries.split_off(mid);
+        let new_addr = self
+            .alloc
+            .alloc(&mut self.ep, self.shared.internal.layout.node_size() as u64)?;
+        let new_node = InternalNode {
+            addr: new_addr,
+            level: node.level,
+            valid: true,
+            fence_low: split_key,
+            fence_high: node.fence_high,
+            sibling: node.sibling,
+            entries: upper,
+            nv: 0,
+        };
+        self.shared.internal.write_new(&mut self.ep, &new_node);
+        node.fence_high = split_key;
+        node.sibling = new_addr;
+        self.shared.internal.write_and_unlock(&mut self.ep, node);
+        self.cn.cache.lock().invalidate(node.addr);
+        if node.addr == root_addr {
+            // Grow a new root.
+            let new_root_addr = self
+                .alloc
+                .alloc(&mut self.ep, self.shared.internal.layout.node_size() as u64)?;
+            let new_root = InternalNode {
+                addr: new_root_addr,
+                level: node.level + 1,
+                valid: true,
+                fence_low: 0,
+                fence_high: u64::MAX,
+                sibling: GlobalAddr::NULL,
+                entries: vec![(node.fence_low, node.addr), (split_key, new_addr)],
+                nv: 0,
+            };
+            self.shared.internal.write_new(&mut self.ep, &new_root);
+            let old = self
+                .ep
+                .cas(self.shared.root_slot, root_addr.raw(), new_root_addr.raw());
+            if old == root_addr.raw() {
+                *self.cn.root_hint.lock() = new_root_addr;
+                return Ok(());
+            }
+            // Someone else grew the root first: insert into the new tree.
+            return self.insert_into_parent(node.level + 1, split_key, new_addr);
+        }
+        self.insert_into_parent(node.level + 1, split_key, new_addr)
+    }
+
+    // ------------------------------------------------------------------
+    // Scan
+    // ------------------------------------------------------------------
+
+    /// Walks the whole remote tree and verifies its structural invariants
+    /// (test/debug aid; issues many READs):
+    ///
+    /// * internal fences tile the key space and children respect pivots;
+    /// * the leaf sibling chain is reachable left-to-right with strictly
+    ///   ascending key ranges and no duplicates;
+    /// * every leaf satisfies the hopscotch bitmap/occupancy bijection
+    ///   (checked by the validated read itself);
+    /// * the lock word's argmax names the true maximum key.
+    ///
+    /// Returns the total number of keys, or a description of the first
+    /// violation.
+    pub fn check_integrity(&mut self) -> Result<u64, String> {
+        let root = self.refresh_root();
+        let node = self.shared.internal.read(&mut self.ep, root);
+        if node.fence_low != 0 || node.fence_high != u64::MAX {
+            return Err(format!(
+                "root fences not unbounded: [{}, {}]",
+                node.fence_low, node.fence_high
+            ));
+        }
+        let leftmost_leaf = self.check_internal_level(&node)?;
+        // Walk the leaf chain.
+        let mut addr = leftmost_leaf;
+        let mut prev_max: Option<u64> = None;
+        let mut total = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        while !addr.is_null() {
+            if !seen.insert(addr.raw()) {
+                return Err(format!("leaf chain cycle at {addr:?}"));
+            }
+            let snap = self.leaf().read_full(&mut self.ep, addr);
+            if !snap.meta.valid {
+                return Err(format!("invalid leaf {addr:?} in chain"));
+            }
+            let keys: Vec<u64> = snap.keys.iter().copied().filter(|&k| k != 0).collect();
+            if let (Some(pmax), Some(&min)) = (prev_max, keys.iter().min()) {
+                if min <= pmax {
+                    return Err(format!(
+                        "leaf {addr:?} min {min} <= previous leaf max {pmax}"
+                    ));
+                }
+            }
+            // argmax in the lock word must name the true maximum.
+            let _lk = self.local_lock(addr);
+            let word = self.leaf().lock(&mut self.ep, addr);
+            let argmax = word.argmax();
+            let true_max = keys.iter().max().copied();
+            match (true_max, argmax) {
+                (None, am) if am == ARGMAX_NONE => {}
+                (Some(mx), am) if am != ARGMAX_NONE => {
+                    // Re-read under the lock (the snapshot may have raced).
+                    let lr = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                    let locked_max = lr.max_key;
+                    self.leaf().unlock(&mut self.ep, addr, word);
+                    if locked_max != Some(mx) && locked_max.is_none() {
+                        return Err(format!("leaf {addr:?} argmax empty but max {mx}"));
+                    }
+                }
+                (mx, am) => {
+                    self.leaf().unlock(&mut self.ep, addr, word);
+                    return Err(format!("leaf {addr:?} argmax {am} vs max {mx:?}"));
+                }
+            }
+            if true_max.is_none() {
+                self.leaf().unlock(&mut self.ep, addr, word);
+            }
+            if let Some(&mx) = keys.iter().max().as_ref() {
+                prev_max = Some(*mx);
+            }
+            total += keys.len() as u64;
+            addr = snap.meta.sibling;
+        }
+        Ok(total)
+    }
+
+    /// Recursively checks one internal node and its subtree; returns the
+    /// leftmost leaf address under it.
+    fn check_internal_level(&mut self, node: &InternalNode) -> Result<GlobalAddr, String> {
+        if node.entries.is_empty() {
+            return Err(format!("internal {:?} has no entries", node.addr));
+        }
+        if node.entries[0].0 != node.fence_low {
+            return Err(format!(
+                "internal {:?} first pivot {} != fence_low {}",
+                node.addr, node.entries[0].0, node.fence_low
+            ));
+        }
+        for w in node.entries.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(format!("internal {:?} pivots not ascending", node.addr));
+            }
+        }
+        if node.level == 1 {
+            return Ok(node.entries[0].1);
+        }
+        let mut leftmost = GlobalAddr::NULL;
+        for (i, &(pivot, child)) in node.entries.iter().enumerate() {
+            let c = self.shared.internal.read(&mut self.ep, child);
+            if c.level != node.level - 1 {
+                return Err(format!("child {child:?} level {} under level {}", c.level, node.level));
+            }
+            if c.fence_low != pivot {
+                return Err(format!(
+                    "child {child:?} fence_low {} != pivot {pivot}",
+                    c.fence_low
+                ));
+            }
+            let hi = node
+                .entries
+                .get(i + 1)
+                .map(|e| e.0)
+                .unwrap_or(node.fence_high);
+            if c.fence_high > hi && (hi != u64::MAX) {
+                return Err(format!(
+                    "child {child:?} fence_high {} beyond parent bound {hi}",
+                    c.fence_high
+                ));
+            }
+            let lm = self.check_internal_level(&c)?;
+            if i == 0 {
+                leftmost = lm;
+            }
+        }
+        Ok(leftmost)
+    }
+
+    fn scan_impl(&mut self, start: u64, count: usize, out: &mut Vec<(u64, Vec<u8>)>) {
+        assert_ne!(start, 0, "key 0 is reserved");
+        if count == 0 {
+            return;
+        }
+        let mut collected: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut parent = self.locate_parent(start);
+        let mut idx = match parent.entries.binary_search_by_key(&start, |e| e.0) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let per_leaf = (self.span() * 3) / 4; // load-factor estimate
+        loop {
+            // Batch-read the next group of candidate leaves in one RTT.
+            let need = count.saturating_sub(collected.len());
+            let take = need
+                .div_ceil(per_leaf)
+                .max(1)
+                .min(parent.entries.len() - idx);
+            let addrs: Vec<GlobalAddr> = parent.entries[idx..idx + take]
+                .iter()
+                .map(|e| e.1)
+                .collect();
+            let snaps = self.leaf().read_full_batch(&mut self.ep, &addrs);
+            for snap in &snaps {
+                for (k, v) in snap.items() {
+                    if k >= start {
+                        collected.push((k, v));
+                    }
+                }
+            }
+            idx += take;
+            if collected.len() >= count {
+                break;
+            }
+            if idx >= parent.entries.len() {
+                if parent.sibling.is_null() {
+                    break;
+                }
+                parent = self.shared.internal.read(&mut self.ep, parent.sibling);
+                if !parent.valid {
+                    break;
+                }
+                idx = 0;
+            }
+        }
+        collected.sort_by_key(|&(k, _)| k);
+        collected.truncate(count);
+        for (k, v) in collected {
+            let v = self.resolve_value(v);
+            out.push((k, v));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Indirect values (§4.5)
+    // ------------------------------------------------------------------
+
+    /// Converts an application value into the stored leaf-entry bytes
+    /// (inline value, or a pointer to a freshly written value block).
+    fn store_value(&mut self, key: u64, value: &[u8]) -> Result<Vec<u8>, IndexError> {
+        let cfg = self.shared.cfg;
+        if !cfg.indirect_values {
+            let mut v = value.to_vec();
+            v.resize(cfg.value_size, 0);
+            return Ok(v);
+        }
+        let block_len = 16 + cfg.value_size;
+        let addr = self.alloc.alloc(&mut self.ep, block_len as u64)?;
+        let mut block = Vec::with_capacity(block_len);
+        block.extend_from_slice(&key.to_le_bytes());
+        block.extend_from_slice(&(value.len() as u64).to_le_bytes());
+        block.extend_from_slice(value);
+        block.resize(block_len, 0);
+        self.ep.write(addr, &block);
+        Ok(addr.raw().to_le_bytes().to_vec())
+    }
+
+    /// Converts stored leaf-entry bytes back into the application value.
+    fn resolve_value(&mut self, stored: Vec<u8>) -> Vec<u8> {
+        let cfg = self.shared.cfg;
+        if !cfg.indirect_values {
+            return stored;
+        }
+        let addr = GlobalAddr::from_raw(u64::from_le_bytes(
+            stored[..8].try_into().expect("pointer entry"),
+        ));
+        let mut block = vec![0u8; 16 + cfg.value_size];
+        self.ep.read(addr, &mut block);
+        let len = u64::from_le_bytes(block[8..16].try_into().unwrap()) as usize;
+        block[16..16 + len.min(cfg.value_size)].to_vec()
+    }
+}
+
+/// Recursively builds hopscotch tables for `items`, splitting chunks that
+/// do not fit. Returns `(window, sorted items)` per chunk, in key order.
+fn build_chunks(
+    span: usize,
+    h: usize,
+    items: &[(u64, Vec<u8>)],
+) -> Vec<(Window, Vec<(u64, Vec<u8>)>)> {
+    if let Some(w) = build_table(span, h, items) {
+        return vec![(w, items.to_vec())];
+    }
+    assert!(items.len() >= 2, "cannot split a single unfittable item");
+    let mid = items.len() / 2;
+    let mut out = build_chunks(span, h, &items[..mid]);
+    out.extend(build_chunks(span, h, &items[mid..]));
+    out
+}
+
+impl RangeIndex for ChimeClient {
+    fn insert(&mut self, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        self.insert_impl(key, value)
+    }
+
+    fn search(&mut self, key: u64) -> Option<Vec<u8>> {
+        self.search_impl(key)
+    }
+
+    fn update(&mut self, key: u64, value: &[u8]) -> Result<bool, IndexError> {
+        self.update_impl(key, value)
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, IndexError> {
+        self.delete_impl(key)
+    }
+
+    fn scan(&mut self, start: u64, count: usize, out: &mut Vec<(u64, Vec<u8>)>) {
+        self.scan_impl(start, count, out)
+    }
+
+    fn stats(&self) -> &ClientStats {
+        self.ep.stats()
+    }
+
+    fn clock_ns(&self) -> u64 {
+        self.ep.clock_ns()
+    }
+
+    fn cache_bytes(&self) -> u64 {
+        self.cn.cache_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ChimeConfig {
+        ChimeConfig {
+            span: 16,
+            internal_span: 8,
+            neighborhood: 4,
+            value_size: 8,
+            cache_bytes: 1 << 20,
+            hotspot_bytes: 1 << 16,
+            ..Default::default()
+        }
+    }
+
+    fn pool() -> Arc<Pool> {
+        Pool::with_defaults(1, 256 << 20)
+    }
+
+    fn v(k: u64) -> Vec<u8> {
+        k.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_search_small() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=10u64 {
+            c.insert(k, &v(k)).unwrap();
+        }
+        for k in 1..=10u64 {
+            assert_eq!(c.search(k), Some(v(k)), "key {k}");
+        }
+        assert_eq!(c.search(999), None);
+    }
+
+    #[test]
+    fn inserts_force_splits_and_root_growth() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        let n = 5_000u64;
+        for k in 1..=n {
+            c.insert(k * 3 + 1, &v(k)).unwrap();
+        }
+        assert!(c.counters.splits > 0, "tiny nodes must split");
+        for k in 1..=n {
+            assert_eq!(c.search(k * 3 + 1), Some(v(k)), "key {}", k * 3 + 1);
+        }
+        // Absent keys in between.
+        for k in (1..=200u64).map(|k| k * 3) {
+            assert_eq!(c.search(k), None, "absent key {k}");
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=500u64 {
+            c.insert(k, &v(k)).unwrap();
+        }
+        for k in 1..=500u64 {
+            assert!(c.update(k, &v(k + 1000)).unwrap());
+        }
+        for k in 1..=500u64 {
+            assert_eq!(c.search(k), Some(v(k + 1000)));
+        }
+        assert!(!c.update(9999, &v(0)).unwrap());
+        for k in (1..=500u64).step_by(2) {
+            assert!(c.delete(k).unwrap());
+        }
+        assert!(!c.delete(1).unwrap());
+        for k in 1..=500u64 {
+            if k % 2 == 1 {
+                assert_eq!(c.search(k), None);
+            } else {
+                assert_eq!(c.search(k), Some(v(k + 1000)));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_overwrites_duplicate() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        c.insert(7, &v(1)).unwrap();
+        c.insert(7, &v(2)).unwrap();
+        assert_eq!(c.search(7), Some(v(2)));
+    }
+
+    #[test]
+    fn scan_returns_sorted_range() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=2_000u64 {
+            c.insert(k * 2, &v(k)).unwrap();
+        }
+        let mut out = Vec::new();
+        c.scan(101, 50, &mut out);
+        assert_eq!(out.len(), 50);
+        let want: Vec<u64> = (51..101).map(|k| k * 2).collect();
+        let got: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+        assert_eq!(got, want);
+        for (k, val) in &out {
+            assert_eq!(val, &v(k / 2));
+        }
+        // Scan past the end is truncated.
+        let mut out = Vec::new();
+        c.scan(3_999, 50, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 4_000);
+    }
+
+    #[test]
+    fn stale_cn_cache_self_heals() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let cn_a = t.new_cn();
+        let cn_b = t.new_cn();
+        let mut a = t.client(&cn_a);
+        let mut b = t.client(&cn_b);
+        // Warm B's cache with the small tree.
+        a.insert(1, &v(1)).unwrap();
+        assert_eq!(b.search(1), Some(v(1)));
+        // A grows the tree massively; B's cache is now stale everywhere.
+        for k in 2..=3_000u64 {
+            a.insert(k, &v(k)).unwrap();
+        }
+        for k in (1..=3_000u64).step_by(17) {
+            assert_eq!(b.search(k), Some(v(k)), "stale-cache search {k}");
+        }
+        let mut out = Vec::new();
+        b.scan(1, 100, &mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn speculative_reads_hit_on_hot_keys() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=200u64 {
+            c.insert(k, &v(k)).unwrap();
+        }
+        for _ in 0..50 {
+            assert_eq!(c.search(42), Some(v(42)));
+        }
+        assert!(c.counters.spec_attempts > 0);
+        assert!(c.counters.spec_hits > 0);
+        assert!(c.counters.spec_hits >= c.counters.spec_attempts - 2);
+        let (hits, lookups) = cn.hotspot_stats();
+        assert!(hits > 0 && lookups >= hits);
+    }
+
+    #[test]
+    fn default_config_large_nodes() {
+        let pool = pool();
+        let t = Chime::create(&pool, ChimeConfig::default(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=2_000u64 {
+            c.insert(k * 7 + 3, &v(k)).unwrap();
+        }
+        for k in (1..=2_000u64).step_by(7) {
+            assert_eq!(c.search(k * 7 + 3), Some(v(k)));
+        }
+    }
+
+    #[test]
+    fn baseline_config_works() {
+        // All optimizations off (Fig. 15 starting point): dedicated vacancy
+        // word, single header, fence keys, no speculation.
+        let pool = pool();
+        let t = Chime::create(&pool, ChimeConfig { span: 16, internal_span: 8, neighborhood: 4, ..ChimeConfig::baseline() }, 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=1_500u64 {
+            c.insert(k, &v(k)).unwrap();
+        }
+        for k in 1..=1_500u64 {
+            assert_eq!(c.search(k), Some(v(k)), "key {k}");
+        }
+        assert_eq!(c.search(5_000), None);
+        for k in 1..=100u64 {
+            assert!(c.update(k, &v(k + 9)).unwrap());
+            assert_eq!(c.search(k), Some(v(k + 9)));
+        }
+    }
+
+    #[test]
+    fn indirect_values_roundtrip() {
+        let pool = pool();
+        let cfg = ChimeConfig {
+            indirect_values: true,
+            value_size: 64,
+            span: 16,
+            internal_span: 8,
+            neighborhood: 4,
+            ..Default::default()
+        };
+        let t = Chime::create(&pool, cfg, 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=300u64 {
+            let val = vec![k as u8; 40];
+            c.insert(k, &val).unwrap();
+        }
+        for k in 1..=300u64 {
+            assert_eq!(c.search(k), Some(vec![k as u8; 40]));
+        }
+        assert!(c.update(5, &vec![9u8; 33]).unwrap());
+        assert_eq!(c.search(5), Some(vec![9u8; 33]));
+        let mut out = Vec::new();
+        c.scan(1, 10, &mut out);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].1, vec![1u8; 40]);
+    }
+
+    #[test]
+    fn concurrent_clients_disjoint_inserts() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let threads = 4;
+        let per = 800u64;
+        crossbeam::thread::scope(|s| {
+            for tid in 0..threads {
+                let t = t.clone();
+                s.spawn(move |_| {
+                    let cn = t.new_cn();
+                    let mut c = t.client(&cn);
+                    for i in 0..per {
+                        let k = 1 + i * threads + tid;
+                        c.insert(k, &v(k)).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=(per * threads) {
+            assert_eq!(c.search(k), Some(v(k)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_readers_and_writers() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        {
+            let cn = t.new_cn();
+            let mut c = t.client(&cn);
+            for k in 1..=1_000u64 {
+                c.insert(k, &v(k)).unwrap();
+            }
+        }
+        crossbeam::thread::scope(|s| {
+            // Writers keep inserting new keys and updating old ones.
+            for tid in 0..2u64 {
+                let t = t.clone();
+                s.spawn(move |_| {
+                    let cn = t.new_cn();
+                    let mut c = t.client(&cn);
+                    for i in 0..500u64 {
+                        c.insert(10_000 + tid * 1_000 + i, &v(i)).unwrap();
+                        c.update(1 + (i * 7 + tid) % 1_000, &v(i)).unwrap();
+                    }
+                });
+            }
+            // Readers must always see the preloaded keys.
+            for _ in 0..2 {
+                let t = t.clone();
+                s.spawn(move |_| {
+                    let cn = t.new_cn();
+                    let mut c = t.client(&cn);
+                    for i in 0..2_000u64 {
+                        let k = 1 + (i * 13) % 1_000;
+                        assert!(c.search(k).is_some(), "preloaded key {k} lost");
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+}

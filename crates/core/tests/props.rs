@@ -1,0 +1,188 @@
+//! Property tests for CHIME's core data structures: hopscotch invariants,
+//! lock-word algebra, leaf geometry and tree/model equivalence.
+
+use std::collections::BTreeMap;
+
+use chime::hopscotch::{build_table, check_invariants, cyc_dist, Window};
+use chime::layout::LeafLayout;
+use chime::lockword::{LockWord, VacancyMap};
+use chime::{Chime, ChimeConfig};
+use dmem::hash::home_entry;
+use dmem::{Pool, RangeIndex};
+use proptest::prelude::*;
+
+fn v(k: u64) -> Vec<u8> {
+    k.to_le_bytes().to_vec()
+}
+
+proptest! {
+    /// Any key set below ~2/3 load builds a valid hopscotch table and every
+    /// key is findable within its neighborhood.
+    #[test]
+    fn build_table_preserves_invariants(
+        keys in proptest::collection::hash_set(1u64..u64::MAX, 1..40),
+    ) {
+        let items: Vec<(u64, Vec<u8>)> = keys.iter().map(|&k| (k, v(k))).collect();
+        if let Some(w) = build_table(64, 8, &items) {
+            check_invariants(&w).unwrap();
+            for (k, val) in &items {
+                let pos = w.find_in_neighborhood(*k).expect("key must be findable");
+                let (kk, vv, _) = w.slot(pos);
+                prop_assert_eq!(kk, *k);
+                prop_assert_eq!(vv, &val[..]);
+                prop_assert!(cyc_dist(home_entry(*k, 64), pos, 64) < 8);
+            }
+        } else {
+            // Builds only fail near/above capacity.
+            prop_assert!(items.len() > 32, "build failed at {} items", items.len());
+        }
+    }
+
+    /// Random insert/remove sequences keep the bitmap-occupancy bijection.
+    #[test]
+    fn window_ops_preserve_invariants(ops in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..120)) {
+        let mut w = Window::new(32, 8, 0, 32);
+        let mut present: Vec<u64> = Vec::new();
+        for (seed, del) in ops {
+            let key = 1 + seed % 1_000_003;
+            if del && !present.is_empty() {
+                let k = present.swap_remove((seed % present.len() as u64) as usize);
+                let pos = w.find_in_neighborhood(k).expect("present key");
+                w.remove(pos);
+            } else if !present.contains(&key) {
+                let home = home_entry(key, 32);
+                let empty = (0..32).map(|d| (home + d) % 32).find(|&i| w.slot_empty(i));
+                if let Some(empty) = empty {
+                    if w.insert(key, v(key), empty).is_ok() {
+                        present.push(key);
+                    }
+                }
+            }
+        }
+        check_invariants(&w).unwrap();
+        for k in &present {
+            prop_assert!(w.find_in_neighborhood(*k).is_some());
+        }
+    }
+
+    /// Lock-word field updates never interfere with each other.
+    #[test]
+    fn lockword_field_independence(
+        argmax in 0u16..1023,
+        bits in proptest::collection::vec(0usize..53, 0..10),
+        locked in any::<bool>(),
+    ) {
+        let mut w = LockWord(0).with_argmax(argmax).with_locked(locked);
+        for &b in &bits {
+            w = w.with_vacancy_bit(b, true);
+        }
+        prop_assert_eq!(w.argmax(), argmax);
+        prop_assert_eq!(w.locked(), locked);
+        for &b in &bits {
+            prop_assert!(w.vacancy_bit(b));
+        }
+        let w2 = w.with_argmax(7);
+        prop_assert_eq!(w2.locked(), locked);
+        for &b in &bits {
+            prop_assert!(w2.vacancy_bit(b));
+        }
+    }
+
+    /// Vacancy groups tile the span exactly.
+    #[test]
+    fn vacancy_groups_tile_span(span in 1usize..1024) {
+        let vm = VacancyMap::new(span);
+        let mut covered = vec![false; span];
+        for g in 0..vm.groups() {
+            let (s, t) = vm.group_range(g);
+            for (i, c) in covered.iter_mut().enumerate().take(t + 1).skip(s) {
+                prop_assert!(!*c, "entry {i} covered twice");
+                *c = true;
+                prop_assert_eq!(vm.group_of(i), g);
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// Leaf layout: entries and replicas never overlap and fill the payload.
+    #[test]
+    fn leaf_layout_partitions_payload(
+        span_blocks in 1usize..16,
+        h in 2usize..9,
+        value_size in 1usize..64,
+        replication in any::<bool>(),
+        fences in any::<bool>(),
+    ) {
+        let span = span_blocks * h;
+        let l = LeafLayout {
+            span,
+            h,
+            key_size: 8,
+            value_size,
+            replication,
+            fences,
+            piggyback: true,
+        };
+        let mut covered = vec![false; l.payload_len()];
+        let mut mark = |a: usize, b: usize| {
+            for c in covered[a..b].iter_mut() {
+                assert!(!*c, "overlap");
+                *c = true;
+            }
+        };
+        let blocks = if replication { span / h } else { 1 };
+        for b in 0..blocks {
+            let off = l.replica_off(b);
+            mark(off, off + l.replica_size());
+        }
+        for i in 0..span {
+            let off = l.entry_off(i);
+            mark(off, off + l.entry_size());
+        }
+        prop_assert!(covered.iter().all(|&c| c), "payload has gaps");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full tree agrees with a BTreeMap on random op sequences
+    /// (smaller case count: each case builds a tree).
+    #[test]
+    fn tree_matches_model(ops in proptest::collection::vec((1u64..300, 0u8..4), 1..250)) {
+        let pool = Pool::with_defaults(1, 128 << 20);
+        let cfg = ChimeConfig {
+            span: 8,
+            internal_span: 4,
+            neighborhood: 4,
+            ..Default::default()
+        };
+        let t = Chime::create(&pool, cfg, 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (key, op) in ops {
+            match op {
+                0 | 1 => {
+                    c.insert(key, &v(key * 3)).unwrap();
+                    model.insert(key, v(key * 3));
+                }
+                2 => {
+                    let a = c.delete(key).unwrap();
+                    let b = model.remove(&key).is_some();
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    prop_assert_eq!(c.search(key), model.get(&key).cloned());
+                }
+            }
+        }
+        for (k, val) in &model {
+            prop_assert_eq!(c.search(*k), Some(val.clone()));
+        }
+        let mut out = Vec::new();
+        c.scan(1, model.len() + 5, &mut out);
+        let want: Vec<(u64, Vec<u8>)> = model.iter().map(|(k, v)| (*k, v.clone())).collect();
+        prop_assert_eq!(out, want);
+    }
+}

@@ -1,0 +1,66 @@
+//! The common range-index interface all four indexes implement.
+//!
+//! Each *client* — one logical thread of execution on a compute node — holds
+//! its own handle implementing [`RangeIndex`]. The handle owns a verb
+//! [`crate::verbs::Endpoint`] and shares CN-wide state (index cache, hotspot
+//! buffer) with the other clients of its compute node.
+
+use crate::alloc::OutOfMemory;
+use crate::stats::ClientStats;
+
+/// Errors surfaced by index operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexError {
+    /// The memory pool is exhausted.
+    OutOfMemory,
+    /// The key already exists (returned by strict inserts).
+    DuplicateKey,
+}
+
+impl From<OutOfMemory> for IndexError {
+    fn from(_: OutOfMemory) -> Self {
+        IndexError::OutOfMemory
+    }
+}
+
+impl core::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IndexError::OutOfMemory => write!(f, "memory pool exhausted"),
+            IndexError::DuplicateKey => write!(f, "key already present"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// A shared ordered index on disaggregated memory.
+///
+/// Keys are 8-byte integers (the paper's default); values are fixed-size
+/// byte strings whose length is set per index instance.
+pub trait RangeIndex {
+    /// Inserts `key` with `value`, overwriting any existing value.
+    fn insert(&mut self, key: u64, value: &[u8]) -> Result<(), IndexError>;
+
+    /// Returns the value of `key`, or `None` if absent.
+    fn search(&mut self, key: u64) -> Option<Vec<u8>>;
+
+    /// Updates an existing key in place; returns `false` if absent.
+    fn update(&mut self, key: u64, value: &[u8]) -> Result<bool, IndexError>;
+
+    /// Removes `key`; returns `false` if it was absent.
+    fn delete(&mut self, key: u64) -> Result<bool, IndexError>;
+
+    /// Appends up to `count` items with keys `>= start`, in key order.
+    fn scan(&mut self, start: u64, count: usize, out: &mut Vec<(u64, Vec<u8>)>);
+
+    /// Returns this client's verb counters.
+    fn stats(&self) -> &ClientStats;
+
+    /// Returns this client's virtual clock, in nanoseconds.
+    fn clock_ns(&self) -> u64;
+
+    /// Bytes of compute-side cache this client's CN currently uses for the
+    /// index (shared structures are counted once per CN).
+    fn cache_bytes(&self) -> u64;
+}

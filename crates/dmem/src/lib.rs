@@ -1,0 +1,42 @@
+//! `dmem` — a deterministic disaggregated-memory substrate.
+//!
+//! This crate simulates the hardware platform of the CHIME paper (SOSP'24):
+//! a pool of memory nodes reached exclusively through one-sided RDMA verbs
+//! (READ, WRITE, CAS, masked-CAS, FAA) from compute-node clients. It provides
+//!
+//! * [`region::Region`] — registered memory with the 64-byte line atomicity
+//!   real RNICs exhibit (reads may tear between lines, never within one);
+//! * [`verbs::Endpoint`] — per-client verb issue with doorbell batching,
+//!   traffic counters and a virtual clock;
+//! * [`net::NetConfig`] — the analytic network model converting counted
+//!   traffic into modeled throughput/latency (bandwidth- and IOPS-bound);
+//! * [`versioned`] — the two-level cache-line version layout shared by
+//!   Sherman-style and CHIME-style nodes;
+//! * [`alloc::ChunkAlloc`] — RPC chunk allocation with client-side bumping;
+//! * [`index::RangeIndex`] — the interface every evaluated index implements.
+//!
+//! No RDMA hardware is involved: all semantics relevant to index correctness
+//! and performance shape are preserved and documented in `DESIGN.md`.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod alloc;
+pub mod hash;
+pub mod index;
+pub mod locktable;
+pub mod net;
+pub mod node;
+pub mod region;
+pub mod stats;
+pub mod verbs;
+pub mod versioned;
+
+pub use addr::GlobalAddr;
+pub use alloc::{ChunkAlloc, OutOfMemory};
+pub use index::{IndexError, RangeIndex};
+pub use locktable::{LocalLockGuard, LocalLockTable};
+pub use net::{Bound, NetConfig, RunAccounting, ThroughputEstimate};
+pub use node::{root_slot, MemoryNode, Pool};
+pub use stats::{ClientStats, Histogram};
+pub use verbs::Endpoint;

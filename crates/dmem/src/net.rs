@@ -1,0 +1,196 @@
+//! The analytic network model.
+//!
+//! The paper's testbed bottlenecks are the memory-side NIC's bandwidth
+//! (100 Gbps) and verb rate (IOPS). Both effects are pure functions of the
+//! number of messages and wire bytes an index issues per operation, which the
+//! substrate counts exactly. This module converts those counts into system
+//! throughput and saturation-inflated latency, reproducing the paper's
+//! bandwidth-bound vs IOPS-bound behaviour without RDMA hardware.
+
+/// Static network parameters (per memory node unless stated otherwise).
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Base round-trip latency of a one-sided verb, in nanoseconds.
+    pub rtt_ns: u64,
+    /// Memory-side NIC bandwidth in bytes per second (100 Gbps default).
+    pub bandwidth_bps: f64,
+    /// Memory-side NIC verb rate cap, messages per second.
+    pub iops: f64,
+    /// Per-message wire overhead in bytes (headers, ACKs).
+    pub msg_overhead: u64,
+    /// Latency of an allocation RPC served by the MN's CPU, in nanoseconds.
+    pub alloc_rpc_ns: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            rtt_ns: 2_500,
+            bandwidth_bps: 12.5e9,
+            iops: 80.0e6,
+            msg_overhead: 48,
+            alloc_rpc_ns: 12_000,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Virtual latency charged to a client for a doorbell batch of verbs.
+    ///
+    /// `msgs` work requests posted together pay one base RTT; payload bytes
+    /// stream at line rate on the client link.
+    pub fn verb_latency_ns(&self, msgs: u64, wire_bytes: u64) -> u64 {
+        debug_assert!(msgs > 0);
+        let stream_ns = (wire_bytes as f64 / self.bandwidth_bps * 1e9) as u64;
+        self.rtt_ns + stream_ns + (msgs - 1) * 80
+    }
+
+    /// Wire bytes for a verb with `payload` bytes of data.
+    pub fn wire_bytes(&self, payload: u64) -> u64 {
+        payload + self.msg_overhead
+    }
+
+    /// Converts counted traffic into modeled system throughput.
+    pub fn model(&self, acc: &RunAccounting) -> ThroughputEstimate {
+        assert!(acc.ops > 0 && acc.clients > 0);
+        let avg_lat = acc.sum_latency_ns as f64 / acc.ops as f64;
+        let msgs_per_op = acc.total_msgs as f64 / acc.ops as f64;
+        let bytes_per_op = acc.total_wire_bytes as f64 / acc.ops as f64;
+        let t_clients = acc.clients as f64 / (avg_lat / 1e9);
+        let cap = acc.mns as f64;
+        let t_iops = self.iops * cap / msgs_per_op;
+        let t_bw = self.bandwidth_bps * cap / bytes_per_op;
+        let tput = t_clients.min(t_iops).min(t_bw);
+        let inflation = if tput < t_clients {
+            t_clients / tput
+        } else {
+            1.0
+        };
+        let bound = if tput >= t_clients {
+            Bound::Latency
+        } else if t_iops <= t_bw {
+            Bound::Iops
+        } else {
+            Bound::Bandwidth
+        };
+        ThroughputEstimate {
+            mops: tput / 1e6,
+            avg_latency_ns: avg_lat * inflation,
+            inflation,
+            bound,
+            msgs_per_op,
+            bytes_per_op,
+        }
+    }
+}
+
+/// What limits throughput in a modeled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Clients are latency-bound (below NIC saturation).
+    Latency,
+    /// The MN NIC verb rate is saturated (small messages).
+    Iops,
+    /// The MN NIC bandwidth is saturated (large messages).
+    Bandwidth,
+}
+
+/// Aggregate inputs for [`NetConfig::model`], summed over all clients.
+#[derive(Debug, Clone, Copy)]
+pub struct RunAccounting {
+    /// Completed application operations.
+    pub ops: u64,
+    /// Simulated client count.
+    pub clients: u64,
+    /// Memory nodes serving the run (capacity scales linearly).
+    pub mns: u64,
+    /// Total NIC work requests.
+    pub total_msgs: u64,
+    /// Total wire bytes.
+    pub total_wire_bytes: u64,
+    /// Sum of per-operation base (uncongested) latencies, ns.
+    pub sum_latency_ns: u64,
+}
+
+/// Output of the throughput model.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputEstimate {
+    /// Modeled system throughput, million operations per second.
+    pub mops: f64,
+    /// Average per-op latency including saturation inflation, ns.
+    pub avg_latency_ns: f64,
+    /// Factor by which queueing inflates latencies at this load (>= 1).
+    pub inflation: f64,
+    /// The binding resource.
+    pub bound: Bound,
+    /// Mean NIC messages per operation.
+    pub msgs_per_op: f64,
+    /// Mean wire bytes per operation.
+    pub bytes_per_op: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(ops: u64, clients: u64, msgs_per_op: u64, bytes_per_op: u64, lat: u64) -> RunAccounting {
+        RunAccounting {
+            ops,
+            clients,
+            mns: 1,
+            total_msgs: ops * msgs_per_op,
+            total_wire_bytes: ops * bytes_per_op,
+            sum_latency_ns: ops * lat,
+        }
+    }
+
+    #[test]
+    fn latency_bound_at_low_load() {
+        let n = NetConfig::default();
+        // 4 clients, 5 us ops: 0.8 Mops, far below caps.
+        let e = n.model(&acc(1000, 4, 2, 300, 5_000));
+        assert_eq!(e.bound, Bound::Latency);
+        assert!((e.mops - 0.8).abs() < 0.01, "{}", e.mops);
+        assert!((e.inflation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iops_bound_with_tiny_messages() {
+        let n = NetConfig::default();
+        // 10_000 clients, 1 msg/op, 60-byte messages: capped by 80 Mops.
+        let e = n.model(&acc(1000, 10_000, 1, 60, 2_500));
+        assert_eq!(e.bound, Bound::Iops);
+        assert!((e.mops - 80.0).abs() < 1.0, "{}", e.mops);
+        assert!(e.inflation > 1.0);
+        assert!(e.avg_latency_ns > 2_500.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_with_large_messages() {
+        let n = NetConfig::default();
+        // 4 KB per op: bandwidth cap = 12.5e9/4096 ~ 3.05 Mops.
+        let e = n.model(&acc(1000, 10_000, 2, 4096, 6_000));
+        assert_eq!(e.bound, Bound::Bandwidth);
+        assert!((e.mops - 3.05).abs() < 0.1, "{}", e.mops);
+    }
+
+    #[test]
+    fn more_mns_scale_capacity() {
+        let n = NetConfig::default();
+        let mut a = acc(1000, 1_000, 1, 60, 2_500);
+        a.mns = 10;
+        let e = n.model(&a);
+        // 10 MNs lift the IOPS cap to 800 Mops; 1000 clients at 2.5 us can
+        // only offer 400 Mops, so they bind.
+        assert_eq!(e.bound, Bound::Latency);
+    }
+
+    #[test]
+    fn verb_latency_components() {
+        let n = NetConfig::default();
+        let base = n.verb_latency_ns(1, 0);
+        assert_eq!(base, n.rtt_ns);
+        assert!(n.verb_latency_ns(1, 125_000) > base);
+        assert!(n.verb_latency_ns(3, 0) > base);
+    }
+}

@@ -1,0 +1,183 @@
+//! Memory nodes and the memory pool.
+//!
+//! A memory node (MN) owns one registered [`Region`] plus the minimal
+//! CPU-side services the paper allows it: connection setup and a chunk
+//! allocator reached via RPC. Compute-side clients never execute code "on"
+//! the MN other than these RPCs — all data access goes through the one-sided
+//! verbs in [`crate::verbs`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::addr::GlobalAddr;
+use crate::net::NetConfig;
+use crate::region::Region;
+
+/// Bytes at the start of every region reserved for well-known slots
+/// (root pointers and other per-index anchors).
+pub const RESERVED_BYTES: u64 = 4096;
+
+/// Byte offset of the first well-known root-pointer slot on MN 0.
+pub const ROOT_SLOT_BASE: u64 = 64;
+
+/// Returns the well-known address of root-pointer slot `i` (on MN 0).
+///
+/// Indexes store their 8-byte root pointer here and update it with CAS
+/// during root splits.
+pub fn root_slot(i: u64) -> GlobalAddr {
+    assert!(ROOT_SLOT_BASE + 8 * (i + 1) <= RESERVED_BYTES);
+    GlobalAddr::new(0, ROOT_SLOT_BASE + 8 * i)
+}
+
+/// One memory node: a registered region plus a bump allocator.
+pub struct MemoryNode {
+    id: u16,
+    region: Region,
+    next_free: AtomicU64,
+}
+
+impl MemoryNode {
+    /// Creates a memory node with `capacity` bytes of registered memory.
+    pub fn new(id: u16, capacity: usize) -> Self {
+        assert!(capacity as u64 > RESERVED_BYTES, "capacity too small");
+        MemoryNode {
+            id,
+            region: Region::new(capacity),
+            next_free: AtomicU64::new(RESERVED_BYTES),
+        }
+    }
+
+    /// Returns this node's id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Returns the registered region.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Server-side chunk allocation (executed by the MN's weak CPU when a
+    /// client issues the allocation RPC). Returns `None` when out of memory.
+    ///
+    /// Chunks are 64-byte aligned; memory is never reclaimed (bump
+    /// allocation), matching the public artifacts of Sherman/SMART/CHIME.
+    pub fn alloc(&self, size: u64) -> Option<GlobalAddr> {
+        let size = size.div_ceil(64) * 64;
+        let mut cur = self.next_free.load(Ordering::Relaxed);
+        loop {
+            if cur + size > self.region.len() as u64 {
+                return None;
+            }
+            match self.next_free.compare_exchange_weak(
+                cur,
+                cur + size,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(GlobalAddr::new(self.id, cur)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Bytes currently allocated (excluding the reserved prefix).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next_free.load(Ordering::Relaxed) - RESERVED_BYTES
+    }
+}
+
+/// The memory pool: every MN plus the shared network configuration.
+///
+/// # Examples
+///
+/// ```
+/// use dmem::{Endpoint, GlobalAddr, Pool};
+///
+/// let pool = Pool::with_defaults(2, 1 << 20);
+/// let mut ep = Endpoint::new(std::sync::Arc::clone(&pool));
+/// let addr = GlobalAddr::new(1, dmem::node::RESERVED_BYTES);
+/// ep.write(addr, b"remote bytes");
+/// let mut buf = [0u8; 12];
+/// ep.read(addr, &mut buf);
+/// assert_eq!(&buf, b"remote bytes");
+/// assert_eq!(ep.stats().rtts, 2);
+/// ```
+pub struct Pool {
+    mns: Vec<Arc<MemoryNode>>,
+    net: NetConfig,
+}
+
+impl Pool {
+    /// Creates a pool of `num_mns` memory nodes, each with
+    /// `capacity_per_mn` bytes.
+    pub fn new(num_mns: u16, capacity_per_mn: usize, net: NetConfig) -> Arc<Self> {
+        assert!(num_mns > 0);
+        let mns = (0..num_mns)
+            .map(|i| Arc::new(MemoryNode::new(i, capacity_per_mn)))
+            .collect();
+        Arc::new(Pool { mns, net })
+    }
+
+    /// Convenience constructor with the default network model.
+    pub fn with_defaults(num_mns: u16, capacity_per_mn: usize) -> Arc<Self> {
+        Self::new(num_mns, capacity_per_mn, NetConfig::default())
+    }
+
+    /// Returns memory node `id`.
+    pub fn mn(&self, id: u16) -> &MemoryNode {
+        &self.mns[id as usize]
+    }
+
+    /// Returns the number of memory nodes.
+    pub fn num_mns(&self) -> u16 {
+        self.mns.len() as u16
+    }
+
+    /// Returns the network configuration.
+    pub fn net(&self) -> &NetConfig {
+        &self.net
+    }
+
+    /// Total bytes allocated across all memory nodes.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.mns.iter().map(|m| m.allocated_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_bumps_and_aligns() {
+        let mn = MemoryNode::new(0, 1 << 20);
+        let a = mn.alloc(100).unwrap();
+        let b = mn.alloc(1).unwrap();
+        assert_eq!(a.offset(), RESERVED_BYTES);
+        assert_eq!(b.offset(), RESERVED_BYTES + 128);
+        assert_eq!(mn.allocated_bytes(), 192);
+    }
+
+    #[test]
+    fn alloc_exhaustion() {
+        let mn = MemoryNode::new(0, 8192);
+        assert!(mn.alloc(8192).is_none());
+        assert!(mn.alloc(1024).is_some());
+    }
+
+    #[test]
+    fn root_slots_distinct() {
+        assert_ne!(root_slot(0), root_slot(1));
+        assert_eq!(root_slot(0).mn(), 0);
+        assert!(root_slot(2).offset() < RESERVED_BYTES);
+    }
+
+    #[test]
+    fn pool_construction() {
+        let p = Pool::with_defaults(3, 1 << 20);
+        assert_eq!(p.num_mns(), 3);
+        assert_eq!(p.mn(2).id(), 2);
+        assert_eq!(p.allocated_bytes(), 0);
+    }
+}

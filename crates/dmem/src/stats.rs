@@ -1,0 +1,228 @@
+//! Per-client accounting and latency histograms.
+//!
+//! All experiment numbers (throughput, amplification factors, round-trip
+//! counts, latency percentiles) are derived from these counters, never from
+//! wall-clock time: the substrate executes instantly and charges a *virtual*
+//! cost per verb according to [`crate::net::NetConfig`].
+
+/// Counters kept by every client endpoint.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Number of READ verbs issued.
+    pub reads: u64,
+    /// Number of WRITE verbs issued.
+    pub writes: u64,
+    /// Number of atomic verbs (CAS / masked-CAS / FAA) issued.
+    pub atomics: u64,
+    /// Number of allocation RPCs issued.
+    pub rpcs: u64,
+    /// Number of network round-trips paid (doorbell batches count once).
+    pub rtts: u64,
+    /// Number of NIC work requests (doorbell batches count each request).
+    pub msgs: u64,
+    /// Bytes that crossed the wire, including per-message overhead.
+    pub wire_bytes: u64,
+    /// Payload bytes the application asked for (to compute amplification).
+    pub app_bytes: u64,
+}
+
+impl ClientStats {
+    /// Returns the difference `self - earlier`, counter by counter.
+    pub fn since(&self, earlier: &ClientStats) -> ClientStats {
+        ClientStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            atomics: self.atomics - earlier.atomics,
+            rpcs: self.rpcs - earlier.rpcs,
+            rtts: self.rtts - earlier.rtts,
+            msgs: self.msgs - earlier.msgs,
+            wire_bytes: self.wire_bytes - earlier.wire_bytes,
+            app_bytes: self.app_bytes - earlier.app_bytes,
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &ClientStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.atomics += other.atomics;
+        self.rpcs += other.rpcs;
+        self.rtts += other.rtts;
+        self.msgs += other.msgs;
+        self.wire_bytes += other.wire_bytes;
+        self.app_bytes += other.app_bytes;
+    }
+}
+
+/// A log-bucketed latency histogram (nanosecond samples).
+///
+/// Buckets grow by ~5% per step, giving <5% quantile error over a
+/// 100 ns .. 100 ms range with a few hundred buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+const HIST_BUCKETS: usize = 512;
+const HIST_MIN_NS: f64 = 50.0;
+const HIST_GROWTH: f64 = 1.045;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if (ns as f64) <= HIST_MIN_NS {
+            return 0;
+        }
+        let idx = ((ns as f64) / HIST_MIN_NS).ln() / HIST_GROWTH.ln();
+        (idx as usize).min(HIST_BUCKETS - 1)
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        (HIST_MIN_NS * HIST_GROWTH.powi(idx as i32)) as u64
+    }
+
+    /// Records one latency sample in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum += ns as u128;
+        self.max = self.max.max(ns);
+        self.min = self.min.min(ns);
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the mean sample in nanoseconds (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// Returns the approximate `q`-quantile (0.0 ..= 1.0) in nanoseconds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_since_and_merge() {
+        let a = ClientStats {
+            reads: 10,
+            rtts: 12,
+            wire_bytes: 100,
+            ..Default::default()
+        };
+        let b = ClientStats {
+            reads: 4,
+            rtts: 5,
+            wire_bytes: 40,
+            ..Default::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.reads, 6);
+        assert_eq!(d.rtts, 7);
+        assert_eq!(d.wire_bytes, 60);
+        let mut m = b.clone();
+        m.merge(&d);
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < p99);
+        // Within the histogram's ~5% resolution.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.1, "{p50}");
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.1, "{p99}");
+    }
+
+    #[test]
+    fn histogram_mean_and_bounds() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.mean(), 200);
+        assert_eq!(h.quantile(0.0).clamp(100, 300), h.quantile(0.0));
+        assert!(h.quantile(1.0) <= 300);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..100 {
+            a.record(1_000 + i);
+            b.record(2_000 + i);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.quantile(0.99) >= 2_000);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

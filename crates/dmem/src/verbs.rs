@@ -1,0 +1,291 @@
+//! Client endpoints issuing one-sided verbs.
+//!
+//! An [`Endpoint`] is the per-client handle a compute-node thread (or
+//! coroutine) uses to reach the memory pool. Every verb executes immediately
+//! against the target region and charges *virtual* latency and traffic to the
+//! endpoint's counters; the experiment harness later feeds those counters to
+//! the network model.
+
+use std::sync::Arc;
+
+use crate::addr::GlobalAddr;
+use crate::node::Pool;
+use crate::stats::ClientStats;
+
+/// A client-side verb endpoint with its own virtual clock and counters.
+pub struct Endpoint {
+    pool: Arc<Pool>,
+    stats: ClientStats,
+    clock_ns: u64,
+}
+
+impl Endpoint {
+    /// Creates a new endpoint attached to `pool`.
+    pub fn new(pool: Arc<Pool>) -> Self {
+        Endpoint {
+            pool,
+            stats: ClientStats::default(),
+            clock_ns: 0,
+        }
+    }
+
+    /// Returns the pool this endpoint is attached to.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Returns the accumulated counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Returns the endpoint's virtual clock in nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Records payload bytes actually requested by the application
+    /// (denominator of the read-amplification factor).
+    pub fn note_app_bytes(&mut self, n: u64) {
+        self.stats.app_bytes += n;
+    }
+
+    fn charge(&mut self, msgs: u64, payload: u64, rtts: u64) {
+        let net = self.pool.net();
+        let wire = payload + msgs * net.msg_overhead;
+        self.stats.msgs += msgs;
+        self.stats.rtts += rtts;
+        self.stats.wire_bytes += wire;
+        self.clock_ns += net.verb_latency_ns(msgs, wire);
+    }
+
+    /// One-sided READ of `dst.len()` bytes at `addr`.
+    pub fn read(&mut self, addr: GlobalAddr, dst: &mut [u8]) {
+        self.pool
+            .mn(addr.mn())
+            .region()
+            .read(addr.offset() as usize, dst);
+        self.stats.reads += 1;
+        self.charge(1, dst.len() as u64, 1);
+    }
+
+    /// Doorbell-batched READs: all requests are posted together and pay a
+    /// single round-trip, but each is a separate NIC work request.
+    pub fn read_batch(&mut self, reqs: &mut [(GlobalAddr, &mut [u8])]) {
+        assert!(!reqs.is_empty());
+        let mut payload = 0u64;
+        for (addr, dst) in reqs.iter_mut() {
+            self.pool
+                .mn(addr.mn())
+                .region()
+                .read(addr.offset() as usize, dst);
+            payload += dst.len() as u64;
+            self.stats.reads += 1;
+        }
+        self.charge(reqs.len() as u64, payload, 1);
+    }
+
+    /// One-sided WRITE of `src` at `addr`.
+    pub fn write(&mut self, addr: GlobalAddr, src: &[u8]) {
+        self.pool
+            .mn(addr.mn())
+            .region()
+            .write(addr.offset() as usize, src);
+        self.stats.writes += 1;
+        self.charge(1, src.len() as u64, 1);
+    }
+
+    /// Doorbell-batched WRITEs (e.g. Sherman-style "write data + unlock in
+    /// one round-trip"). Writes are applied in order.
+    pub fn write_batch(&mut self, reqs: &[(GlobalAddr, &[u8])]) {
+        assert!(!reqs.is_empty());
+        let mut payload = 0u64;
+        for (addr, src) in reqs {
+            self.pool
+                .mn(addr.mn())
+                .region()
+                .write(addr.offset() as usize, src);
+            payload += src.len() as u64;
+            self.stats.writes += 1;
+        }
+        self.charge(reqs.len() as u64, payload, 1);
+    }
+
+    /// RDMA compare-and-swap on the 8-byte word at `addr`.
+    ///
+    /// Returns the previous value; the swap happened iff it equals `compare`.
+    pub fn cas(&mut self, addr: GlobalAddr, compare: u64, swap: u64) -> u64 {
+        let old = self
+            .pool
+            .mn(addr.mn())
+            .region()
+            .atomic_rmw_u64(addr.offset() as usize, |cur| {
+                (cur == compare).then_some(swap)
+            });
+        self.stats.atomics += 1;
+        self.charge(1, 16, 1);
+        old
+    }
+
+    /// RDMA masked compare-and-swap (ConnectX extended atomic).
+    ///
+    /// Compares only the bits selected by `compare_mask`; on success swaps
+    /// only the bits selected by `swap_mask`. Always returns the full
+    /// previous 8-byte value, which is how CHIME piggybacks the vacancy
+    /// bitmap onto lock acquisition.
+    pub fn masked_cas(
+        &mut self,
+        addr: GlobalAddr,
+        compare: u64,
+        compare_mask: u64,
+        swap: u64,
+        swap_mask: u64,
+    ) -> u64 {
+        let old = self
+            .pool
+            .mn(addr.mn())
+            .region()
+            .atomic_rmw_u64(addr.offset() as usize, |cur| {
+                (cur & compare_mask == compare & compare_mask)
+                    .then_some((cur & !swap_mask) | (swap & swap_mask))
+            });
+        self.stats.atomics += 1;
+        self.charge(1, 32, 1);
+        old
+    }
+
+    /// RDMA fetch-and-add on the 8-byte word at `addr`; returns the old value.
+    pub fn faa(&mut self, addr: GlobalAddr, add: u64) -> u64 {
+        let old = self
+            .pool
+            .mn(addr.mn())
+            .region()
+            .atomic_rmw_u64(addr.offset() as usize, |cur| Some(cur.wrapping_add(add)));
+        self.stats.atomics += 1;
+        self.charge(1, 16, 1);
+        old
+    }
+
+    /// Allocation RPC: asks memory node `mn` for a chunk of `size` bytes.
+    ///
+    /// This is the only MN-CPU-involving operation, used to grab 16 MB
+    /// chunks that the client then sub-allocates locally.
+    pub fn alloc_rpc(&mut self, mn: u16, size: u64) -> Option<GlobalAddr> {
+        let r = self.pool.mn(mn).alloc(size);
+        self.stats.rpcs += 1;
+        self.stats.msgs += 2;
+        self.stats.rtts += 1;
+        self.stats.wire_bytes += 2 * self.pool.net().msg_overhead;
+        self.clock_ns += self.pool.net().alloc_rpc_ns;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::RESERVED_BYTES;
+
+    fn ep() -> Endpoint {
+        Endpoint::new(Pool::with_defaults(1, 1 << 20))
+    }
+
+    #[test]
+    fn read_write_roundtrip_and_accounting() {
+        let mut e = ep();
+        let addr = GlobalAddr::new(0, RESERVED_BYTES);
+        e.write(addr, b"hello world!");
+        let mut buf = [0u8; 12];
+        e.read(addr, &mut buf);
+        assert_eq!(&buf, b"hello world!");
+        assert_eq!(e.stats().reads, 1);
+        assert_eq!(e.stats().writes, 1);
+        assert_eq!(e.stats().rtts, 2);
+        assert!(e.clock_ns() >= 2 * e.pool().net().rtt_ns);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut e = ep();
+        let addr = GlobalAddr::new(0, RESERVED_BYTES);
+        assert_eq!(e.cas(addr, 0, 7), 0);
+        assert_eq!(e.cas(addr, 0, 9), 7); // fails, returns current
+        let mut b = [0u8; 8];
+        e.read(addr, &mut b);
+        assert_eq!(u64::from_le_bytes(b), 7);
+    }
+
+    #[test]
+    fn masked_cas_semantics() {
+        let mut e = ep();
+        let addr = GlobalAddr::new(0, RESERVED_BYTES);
+        e.write(addr, &0xAABB_CCDD_0000_0000u64.to_le_bytes());
+        // Compare only bit 0 (expect 0 = unlocked), swap only bit 0.
+        let old = e.masked_cas(addr, 0, 1, 1, 1);
+        assert_eq!(old, 0xAABB_CCDD_0000_0000); // full old value returned
+        let mut b = [0u8; 8];
+        e.read(addr, &mut b);
+        // Only bit 0 changed.
+        assert_eq!(u64::from_le_bytes(b), 0xAABB_CCDD_0000_0001);
+        // Second acquire fails (bit 0 already 1) and leaves the word intact.
+        let old2 = e.masked_cas(addr, 0, 1, 1, 1);
+        assert_eq!(old2 & 1, 1);
+        e.read(addr, &mut b);
+        assert_eq!(u64::from_le_bytes(b), 0xAABB_CCDD_0000_0001);
+    }
+
+    #[test]
+    fn masked_cas_swap_mask_limits_written_bits() {
+        let mut e = ep();
+        let addr = GlobalAddr::new(0, RESERVED_BYTES);
+        e.write(addr, &u64::MAX.to_le_bytes());
+        // Unlock via masked write of bit 0 only... done with swap_mask=1.
+        let _ = e.masked_cas(addr, u64::MAX, u64::MAX, 0, 1);
+        let mut b = [0u8; 8];
+        e.read(addr, &mut b);
+        assert_eq!(u64::from_le_bytes(b), u64::MAX - 1);
+    }
+
+    #[test]
+    fn faa_accumulates() {
+        let mut e = ep();
+        let addr = GlobalAddr::new(0, RESERVED_BYTES);
+        assert_eq!(e.faa(addr, 5), 0);
+        assert_eq!(e.faa(addr, 3), 5);
+        assert_eq!(e.faa(addr, 0), 8);
+    }
+
+    #[test]
+    fn batched_reads_pay_one_rtt() {
+        let mut e = ep();
+        let a1 = GlobalAddr::new(0, RESERVED_BYTES);
+        let a2 = GlobalAddr::new(0, RESERVED_BYTES + 128);
+        e.write(a1, &[1u8; 16]);
+        e.write(a2, &[2u8; 16]);
+        let before = e.stats().clone();
+        let clock_before = e.clock_ns();
+        let mut b1 = [0u8; 16];
+        let mut b2 = [0u8; 16];
+        {
+            let mut reqs = [(a1, &mut b1[..]), (a2, &mut b2[..])];
+            e.read_batch(&mut reqs);
+        }
+        assert_eq!(b1, [1u8; 16]);
+        assert_eq!(b2, [2u8; 16]);
+        let d = e.stats().since(&before);
+        assert_eq!(d.rtts, 1);
+        assert_eq!(d.msgs, 2);
+        assert_eq!(d.reads, 2);
+        // One doorbell batch is cheaper than two sequential reads.
+        assert!(e.clock_ns() - clock_before < 2 * e.pool().net().rtt_ns);
+    }
+
+    #[test]
+    fn alloc_rpc_returns_chunks() {
+        let mut e = ep();
+        let a = e.alloc_rpc(0, 4096).unwrap();
+        let b = e.alloc_rpc(0, 4096).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(e.stats().rpcs, 2);
+    }
+}

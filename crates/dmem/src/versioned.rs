@@ -1,0 +1,522 @@
+//! Versioned memory layout (two-level cache-line versions).
+//!
+//! Sherman and CHIME stripe every tree node over 64-byte cache lines whose
+//! first byte is a *version byte*; the remaining 63 bytes per line hold
+//! payload. A version byte packs a 4-bit node-level version (NV, high nibble)
+//! and a 4-bit entry-level version (EV, low nibble):
+//!
+//! * a **node write** bumps NV in every version byte of the node;
+//! * an **entry write** bumps EV in the entry's own leading version byte and
+//!   in every line version byte that falls physically inside the entry;
+//! * a reader checks that all fetched version bytes agree on NV, and that the
+//!   version bytes within each fetched entry agree on EV.
+//!
+//! This module provides the logical↔physical mapping, fetch/write helpers and
+//! nibble arithmetic. The convention throughout the workspace is that every
+//! *object* (node header or entry) begins with its own version byte in
+//! logical space, so a fetch that starts at an object boundary always carries
+//! enough version information to detect cross-line tearing.
+
+use crate::addr::GlobalAddr;
+use crate::verbs::Endpoint;
+
+/// Payload bytes per 64-byte line (one byte is the version byte).
+pub const LINE_PAYLOAD: usize = 63;
+/// Physical line size.
+pub const LINE: usize = 64;
+
+/// Packs node-level and entry-level versions into one version byte.
+#[inline]
+pub fn pack_ver(nv: u8, ev: u8) -> u8 {
+    (nv << 4) | (ev & 0x0F)
+}
+
+/// Extracts the node-level version (high nibble).
+#[inline]
+pub fn nv(b: u8) -> u8 {
+    b >> 4
+}
+
+/// Extracts the entry-level version (low nibble).
+#[inline]
+pub fn ev(b: u8) -> u8 {
+    b & 0x0F
+}
+
+/// Increments a 4-bit version, wrapping at 16.
+#[inline]
+pub fn bump(v: u8) -> u8 {
+    (v + 1) & 0x0F
+}
+
+/// The versioned layout of one node: a payload of `payload_len` logical
+/// bytes striped over 64-byte lines, followed by an 8-byte lock word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    payload_len: usize,
+}
+
+impl Layout {
+    /// Creates a layout for `payload_len` logical bytes.
+    pub fn new(payload_len: usize) -> Self {
+        assert!(payload_len > 0);
+        Layout { payload_len }
+    }
+
+    /// Logical payload length.
+    #[inline]
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// Number of 64-byte lines the payload occupies.
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.payload_len.div_ceil(LINE_PAYLOAD)
+    }
+
+    /// Physical size of the versioned payload area.
+    #[inline]
+    pub fn versioned_size(&self) -> usize {
+        self.lines() * LINE
+    }
+
+    /// Physical offset of the 8-byte lock word (8-aligned by construction).
+    #[inline]
+    pub fn lock_offset(&self) -> usize {
+        self.versioned_size()
+    }
+
+    /// Total physical node size including the lock word.
+    #[inline]
+    pub fn node_size(&self) -> usize {
+        self.versioned_size() + 8
+    }
+
+    /// Maps a logical payload offset to its physical offset in the node.
+    #[inline]
+    pub fn phys_of(&self, logical: usize) -> usize {
+        debug_assert!(logical <= self.payload_len);
+        (logical / LINE_PAYLOAD) * LINE + 1 + logical % LINE_PAYLOAD
+    }
+
+    /// Physical start of an access whose logical range begins at `lstart`.
+    ///
+    /// When `lstart` falls exactly on a line-payload boundary the access
+    /// also covers that line's version byte (Sherman-style writes begin at
+    /// the version byte), so the physical start is one byte earlier than
+    /// `phys_of(lstart)`.
+    #[inline]
+    pub fn phys_start(&self, lstart: usize) -> usize {
+        if lstart.is_multiple_of(LINE_PAYLOAD) {
+            self.phys_of(lstart) - 1
+        } else {
+            self.phys_of(lstart)
+        }
+    }
+
+    /// Fetches logical range `[lstart, lend)` with one READ.
+    ///
+    /// The physical fetch starts at [`Layout::phys_start`]`(lstart)` — by
+    /// convention an object boundary carrying a version byte — and ends at
+    /// `phys_of(lend - 1) + 1`.
+    pub fn fetch(
+        &self,
+        ep: &mut Endpoint,
+        node: GlobalAddr,
+        lstart: usize,
+        lend: usize,
+    ) -> Fetched {
+        assert!(lstart < lend && lend <= self.payload_len);
+        let pstart = self.phys_start(lstart);
+        let pend = self.phys_of(lend - 1) + 1;
+        let mut buf = vec![0u8; pend - pstart];
+        ep.read(node.add(pstart as u64), &mut buf);
+        Fetched {
+            layout: *self,
+            lstart,
+            lend,
+            pstart,
+            buf,
+        }
+    }
+
+    /// Fetches two logical ranges with one doorbell batch (wrap-around case).
+    pub fn fetch2(
+        &self,
+        ep: &mut Endpoint,
+        node: GlobalAddr,
+        r1: (usize, usize),
+        r2: (usize, usize),
+    ) -> (Fetched, Fetched) {
+        let mk = |(ls, le): (usize, usize)| {
+            assert!(ls < le && le <= self.payload_len);
+            let ps = self.phys_start(ls);
+            let pe = self.phys_of(le - 1) + 1;
+            (ps, vec![0u8; pe - ps])
+        };
+        let (p1, mut b1) = mk(r1);
+        let (p2, mut b2) = mk(r2);
+        {
+            let mut reqs = [
+                (node.add(p1 as u64), &mut b1[..]),
+                (node.add(p2 as u64), &mut b2[..]),
+            ];
+            ep.read_batch(&mut reqs);
+        }
+        (
+            Fetched {
+                layout: *self,
+                lstart: r1.0,
+                lend: r1.1,
+                pstart: p1,
+                buf: b1,
+            },
+            Fetched {
+                layout: *self,
+                lstart: r2.0,
+                lend: r2.1,
+                pstart: p2,
+                buf: b2,
+            },
+        )
+    }
+
+    /// Wraps raw physical bytes (read by the caller, starting at
+    /// [`Layout::phys_start`]`(lstart)`) into a [`Fetched`] view.
+    pub fn from_raw(&self, lstart: usize, lend: usize, buf: Vec<u8>) -> Fetched {
+        assert!(lstart < lend && lend <= self.payload_len);
+        let pstart = self.phys_start(lstart);
+        let pend = self.phys_of(lend - 1) + 1;
+        assert_eq!(buf.len(), pend - pstart, "raw buffer size mismatch");
+        Fetched {
+            layout: *self,
+            lstart,
+            lend,
+            pstart,
+            buf,
+        }
+    }
+
+    /// Fetches any number of logical ranges with one doorbell batch.
+    pub fn fetch_many(
+        &self,
+        ep: &mut Endpoint,
+        node: GlobalAddr,
+        ranges: &[(usize, usize)],
+    ) -> Vec<Fetched> {
+        assert!(!ranges.is_empty());
+        let mut bufs: Vec<(usize, Vec<u8>)> = ranges
+            .iter()
+            .map(|&(ls, le)| {
+                assert!(ls < le && le <= self.payload_len);
+                let ps = self.phys_start(ls);
+                let pe = self.phys_of(le - 1) + 1;
+                (ps, vec![0u8; pe - ps])
+            })
+            .collect();
+        {
+            let mut reqs: Vec<(GlobalAddr, &mut [u8])> = bufs
+                .iter_mut()
+                .map(|(ps, buf)| (node.add(*ps as u64), &mut buf[..]))
+                .collect();
+            ep.read_batch(&mut reqs);
+        }
+        bufs.into_iter()
+            .zip(ranges.iter())
+            .map(|((ps, buf), &(ls, le))| Fetched {
+                layout: *self,
+                lstart: ls,
+                lend: le,
+                pstart: ps,
+                buf,
+            })
+            .collect()
+    }
+
+    /// Builds the physical image of logical range `[lstart, lend)`.
+    ///
+    /// `data` supplies the logical bytes; `line_ver` is called with the
+    /// logical offset *following* each interleaved line-version slot and must
+    /// return the version byte to store there.
+    pub fn build_phys(
+        &self,
+        lstart: usize,
+        data: &[u8],
+        mut line_ver: impl FnMut(usize) -> u8,
+    ) -> (usize, Vec<u8>) {
+        let lend = lstart + data.len();
+        assert!(lend <= self.payload_len);
+        let pstart = self.phys_start(lstart);
+        let pend = self.phys_of(lend - 1) + 1;
+        let mut out = vec![0u8; pend - pstart];
+        for (i, b) in out.iter_mut().enumerate() {
+            let p = pstart + i;
+            if p.is_multiple_of(LINE) {
+                // The version slot guards the payload byte at logical
+                // position (p / LINE) * LINE_PAYLOAD.
+                *b = line_ver((p / LINE) * LINE_PAYLOAD);
+            } else {
+                let l = (p / LINE) * LINE_PAYLOAD + (p % LINE - 1);
+                *b = data[l - lstart];
+            }
+        }
+        (pstart, out)
+    }
+
+    /// Writes logical range `[lstart, lstart+data.len())` with one WRITE.
+    ///
+    /// See [`Layout::build_phys`] for the `line_ver` contract.
+    pub fn write(
+        &self,
+        ep: &mut Endpoint,
+        node: GlobalAddr,
+        lstart: usize,
+        data: &[u8],
+        line_ver: impl FnMut(usize) -> u8,
+    ) {
+        let (pstart, img) = self.build_phys(lstart, data, line_ver);
+        ep.write(node.add(pstart as u64), &img);
+    }
+
+    /// Logical offsets (following positions) of the line-version slots that
+    /// fall strictly inside physical range of logical `[lstart, lend)`.
+    pub fn line_ver_slots(&self, lstart: usize, lend: usize) -> Vec<usize> {
+        let pstart = self.phys_start(lstart);
+        let pend = self.phys_of(lend - 1) + 1;
+        let mut v = Vec::new();
+        for line in pstart / LINE..=(pend - 1) / LINE {
+            let p = line * LINE;
+            if p >= pstart && p < pend {
+                v.push(line * LINE_PAYLOAD);
+            }
+        }
+        v
+    }
+}
+
+/// The result of a versioned fetch: raw physical bytes plus accessors.
+pub struct Fetched {
+    layout: Layout,
+    lstart: usize,
+    lend: usize,
+    pstart: usize,
+    buf: Vec<u8>,
+}
+
+impl Fetched {
+    /// First logical offset covered.
+    pub fn lstart(&self) -> usize {
+        self.lstart
+    }
+
+    /// One past the last logical offset covered.
+    pub fn lend(&self) -> usize {
+        self.lend
+    }
+
+    /// Returns the logical byte at absolute logical offset `l`.
+    #[inline]
+    pub fn get(&self, l: usize) -> u8 {
+        debug_assert!(l >= self.lstart && l < self.lend);
+        self.buf[self.layout.phys_of(l) - self.pstart]
+    }
+
+    /// Copies `len` logical bytes starting at absolute logical offset `l`.
+    pub fn copy(&self, l: usize, len: usize) -> Vec<u8> {
+        (l..l + len).map(|i| self.get(i)).collect()
+    }
+
+    /// Reads a little-endian `u64` at absolute logical offset `l`.
+    pub fn u64_at(&self, l: usize) -> u64 {
+        let mut b = [0u8; 8];
+        for (i, x) in b.iter_mut().enumerate() {
+            *x = self.get(l + i);
+        }
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u16` at absolute logical offset `l`.
+    pub fn u16_at(&self, l: usize) -> u16 {
+        u16::from_le_bytes([self.get(l), self.get(l + 1)])
+    }
+
+    /// Version bytes of the line slots inside logical `[a, b)` (both bounds
+    /// absolute), i.e. the interleaved cache-line versions a reader must
+    /// check for an object spanning that range.
+    pub fn line_versions(&self, a: usize, b: usize) -> Vec<u8> {
+        self.layout
+            .line_ver_slots(a, b)
+            .iter()
+            .map(|&slot| {
+                let p = (slot / LINE_PAYLOAD) * LINE;
+                self.buf[p - self.pstart]
+            })
+            .collect()
+    }
+
+    /// Checks that every version byte in the fetch (line slots plus the
+    /// object-leading bytes at `object_leads`, absolute logical offsets)
+    /// agrees on NV. Returns that NV on success.
+    pub fn check_nv(&self, object_leads: &[usize]) -> Option<u8> {
+        let mut expect: Option<u8> = None;
+        let mut probe = |b: u8| -> bool {
+            let n = nv(b);
+            match expect {
+                None => {
+                    expect = Some(n);
+                    true
+                }
+                Some(e) => e == n,
+            }
+        };
+        for b in self.line_versions(self.lstart, self.lend) {
+            if !probe(b) {
+                return None;
+            }
+        }
+        for &l in object_leads {
+            if !probe(self.get(l)) {
+                return None;
+            }
+        }
+        expect
+    }
+
+    /// Checks that the object spanning logical `[a, b)` with leading version
+    /// byte at `a` is EV-consistent (no concurrent entry write observed).
+    pub fn check_ev(&self, a: usize, b: usize) -> bool {
+        let lead = ev(self.get(a));
+        self.line_versions(a, b).iter().all(|&v| ev(v) == lead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Pool, RESERVED_BYTES};
+
+    fn ep() -> Endpoint {
+        Endpoint::new(Pool::with_defaults(1, 1 << 20))
+    }
+
+    #[test]
+    fn nibble_ops() {
+        let b = pack_ver(0xA, 0x5);
+        assert_eq!(nv(b), 0xA);
+        assert_eq!(ev(b), 0x5);
+        assert_eq!(bump(0xF), 0);
+        assert_eq!(bump(7), 8);
+    }
+
+    #[test]
+    fn layout_geometry() {
+        let l = Layout::new(63);
+        assert_eq!(l.lines(), 1);
+        assert_eq!(l.versioned_size(), 64);
+        assert_eq!(l.lock_offset(), 64);
+        assert_eq!(l.node_size(), 72);
+        let l = Layout::new(64);
+        assert_eq!(l.lines(), 2);
+        assert_eq!(l.node_size(), 136);
+    }
+
+    #[test]
+    fn phys_mapping_skips_version_bytes() {
+        let l = Layout::new(200);
+        assert_eq!(l.phys_of(0), 1);
+        assert_eq!(l.phys_of(62), 63);
+        assert_eq!(l.phys_of(63), 65); // next line, after its version byte
+        assert_eq!(l.phys_of(126), 129);
+    }
+
+    #[test]
+    fn write_then_fetch_roundtrip() {
+        let mut e = ep();
+        let node = GlobalAddr::new(0, RESERVED_BYTES);
+        let layout = Layout::new(300);
+        let data: Vec<u8> = (0..200u8).collect();
+        layout.write(&mut e, node, 40, &data, |_| pack_ver(3, 1));
+        let f = layout.fetch(&mut e, node, 40, 240);
+        assert_eq!(f.copy(40, 200), data);
+        // All interleaved line versions must be what we wrote.
+        for v in f.line_versions(40, 240) {
+            assert_eq!(nv(v), 3);
+            assert_eq!(ev(v), 1);
+        }
+    }
+
+    #[test]
+    fn u64_and_u16_accessors() {
+        let mut e = ep();
+        let node = GlobalAddr::new(0, RESERVED_BYTES);
+        let layout = Layout::new(300);
+        let mut data = vec![0u8; 100];
+        data[58..66].copy_from_slice(&0xDEAD_BEEF_1234_5678u64.to_le_bytes());
+        data[0..2].copy_from_slice(&0xABCDu16.to_le_bytes());
+        layout.write(&mut e, node, 0, &data, |_| 0);
+        let f = layout.fetch(&mut e, node, 0, 100);
+        assert_eq!(f.u64_at(58), 0xDEAD_BEEF_1234_5678); // straddles a line
+        assert_eq!(f.u16_at(0), 0xABCD);
+    }
+
+    #[test]
+    fn nv_check_detects_mixed_versions() {
+        let mut e = ep();
+        let node = GlobalAddr::new(0, RESERVED_BYTES);
+        let layout = Layout::new(300);
+        let data = vec![7u8; 150];
+        layout.write(&mut e, node, 0, &data, |_| pack_ver(2, 0));
+        // Overwrite the second line only, with a different NV.
+        layout.write(&mut e, node, 63, &vec![7u8; 63], |_| pack_ver(3, 0));
+        let f = layout.fetch(&mut e, node, 0, 150);
+        assert_eq!(f.check_nv(&[]), None);
+        // A fetch confined to the second line is self-consistent.
+        let f2 = layout.fetch(&mut e, node, 63, 126);
+        assert_eq!(f2.check_nv(&[]), Some(3));
+    }
+
+    #[test]
+    fn ev_check_detects_partial_entry_write() {
+        let mut e = ep();
+        let node = GlobalAddr::new(0, RESERVED_BYTES);
+        let layout = Layout::new(300);
+        // An "entry" spanning logical [50, 90): leading version byte at 50,
+        // one interleaved line version slot at logical 63.
+        let mut entry = vec![1u8; 40];
+        entry[0] = pack_ver(0, 4);
+        layout.write(&mut e, node, 50, &entry, |_| pack_ver(0, 4));
+        let f = layout.fetch(&mut e, node, 50, 90);
+        assert!(f.check_ev(50, 90));
+        // Simulate a torn write: the line version got bumped but the lead
+        // byte has not (reader raced the writer).
+        layout.write(&mut e, node, 63, &[1u8], |_| pack_ver(0, 5));
+        let f = layout.fetch(&mut e, node, 50, 90);
+        assert!(!f.check_ev(50, 90));
+    }
+
+    #[test]
+    fn line_ver_slots_positions() {
+        let layout = Layout::new(300);
+        // A range starting on a line-payload boundary owns that line's slot.
+        assert_eq!(layout.line_ver_slots(0, 63), vec![0]);
+        // Range [0, 64) crosses into line 1: also the slot guarding 63.
+        assert_eq!(layout.line_ver_slots(0, 64), vec![0, 63]);
+        // A mid-line start does not own the slot before it.
+        assert_eq!(layout.line_ver_slots(50, 130), vec![63, 126]);
+    }
+
+    #[test]
+    fn fetch2_doorbell() {
+        let mut e = ep();
+        let node = GlobalAddr::new(0, RESERVED_BYTES);
+        let layout = Layout::new(300);
+        layout.write(&mut e, node, 0, &[9u8; 20], |_| 0);
+        layout.write(&mut e, node, 200, &[8u8; 20], |_| 0);
+        let before = e.stats().rtts;
+        let (f1, f2) = layout.fetch2(&mut e, node, (0, 20), (200, 220));
+        assert_eq!(e.stats().rtts, before + 1);
+        assert_eq!(f1.copy(0, 20), vec![9u8; 20]);
+        assert_eq!(f2.copy(200, 20), vec![8u8; 20]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Greedy piecewise linear regression with a hard error bound.
+//!
+//! ROLEX trains piecewise linear models mapping keys to positions in the
+//! sorted key array, guaranteeing `|predicted - actual| <= delta`. The
+//! greedy shrinking-cone algorithm (FITing-tree style) builds segments in
+//! one pass over the sorted keys.
+
+/// One linear segment: covers keys `>= start_key` until the next segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First key covered.
+    pub start_key: u64,
+    /// Position of `start_key` in the global sorted order.
+    pub start_pos: u64,
+    /// Slope (positions per key unit).
+    pub slope: f64,
+}
+
+/// A trained piecewise linear model with error bound `delta`.
+#[derive(Debug, Clone)]
+pub struct PlrModel {
+    segments: Vec<Segment>,
+    delta: u64,
+    n: u64,
+}
+
+impl PlrModel {
+    /// Trains on `keys` (strictly ascending) with error bound `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty or not strictly ascending.
+    pub fn train(keys: &[u64], delta: u64) -> Self {
+        assert!(!keys.is_empty());
+        let mut segments = Vec::new();
+        let mut i0 = 0usize;
+        let (mut lo, mut hi) = (f64::NEG_INFINITY, f64::INFINITY);
+        for i in 1..keys.len() {
+            assert!(keys[i] > keys[i - 1], "keys must be strictly ascending");
+            let dx = (keys[i] - keys[i0]) as f64;
+            let dy = (i - i0) as f64;
+            let d = delta as f64;
+            let nlo = (dy - d) / dx;
+            let nhi = (dy + d) / dx;
+            let lo2 = lo.max(nlo);
+            let hi2 = hi.min(nhi);
+            if lo2 > hi2 {
+                // Close the current segment with the midpoint slope.
+                segments.push(Segment {
+                    start_key: keys[i0],
+                    start_pos: i0 as u64,
+                    slope: mid_slope(lo, hi),
+                });
+                i0 = i;
+                lo = f64::NEG_INFINITY;
+                hi = f64::INFINITY;
+            } else {
+                lo = lo2;
+                hi = hi2;
+            }
+        }
+        segments.push(Segment {
+            start_key: keys[i0],
+            start_pos: i0 as u64,
+            slope: mid_slope(lo, hi),
+        });
+        PlrModel {
+            segments,
+            delta,
+            n: keys.len() as u64,
+        }
+    }
+
+    /// Predicted position of `key` in the sorted order (clamped to range).
+    pub fn predict(&self, key: u64) -> u64 {
+        let i = match self.segments.binary_search_by_key(&key, |s| s.start_key) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let s = self.segments[i];
+        let p = s.start_pos as f64 + s.slope * key.saturating_sub(s.start_key) as f64;
+        (p.max(0.0) as u64).min(self.n.saturating_sub(1))
+    }
+
+    /// The trained error bound.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// Number of trained keys.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Compute-side bytes of the model (ROLEX's CN cache).
+    pub fn cache_bytes(&self) -> u64 {
+        self.segments.len() as u64 * 24 + 32
+    }
+}
+
+fn mid_slope(lo: f64, hi: f64) -> f64 {
+    match (lo.is_finite(), hi.is_finite()) {
+        (true, true) => (lo + hi) / 2.0,
+        (true, false) => lo.max(0.0),
+        (false, true) => hi.max(0.0),
+        (false, false) => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bound_holds_on_linear_keys() {
+        let keys: Vec<u64> = (0..10_000).map(|i| i * 7 + 3).collect();
+        let m = PlrModel::train(&keys, 8);
+        assert!(m.segments() <= 3, "linear data needs ~1 segment");
+        for (i, &k) in keys.iter().enumerate() {
+            let p = m.predict(k) as i64;
+            assert!((p - i as i64).abs() <= 8, "key {k}: |{p} - {i}| > 8");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_on_random_keys() {
+        let mut keys: Vec<u64> = (1..5_000u64).map(dmem::hash::mix64).collect();
+        keys.sort();
+        keys.dedup();
+        let m = PlrModel::train(&keys, 16);
+        for (i, &k) in keys.iter().enumerate() {
+            let p = m.predict(k) as i64;
+            assert!(
+                (p - i as i64).abs() <= 16,
+                "key {k}: |{p} - {i}| > 16 ({} segs)",
+                m.segments()
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_keys_make_more_segments() {
+        // Two dense clusters far apart.
+        let mut keys: Vec<u64> = (0..1_000).collect();
+        keys.extend((0..1_000u64).map(|i| 1 << 40 | i));
+        let m = PlrModel::train(&keys, 4);
+        assert!(m.segments() >= 2);
+        for (i, &k) in keys.iter().enumerate() {
+            let p = m.predict(k) as i64;
+            assert!((p - i as i64).abs() <= 4);
+        }
+    }
+
+    #[test]
+    fn predict_clamps_out_of_range() {
+        let keys: Vec<u64> = (100..200).collect();
+        let m = PlrModel::train(&keys, 4);
+        assert_eq!(m.predict(1), 0);
+        assert!(m.predict(u64::MAX) <= 99);
+    }
+
+    #[test]
+    fn single_key_model() {
+        let m = PlrModel::train(&[42], 4);
+        assert_eq!(m.predict(42), 0);
+        assert_eq!(m.segments(), 1);
+    }
+
+    #[test]
+    fn cache_bytes_scale_with_segments() {
+        let keys: Vec<u64> = (0..100).map(|i| i * 2).collect();
+        let m = PlrModel::train(&keys, 4);
+        assert_eq!(m.cache_bytes(), m.segments() as u64 * 24 + 32);
+    }
+}

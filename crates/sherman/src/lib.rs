@@ -1,0 +1,17 @@
+//! Sherman: a write-optimized B+ tree on disaggregated memory (SIGMOD'22),
+//! the KV-contiguous baseline of the CHIME evaluation.
+//!
+//! Leaf nodes store sorted KV entries contiguously; every point query reads
+//! the **whole leaf node** (the read amplification CHIME attacks), while
+//! updates remain fine-grained thanks to the two-level cache-line versions
+//! (the corrected scheme the CHIME paper retrofits onto Sherman). Internal
+//! nodes, the CN-side cache and the versioned-memory layout are shared with
+//! the `chime` crate — CHIME is built on Sherman's internal-node design, so
+//! they are identical by construction.
+
+#![warn(missing_docs)]
+
+pub mod leaf;
+pub mod tree;
+
+pub use tree::{Sherman, ShermanClient, ShermanConfig};

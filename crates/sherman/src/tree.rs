@@ -1,0 +1,770 @@
+//! The Sherman B+ tree: operations over sorted leaves with fence-key
+//! validation, sharing CHIME's internal-node machinery.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use chime::cache::NodeCache;
+use chime::internal::{InternalNode, InternalOps};
+use chime::layout::InternalLayout;
+use dmem::{ChunkAlloc, ClientStats, Endpoint, GlobalAddr, IndexError, Pool, RangeIndex};
+
+use crate::leaf::{LeafSnapshot, ShermanLeafLayout, ShermanLeafOps};
+
+const OP_RETRY_LIMIT: usize = 100_000;
+
+/// Sherman configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ShermanConfig {
+    /// Leaf span (entries per leaf). Paper default: 64.
+    pub span: usize,
+    /// Internal fan-out. Paper default: 64.
+    pub internal_span: usize,
+    /// Inline value size in bytes.
+    pub value_size: usize,
+    /// CN cache budget in bytes.
+    pub cache_bytes: u64,
+    /// Store values out-of-line behind an 8-byte pointer (Marlin-style
+    /// variable-length support for Fig. 13 / Fig. 18d).
+    pub indirect_values: bool,
+}
+
+impl Default for ShermanConfig {
+    fn default() -> Self {
+        ShermanConfig {
+            span: 64,
+            internal_span: 64,
+            value_size: 8,
+            cache_bytes: 100 << 20,
+            indirect_values: false,
+        }
+    }
+}
+
+struct Shared {
+    pool: Arc<Pool>,
+    cfg: ShermanConfig,
+    root_slot: GlobalAddr,
+    leaf: ShermanLeafOps,
+    internal: InternalOps,
+}
+
+/// A handle to a Sherman tree.
+#[derive(Clone)]
+pub struct Sherman {
+    shared: Arc<Shared>,
+}
+
+/// Per-CN shared state.
+pub struct CnState {
+    cache: Mutex<NodeCache>,
+    root_hint: Mutex<GlobalAddr>,
+    lock_table: Arc<dmem::LocalLockTable>,
+}
+
+impl CnState {
+    /// Compute-side cache footprint in bytes.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.lock().bytes()
+    }
+}
+
+/// One Sherman client.
+pub struct ShermanClient {
+    shared: Arc<Shared>,
+    cn: Arc<CnState>,
+    ep: Endpoint,
+    alloc: ChunkAlloc,
+}
+
+impl Sherman {
+    /// Creates a new empty tree rooted at well-known slot `slot`.
+    pub fn create(pool: &Arc<Pool>, cfg: ShermanConfig, slot: u64) -> Self {
+        let leaf = ShermanLeafOps {
+            layout: ShermanLeafLayout {
+                span: cfg.span,
+                value_size: if cfg.indirect_values { 8 } else { cfg.value_size },
+            },
+        };
+        let internal = InternalOps {
+            layout: InternalLayout {
+                span: cfg.internal_span,
+            },
+        };
+        let shared = Arc::new(Shared {
+            pool: Arc::clone(pool),
+            cfg,
+            root_slot: dmem::root_slot(slot),
+            leaf,
+            internal,
+        });
+        let t = Sherman { shared };
+        t.bootstrap();
+        t
+    }
+
+    fn bootstrap(&self) {
+        let s = &self.shared;
+        let mut ep = Endpoint::new(Arc::clone(&s.pool));
+        let mut alloc = ChunkAlloc::with_defaults();
+        let leaf_addr = alloc
+            .alloc(&mut ep, s.leaf.layout.node_size() as u64)
+            .expect("pool too small");
+        s.leaf.write_full(
+            &mut ep,
+            leaf_addr,
+            0,
+            &[],
+            &[],
+            GlobalAddr::NULL,
+            (0, u64::MAX),
+            false,
+        );
+        let root_addr = alloc
+            .alloc(&mut ep, s.internal.layout.node_size() as u64)
+            .expect("pool too small");
+        let root = InternalNode {
+            addr: root_addr,
+            level: 1,
+            valid: true,
+            fence_low: 0,
+            fence_high: u64::MAX,
+            sibling: GlobalAddr::NULL,
+            entries: vec![(0, leaf_addr)],
+            nv: 0,
+        };
+        s.internal.write_new(&mut ep, &root);
+        ep.write(s.root_slot, &root_addr.raw().to_le_bytes());
+    }
+
+    /// Creates the shared state for one compute node.
+    pub fn new_cn(&self) -> Arc<CnState> {
+        Arc::new(CnState {
+            cache: Mutex::new(NodeCache::new(self.shared.cfg.cache_bytes)),
+            root_hint: Mutex::new(GlobalAddr::NULL),
+            lock_table: Arc::new(dmem::LocalLockTable::new()),
+        })
+    }
+
+    /// Creates a client attached to `cn`.
+    pub fn client(&self, cn: &Arc<CnState>) -> ShermanClient {
+        ShermanClient {
+            shared: Arc::clone(&self.shared),
+            cn: Arc::clone(cn),
+            ep: Endpoint::new(Arc::clone(&self.shared.pool)),
+            alloc: ChunkAlloc::sim_scaled(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ShermanConfig {
+        &self.shared.cfg
+    }
+}
+
+impl ShermanClient {
+    /// Queues locally for a remote node lock (Sherman's local lock table).
+    fn local_lock(&self, addr: GlobalAddr) -> dmem::LocalLockGuard {
+        let table = Arc::clone(&self.cn.lock_table);
+        table.acquire(addr.raw())
+    }
+
+    fn refresh_root(&mut self) -> GlobalAddr {
+        let mut b = [0u8; 8];
+        self.ep.read(self.shared.root_slot, &mut b);
+        let addr = GlobalAddr::from_raw(u64::from_le_bytes(b));
+        *self.cn.root_hint.lock() = addr;
+        addr
+    }
+
+    fn root(&mut self) -> GlobalAddr {
+        let hint = *self.cn.root_hint.lock();
+        if hint.is_null() {
+            self.refresh_root()
+        } else {
+            hint
+        }
+    }
+
+    fn read_internal_cached(&mut self, addr: GlobalAddr, key: u64) -> InternalNode {
+        if let Some(n) = self.cn.cache.lock().get(addr) {
+            if n.covers(key) {
+                return n;
+            }
+        }
+        let n = self.shared.internal.read(&mut self.ep, addr);
+        if n.valid {
+            self.cn.cache.lock().insert(n.clone());
+        }
+        n
+    }
+
+    fn locate_leaf(&mut self, key: u64) -> (GlobalAddr, GlobalAddr) {
+        let mut addr = self.root();
+        for _ in 0..OP_RETRY_LIMIT {
+            let node = self.read_internal_cached(addr, key);
+            if !node.valid {
+                self.cn.cache.lock().invalidate(addr);
+                addr = self.refresh_root();
+                continue;
+            }
+            if !node.covers(key) {
+                if key >= node.fence_high && !node.sibling.is_null() {
+                    addr = node.sibling;
+                } else {
+                    addr = self.refresh_root();
+                }
+                continue;
+            }
+            let (child, _) = node.select(key);
+            if node.level == 1 {
+                return (child, node.addr);
+            }
+            addr = child;
+        }
+        panic!("sherman locate retry limit for key {key}");
+    }
+
+    fn locate_parent(&mut self, key: u64) -> InternalNode {
+        let mut addr = self.root();
+        for _ in 0..OP_RETRY_LIMIT {
+            let node = self.read_internal_cached(addr, key);
+            if !node.valid {
+                addr = self.refresh_root();
+                continue;
+            }
+            if !node.covers(key) {
+                if key >= node.fence_high && !node.sibling.is_null() {
+                    addr = node.sibling;
+                } else {
+                    addr = self.refresh_root();
+                }
+                continue;
+            }
+            if node.level == 1 {
+                return node;
+            }
+            let (child, _) = node.select(key);
+            addr = child;
+        }
+        panic!("sherman locate_parent retry limit");
+    }
+
+    /// Reads the leaf owning `key`, chasing fences laterally.
+    fn read_owner(&mut self, key: u64) -> (GlobalAddr, LeafSnapshot) {
+        let (mut addr, parent) = self.locate_leaf(key);
+        for _ in 0..OP_RETRY_LIMIT {
+            let snap = self.shared.leaf.read(&mut self.ep, addr);
+            if !snap.valid {
+                self.cn.cache.lock().invalidate(parent);
+                let (a, _) = self.locate_leaf(key);
+                addr = a;
+                continue;
+            }
+            if key < snap.fences.0 {
+                // Stale cache routed us too far right.
+                self.cn.cache.lock().invalidate(parent);
+                self.refresh_root();
+                let (a, _) = self.locate_leaf(key);
+                addr = a;
+                continue;
+            }
+            if !dmem::hash::in_range(key, snap.fences.0, snap.fences.1) {
+                self.cn.cache.lock().invalidate(parent);
+                addr = snap.sibling;
+                continue;
+            }
+            return (addr, snap);
+        }
+        panic!("sherman read_owner retry limit for key {key}");
+    }
+
+    /// Locks and reads the leaf owning `key` (write paths).
+    fn lock_owner(&mut self, key: u64) -> (GlobalAddr, LeafSnapshot) {
+        let (mut addr, _) = self.locate_leaf(key);
+        for _ in 0..OP_RETRY_LIMIT {
+            let _lk = self.local_lock(addr);
+            self.shared.leaf.lock(&mut self.ep, addr);
+            let snap = self.shared.leaf.read(&mut self.ep, addr);
+            if !snap.valid || key < snap.fences.0 {
+                self.shared.leaf.unlock(&mut self.ep, addr);
+                self.refresh_root();
+                let (a, _) = self.locate_leaf(key);
+                addr = a;
+                continue;
+            }
+            if !dmem::hash::in_range(key, snap.fences.0, snap.fences.1) {
+                self.shared.leaf.unlock(&mut self.ep, addr);
+                addr = snap.sibling;
+                continue;
+            }
+            return (addr, snap);
+        }
+        panic!("sherman lock_owner retry limit for key {key}");
+    }
+
+    fn split_and_insert(
+        &mut self,
+        addr: GlobalAddr,
+        snap: &LeafSnapshot,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), IndexError> {
+        let leaf = self.shared.leaf;
+        let mut keys = snap.keys.clone();
+        let mut values = snap.values.clone();
+        match keys.binary_search(&key) {
+            Ok(i) => {
+                values[i] = value;
+            }
+            Err(i) => {
+                keys.insert(i, key);
+                values.insert(i, value);
+            }
+        }
+        let mid = keys.len() / 2;
+        let pivot = keys[mid];
+        let new_addr = self
+            .alloc
+            .alloc(&mut self.ep, leaf.layout.node_size() as u64)?;
+        // Right node first (unreachable until the old node points to it).
+        leaf.write_full(
+            &mut self.ep,
+            new_addr,
+            0,
+            &keys[mid..],
+            &values[mid..],
+            snap.sibling,
+            (pivot, snap.fences.1),
+            false,
+        );
+        let mut left = snap.clone();
+        left.sibling = new_addr;
+        left.fences = (snap.fences.0, pivot);
+        leaf.write_full(
+            &mut self.ep,
+            addr,
+            dmem::versioned::bump(snap.nv),
+            &keys[..mid],
+            &values[..mid],
+            new_addr,
+            (snap.fences.0, pivot),
+            true,
+        );
+        self.insert_into_parent(1, pivot, new_addr)
+    }
+
+    fn insert_into_parent(
+        &mut self,
+        level: u8,
+        pivot: u64,
+        child: GlobalAddr,
+    ) -> Result<(), IndexError> {
+        for _ in 0..OP_RETRY_LIMIT {
+            let root_addr = self.refresh_root();
+            let mut node = self.shared.internal.read(&mut self.ep, root_addr);
+            if node.level < level {
+                continue;
+            }
+            let mut ok = true;
+            while node.level > level {
+                if !node.covers(pivot) {
+                    if pivot >= node.fence_high && !node.sibling.is_null() {
+                        node = self.shared.internal.read(&mut self.ep, node.sibling);
+                        continue;
+                    }
+                    ok = false;
+                    break;
+                }
+                let (c, _) = node.select(pivot);
+                node = self.shared.internal.read(&mut self.ep, c);
+            }
+            if !ok || node.level != level {
+                continue;
+            }
+            while node.valid && !node.covers(pivot) && pivot >= node.fence_high {
+                if node.sibling.is_null() {
+                    break;
+                }
+                node = self.shared.internal.read(&mut self.ep, node.sibling);
+            }
+            if !node.valid || !node.covers(pivot) {
+                continue;
+            }
+            let addr = node.addr;
+            let _lk = self.local_lock(addr);
+            self.shared.internal.lock(&mut self.ep, addr);
+            let mut fresh = self.shared.internal.read(&mut self.ep, addr);
+            if !fresh.valid || !fresh.covers(pivot) {
+                self.shared.internal.unlock(&mut self.ep, addr);
+                continue;
+            }
+            match fresh.entries.binary_search_by_key(&pivot, |e| e.0) {
+                Ok(i) => {
+                    assert_eq!(fresh.entries[i].1, child, "pivot collision");
+                    self.shared.internal.unlock(&mut self.ep, addr);
+                    return Ok(());
+                }
+                Err(i) => {
+                    if fresh.entries.len() < self.shared.cfg.internal_span {
+                        fresh.entries.insert(i, (pivot, child));
+                        self.shared.internal.write_and_unlock(&mut self.ep, &fresh);
+                        self.cn.cache.lock().invalidate(addr);
+                        return Ok(());
+                    }
+                }
+            }
+            self.split_internal(&mut fresh, root_addr)?;
+        }
+        panic!("sherman insert_into_parent retry limit");
+    }
+
+    fn split_internal(
+        &mut self,
+        node: &mut InternalNode,
+        root_addr: GlobalAddr,
+    ) -> Result<(), IndexError> {
+        let mid = node.entries.len() / 2;
+        let split_key = node.entries[mid].0;
+        let upper: Vec<_> = node.entries.split_off(mid);
+        let new_addr = self
+            .alloc
+            .alloc(&mut self.ep, self.shared.internal.layout.node_size() as u64)?;
+        let new_node = InternalNode {
+            addr: new_addr,
+            level: node.level,
+            valid: true,
+            fence_low: split_key,
+            fence_high: node.fence_high,
+            sibling: node.sibling,
+            entries: upper,
+            nv: 0,
+        };
+        self.shared.internal.write_new(&mut self.ep, &new_node);
+        node.fence_high = split_key;
+        node.sibling = new_addr;
+        self.shared.internal.write_and_unlock(&mut self.ep, node);
+        self.cn.cache.lock().invalidate(node.addr);
+        if node.addr == root_addr {
+            let new_root_addr = self
+                .alloc
+                .alloc(&mut self.ep, self.shared.internal.layout.node_size() as u64)?;
+            let new_root = InternalNode {
+                addr: new_root_addr,
+                level: node.level + 1,
+                valid: true,
+                fence_low: 0,
+                fence_high: u64::MAX,
+                sibling: GlobalAddr::NULL,
+                entries: vec![(node.fence_low, node.addr), (split_key, new_addr)],
+                nv: 0,
+            };
+            self.shared.internal.write_new(&mut self.ep, &new_root);
+            let old = self
+                .ep
+                .cas(self.shared.root_slot, root_addr.raw(), new_root_addr.raw());
+            if old == root_addr.raw() {
+                *self.cn.root_hint.lock() = new_root_addr;
+                return Ok(());
+            }
+            return self.insert_into_parent(node.level + 1, split_key, new_addr);
+        }
+        self.insert_into_parent(node.level + 1, split_key, new_addr)
+    }
+
+    fn store_value(&mut self, key: u64, value: &[u8]) -> Result<Vec<u8>, IndexError> {
+        let cfg = self.shared.cfg;
+        if !cfg.indirect_values {
+            let mut v = value.to_vec();
+            v.resize(cfg.value_size, 0);
+            return Ok(v);
+        }
+        let block_len = 16 + cfg.value_size;
+        let addr = self.alloc.alloc(&mut self.ep, block_len as u64)?;
+        let mut block = Vec::with_capacity(block_len);
+        block.extend_from_slice(&key.to_le_bytes());
+        block.extend_from_slice(&(value.len() as u64).to_le_bytes());
+        block.extend_from_slice(value);
+        block.resize(block_len, 0);
+        self.ep.write(addr, &block);
+        Ok(addr.raw().to_le_bytes().to_vec())
+    }
+
+    fn resolve_value(&mut self, stored: Vec<u8>) -> Vec<u8> {
+        let cfg = self.shared.cfg;
+        if !cfg.indirect_values {
+            return stored;
+        }
+        let addr = GlobalAddr::from_raw(u64::from_le_bytes(stored[..8].try_into().unwrap()));
+        let mut block = vec![0u8; 16 + cfg.value_size];
+        self.ep.read(addr, &mut block);
+        let len = u64::from_le_bytes(block[8..16].try_into().unwrap()) as usize;
+        block[16..16 + len.min(cfg.value_size)].to_vec()
+    }
+}
+
+impl RangeIndex for ShermanClient {
+    fn insert(&mut self, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        assert_ne!(key, 0, "key 0 is reserved");
+        let stored = self.store_value(key, value)?;
+        let (addr, snap) = self.lock_owner(key);
+        let leaf = self.shared.leaf;
+        match snap.keys.binary_search(&key) {
+            Ok(i) => {
+                leaf.write_entry_and_unlock(&mut self.ep, addr, &snap, i, &stored);
+                Ok(())
+            }
+            Err(i) => {
+                if snap.keys.len() < leaf.layout.span {
+                    let mut keys = snap.keys.clone();
+                    let mut values = snap.values.clone();
+                    keys.insert(i, key);
+                    values.insert(i, stored);
+                    leaf.write_suffix_and_unlock(&mut self.ep, addr, &snap, i, &keys, &values);
+                    Ok(())
+                } else {
+                    self.split_and_insert(addr, &snap, key, stored)
+                }
+            }
+        }
+    }
+
+    fn search(&mut self, key: u64) -> Option<Vec<u8>> {
+        assert_ne!(key, 0, "key 0 is reserved");
+        let (_, snap) = self.read_owner(key);
+        self.ep
+            .note_app_bytes(self.shared.cfg.value_size as u64 + 8);
+        let v = snap.find(key).map(|(_, v)| v.to_vec())?;
+        Some(self.resolve_value(v))
+    }
+
+    fn update(&mut self, key: u64, value: &[u8]) -> Result<bool, IndexError> {
+        assert_ne!(key, 0, "key 0 is reserved");
+        let stored = self.store_value(key, value)?;
+        let (addr, snap) = self.lock_owner(key);
+        match snap.keys.binary_search(&key) {
+            Ok(i) => {
+                self.shared
+                    .leaf
+                    .write_entry_and_unlock(&mut self.ep, addr, &snap, i, &stored);
+                Ok(true)
+            }
+            Err(_) => {
+                self.shared.leaf.unlock(&mut self.ep, addr);
+                Ok(false)
+            }
+        }
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, IndexError> {
+        assert_ne!(key, 0, "key 0 is reserved");
+        let (addr, snap) = self.lock_owner(key);
+        match snap.keys.binary_search(&key) {
+            Ok(i) => {
+                let mut keys = snap.keys.clone();
+                let mut values = snap.values.clone();
+                keys.remove(i);
+                values.remove(i);
+                self.shared
+                    .leaf
+                    .write_suffix_and_unlock(&mut self.ep, addr, &snap, i, &keys, &values);
+                Ok(true)
+            }
+            Err(_) => {
+                self.shared.leaf.unlock(&mut self.ep, addr);
+                Ok(false)
+            }
+        }
+    }
+
+    fn scan(&mut self, start: u64, count: usize, out: &mut Vec<(u64, Vec<u8>)>) {
+        assert_ne!(start, 0, "key 0 is reserved");
+        if count == 0 {
+            return;
+        }
+        let mut collected: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut parent = self.locate_parent(start);
+        let mut idx = match parent.entries.binary_search_by_key(&start, |e| e.0) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let per_leaf = (self.shared.cfg.span * 3) / 4;
+        loop {
+            let need = count.saturating_sub(collected.len());
+            let take = need
+                .div_ceil(per_leaf)
+                .max(1)
+                .min(parent.entries.len() - idx);
+            let addrs: Vec<GlobalAddr> = parent.entries[idx..idx + take]
+                .iter()
+                .map(|e| e.1)
+                .collect();
+            let snaps = self.shared.leaf.read_batch(&mut self.ep, &addrs);
+            for snap in &snaps {
+                for (k, v) in snap.keys.iter().zip(snap.values.iter()) {
+                    if *k >= start {
+                        collected.push((*k, v.clone()));
+                    }
+                }
+            }
+            idx += take;
+            if collected.len() >= count {
+                break;
+            }
+            if idx >= parent.entries.len() {
+                if parent.sibling.is_null() {
+                    break;
+                }
+                parent = self.shared.internal.read(&mut self.ep, parent.sibling);
+                if !parent.valid {
+                    break;
+                }
+                idx = 0;
+            }
+        }
+        collected.sort_by_key(|&(k, _)| k);
+        collected.truncate(count);
+        for (k, v) in collected {
+            let v = self.resolve_value(v);
+            out.push((k, v));
+        }
+    }
+
+    fn stats(&self) -> &ClientStats {
+        self.ep.stats()
+    }
+
+    fn clock_ns(&self) -> u64 {
+        self.ep.clock_ns()
+    }
+
+    fn cache_bytes(&self) -> u64 {
+        self.cn.cache_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ShermanConfig {
+        ShermanConfig {
+            span: 8,
+            internal_span: 8,
+            value_size: 8,
+            cache_bytes: 1 << 20,
+            indirect_values: false,
+        }
+    }
+
+    fn v(k: u64) -> Vec<u8> {
+        k.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_search_update_delete() {
+        let pool = Pool::with_defaults(1, 128 << 20);
+        let t = Sherman::create(&pool, small(), 1);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=2_000u64 {
+            c.insert(k * 3, &v(k)).unwrap();
+        }
+        for k in 1..=2_000u64 {
+            assert_eq!(c.search(k * 3), Some(v(k)));
+        }
+        assert_eq!(c.search(1), None);
+        for k in 1..=100u64 {
+            assert!(c.update(k * 3, &v(k + 7)).unwrap());
+            assert_eq!(c.search(k * 3), Some(v(k + 7)));
+        }
+        for k in 1..=100u64 {
+            assert!(c.delete(k * 3).unwrap());
+            assert_eq!(c.search(k * 3), None);
+        }
+        assert!(!c.delete(3).unwrap());
+    }
+
+    #[test]
+    fn scan_sorted() {
+        let pool = Pool::with_defaults(1, 128 << 20);
+        let t = Sherman::create(&pool, small(), 1);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=1_000u64 {
+            c.insert(k * 2, &v(k)).unwrap();
+        }
+        let mut out = Vec::new();
+        c.scan(100, 25, &mut out);
+        let got: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+        let want: Vec<u64> = (50..75).map(|k| k * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let pool = Pool::with_defaults(1, 128 << 20);
+        let t = Sherman::create(&pool, small(), 1);
+        crossbeam::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = t.clone();
+                s.spawn(move |_| {
+                    let cn = t.new_cn();
+                    let mut c = t.client(&cn);
+                    for i in 0..500u64 {
+                        let k = 1 + i * 4 + tid;
+                        c.insert(k, &v(k)).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=2_000u64 {
+            assert_eq!(c.search(k), Some(v(k)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn indirect_values() {
+        let pool = Pool::with_defaults(1, 128 << 20);
+        let cfg = ShermanConfig {
+            indirect_values: true,
+            value_size: 64,
+            ..small()
+        };
+        let t = Sherman::create(&pool, cfg, 1);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=200u64 {
+            c.insert(k, &vec![k as u8; 33]).unwrap();
+        }
+        for k in 1..=200u64 {
+            assert_eq!(c.search(k), Some(vec![k as u8; 33]));
+        }
+    }
+
+    #[test]
+    fn whole_leaf_read_amplification() {
+        // Sherman's defining cost: one point read fetches span * entry.
+        let pool = Pool::with_defaults(1, 128 << 20);
+        let t = Sherman::create(&pool, ShermanConfig::default(), 1);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for k in 1..=500u64 {
+            c.insert(k, &v(k)).unwrap();
+        }
+        let before = c.stats().clone();
+        for k in 1..=100u64 {
+            c.search(k).unwrap();
+        }
+        let d = c.stats().since(&before);
+        let bytes_per_op = d.wire_bytes / 100;
+        // 64 entries * 17 B each plus versions/header: >1 KB per search.
+        assert!(bytes_per_op > 1_000, "bytes/op = {bytes_per_op}");
+        assert!(d.app_bytes / 100 == 16);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the SMART baseline: pointer tagging, node
+//! serialization and tree/model equivalence over adversarial key shapes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dmem::node::RESERVED_BYTES;
+use dmem::{Endpoint, GlobalAddr, Pool, RangeIndex};
+use proptest::prelude::*;
+use smart::node::{ArtOps, Child, NodeType};
+use smart::{Smart, SmartConfig};
+
+fn v(k: u64) -> Vec<u8> {
+    k.to_le_bytes().to_vec()
+}
+
+proptest! {
+    /// Tagged child pointers round-trip for every node type and address.
+    #[test]
+    fn child_tagging_roundtrip(mn in 0u16..4096, off in 0u64..(1 << 40)) {
+        let a = GlobalAddr::new(mn, off);
+        for c in [
+            Child::Leaf(a),
+            Child::Node(a, NodeType::N4),
+            Child::Node(a, NodeType::N16),
+            Child::Node(a, NodeType::N48),
+            Child::Node(a, NodeType::N256),
+        ] {
+            prop_assert_eq!(Child::decode(c.encode()), c);
+        }
+    }
+
+    /// Node serialization round-trips arbitrary child sets per type.
+    #[test]
+    fn node_roundtrip(
+        bytes in proptest::collection::btree_set(any::<u8>(), 0..40),
+        prefix in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let pool = Pool::with_defaults(1, 16 << 20);
+        let mut ep = Endpoint::new(pool);
+        let ops = ArtOps { value_size: 8 };
+        for ty in [NodeType::N48, NodeType::N256] {
+            let kids: Vec<(u8, u64)> = bytes
+                .iter()
+                .map(|&b| (b, Child::Leaf(GlobalAddr::new(0, 64 + b as u64 * 64)).encode()))
+                .collect();
+            let addr = GlobalAddr::new(0, RESERVED_BYTES + 8192 * ty.capacity() as u64);
+            ops.write_node(&mut ep, addr, ty, &prefix, &kids);
+            let n = ops.read_node(&mut ep, addr, ty);
+            prop_assert_eq!(&n.prefix, &prefix);
+            prop_assert_eq!(&n.children, &kids);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The radix tree agrees with a BTreeMap, including keys engineered to
+    /// share long prefixes (path-compression stress).
+    #[test]
+    fn tree_matches_model(
+        ops in proptest::collection::vec((any::<u64>(), 0u8..4), 1..200),
+    ) {
+        let pool = Pool::with_defaults(1, 256 << 20);
+        let t = Smart::create(&pool, SmartConfig::default(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (seed, op) in ops {
+            // Bias keys into clusters sharing prefixes.
+            let key = match seed % 3 {
+                0 => 1 + seed % 64,                          // dense low keys
+                1 => (0xAABB_0000_0000_0000u64) | (seed % 1024), // long prefix
+                _ => dmem::hash::mix64(seed) | 1,            // random
+            };
+            match op {
+                0 | 1 => {
+                    c.insert(key, &v(key)).unwrap();
+                    model.insert(key, v(key));
+                }
+                2 => {
+                    prop_assert_eq!(c.delete(key).unwrap(), model.remove(&key).is_some());
+                }
+                _ => {
+                    prop_assert_eq!(c.search(key), model.get(&key).cloned());
+                }
+            }
+        }
+        for (k, val) in &model {
+            prop_assert_eq!(c.search(*k), Some(val.clone()));
+        }
+        // Scans over the radix tree come back in numeric order.
+        let mut out = Vec::new();
+        c.scan(1, model.len() + 5, &mut out);
+        let want: Vec<(u64, Vec<u8>)> = model
+            .iter()
+            .map(|(k, val)| (*k, val.clone()))
+            .collect();
+        prop_assert_eq!(out, want);
+    }
+}

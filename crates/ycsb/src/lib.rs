@@ -1,0 +1,13 @@
+//! YCSB-style workload generation for the CHIME evaluation.
+//!
+//! Implements the request distributions (Zipfian with Gray's O(1) sampler,
+//! scrambled Zipfian, latest, uniform) and the six workloads the paper
+//! evaluates (A/B/C/D/E/LOAD) over a deterministic hashed key space.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod workload;
+
+pub use dist::{Latest, ScrambledZipfian, Uniform, Zipfian, ZIPFIAN_CONSTANT};
+pub use workload::{KeySpace, Op, OpGen, Workload, WorkloadState};

@@ -1,0 +1,300 @@
+//! YCSB core workloads A–E plus LOAD, over a shared key space.
+//!
+//! The key space maps sequence numbers to unique, pseudo-random, non-zero
+//! 64-bit keys (the SplitMix64 mixer is a bijection), mirroring YCSB's
+//! hashed `user###` keys. Inserts draw fresh sequence numbers from a shared
+//! atomic counter so concurrent clients never collide.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dmem::hash::mix64;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{Latest, ScrambledZipfian, Uniform, ZIPFIAN_CONSTANT};
+
+/// Maps YCSB sequence numbers to unique non-zero keys.
+#[derive(Debug, Clone, Copy)]
+pub struct KeySpace;
+
+impl KeySpace {
+    /// The key of sequence number `seq`.
+    pub fn key(seq: u64) -> u64 {
+        let k = mix64(seq.wrapping_add(1));
+        if k == 0 {
+            0x5EED_5EED_5EED_5EED
+        } else {
+            k
+        }
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup.
+    Read(u64),
+    /// In-place value update.
+    Update(u64),
+    /// Insert of a fresh key.
+    Insert(u64),
+    /// Range scan of up to `1` items starting at `0`.
+    Scan(u64, usize),
+}
+
+impl Op {
+    /// The key this operation targets.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Read(k) | Op::Update(k) | Op::Insert(k) | Op::Scan(k, _) => k,
+        }
+    }
+}
+
+/// The six evaluated workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// 50% search, 50% update, Zipfian.
+    A,
+    /// 95% search, 5% update, Zipfian.
+    B,
+    /// 100% search, Zipfian.
+    C,
+    /// 95% search, 5% insert, latest distribution.
+    D,
+    /// 95% scan (up to 100 items), 5% insert, Zipfian.
+    E,
+    /// 100% insert.
+    Load,
+}
+
+impl Workload {
+    /// All six workloads, in the paper's presentation order.
+    pub const ALL: [Workload; 6] = [
+        Workload::A,
+        Workload::B,
+        Workload::C,
+        Workload::D,
+        Workload::E,
+        Workload::Load,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::A => "A",
+            Workload::B => "B",
+            Workload::C => "C",
+            Workload::D => "D",
+            Workload::E => "E",
+            Workload::Load => "LOAD",
+        }
+    }
+
+    /// Whether the workload performs inserts.
+    pub fn has_inserts(self) -> bool {
+        matches!(self, Workload::D | Workload::E | Workload::Load)
+    }
+}
+
+/// Shared, thread-safe workload state (insert counter).
+#[derive(Debug)]
+pub struct WorkloadState {
+    /// Number of keys present (loaded + inserted so far).
+    pub count: AtomicU64,
+}
+
+impl WorkloadState {
+    /// State for a store preloaded with `loaded` keys.
+    pub fn new(loaded: u64) -> Arc<Self> {
+        Arc::new(WorkloadState {
+            count: AtomicU64::new(loaded),
+        })
+    }
+}
+
+/// A per-client operation generator.
+///
+/// # Examples
+///
+/// ```
+/// use ycsb::{Op, OpGen, Workload, WorkloadState};
+///
+/// let state = WorkloadState::new(10_000);
+/// let mut gen = OpGen::new(Workload::A, state, 7);
+/// match gen.next_op() {
+///     Op::Read(k) | Op::Update(k) => assert_ne!(k, 0),
+///     other => panic!("YCSB A only reads/updates: {other:?}"),
+/// }
+/// ```
+pub struct OpGen {
+    workload: Workload,
+    rng: SmallRng,
+    zipf: ScrambledZipfian,
+    latest: Latest,
+    uniform: Uniform,
+    state: Arc<WorkloadState>,
+    theta: f64,
+}
+
+impl OpGen {
+    /// Creates a generator for `workload` over `state`, seeded per client.
+    pub fn new(workload: Workload, state: Arc<WorkloadState>, seed: u64) -> Self {
+        Self::with_theta(workload, state, seed, ZIPFIAN_CONSTANT)
+    }
+
+    /// Like [`OpGen::new`] with an explicit Zipfian constant (Fig. 18a).
+    pub fn with_theta(
+        workload: Workload,
+        state: Arc<WorkloadState>,
+        seed: u64,
+        theta: f64,
+    ) -> Self {
+        let n = state.count.load(Ordering::Relaxed).max(1);
+        OpGen {
+            workload,
+            rng: SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00),
+            zipf: ScrambledZipfian::new(n, theta),
+            latest: Latest::new(n),
+            uniform: Uniform::new(n),
+            state,
+            theta,
+        }
+    }
+
+    /// The Zipfian constant in use.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn existing_key(&mut self) -> u64 {
+        KeySpace::key(self.zipf.next(&mut self.rng))
+    }
+
+    fn fresh_key(&mut self) -> u64 {
+        KeySpace::key(self.state.count.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let p: f64 = self.rng.gen();
+        match self.workload {
+            Workload::A => {
+                if p < 0.5 {
+                    Op::Read(self.existing_key())
+                } else {
+                    Op::Update(self.existing_key())
+                }
+            }
+            Workload::B => {
+                if p < 0.95 {
+                    Op::Read(self.existing_key())
+                } else {
+                    Op::Update(self.existing_key())
+                }
+            }
+            Workload::C => Op::Read(self.existing_key()),
+            Workload::D => {
+                if p < 0.95 {
+                    let cur = self.state.count.load(Ordering::Relaxed).max(1);
+                    Op::Read(KeySpace::key(self.latest.next(&mut self.rng, cur)))
+                } else {
+                    Op::Insert(self.fresh_key())
+                }
+            }
+            Workload::E => {
+                if p < 0.95 {
+                    let len = self.rng.gen_range(1..=100);
+                    Op::Scan(self.existing_key(), len)
+                } else {
+                    Op::Insert(self.fresh_key())
+                }
+            }
+            Workload::Load => Op::Insert(self.fresh_key()),
+        }
+    }
+
+    /// Convenience: draws an existing key id (uniform), for tests.
+    pub fn uniform_key(&mut self) -> u64 {
+        KeySpace::key(self.uniform.next(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_space_unique_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..100_000u64 {
+            let k = KeySpace::key(s);
+            assert_ne!(k, 0);
+            assert!(seen.insert(k), "duplicate key for seq {s}");
+        }
+    }
+
+    #[test]
+    fn workload_mixes_match_spec() {
+        let state = WorkloadState::new(10_000);
+        let trials = 50_000;
+        let frac = |w: Workload, pred: fn(&Op) -> bool| {
+            let mut g = OpGen::new(w, Arc::clone(&state), 7);
+            let mut c = 0;
+            for _ in 0..trials {
+                if pred(&g.next_op()) {
+                    c += 1;
+                }
+            }
+            c as f64 / trials as f64
+        };
+        let read = |o: &Op| matches!(o, Op::Read(_));
+        let upd = |o: &Op| matches!(o, Op::Update(_));
+        let ins = |o: &Op| matches!(o, Op::Insert(_));
+        let scan = |o: &Op| matches!(o, Op::Scan(..));
+        assert!((frac(Workload::A, read) - 0.5).abs() < 0.02);
+        assert!((frac(Workload::A, upd) - 0.5).abs() < 0.02);
+        assert!((frac(Workload::B, read) - 0.95).abs() < 0.01);
+        assert!((frac(Workload::C, read) - 1.0).abs() < 1e-9);
+        assert!((frac(Workload::D, ins) - 0.05).abs() < 0.01);
+        assert!((frac(Workload::E, scan) - 0.95).abs() < 0.01);
+        assert!((frac(Workload::Load, ins) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inserts_use_fresh_keys() {
+        let state = WorkloadState::new(100);
+        let mut g = OpGen::new(Workload::Load, Arc::clone(&state), 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            match g.next_op() {
+                Op::Insert(k) => assert!(seen.insert(k)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(state.count.load(Ordering::Relaxed), 1_100);
+    }
+
+    #[test]
+    fn scan_lengths_bounded() {
+        let state = WorkloadState::new(1_000);
+        let mut g = OpGen::new(Workload::E, state, 7);
+        for _ in 0..5_000 {
+            if let Op::Scan(_, len) = g.next_op() {
+                assert!((1..=100).contains(&len));
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mk = |seed| {
+            let state = WorkloadState::new(1_000);
+            let mut g = OpGen::new(Workload::A, state, seed);
+            (0..100).map(|_| g.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the workload generators.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ycsb::{KeySpace, Op, OpGen, Workload, WorkloadState, Zipfian};
+
+proptest! {
+    /// Zipfian samples stay in range and rank 0 is (weakly) the mode.
+    #[test]
+    fn zipfian_range_and_mode(n in 2u64..5_000, theta in 0.3f64..0.99, seed in any::<u64>()) {
+        let z = Zipfian::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut c0 = 0u32;
+        let mut cmid = 0u32;
+        let mid = n / 2;
+        for _ in 0..4_000 {
+            let r = z.next(&mut rng);
+            prop_assert!(r < n);
+            if r == 0 { c0 += 1; }
+            if r == mid { cmid += 1; }
+        }
+        // The head must not be rarer than a mid-rank item (allow slack for
+        // sampling noise at small n).
+        prop_assert!(c0 + 25 >= cmid, "rank0={c0} mid={cmid}");
+    }
+
+    /// The key space is injective over large windows and never yields 0.
+    #[test]
+    fn keyspace_injective_window(start in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2_000u64 {
+            let k = KeySpace::key(start.wrapping_add(i));
+            prop_assert_ne!(k, 0);
+            prop_assert!(seen.insert(k));
+        }
+    }
+
+    /// Every generated op targets a plausible key: reads/updates hit the
+    /// loaded id space, inserts always use fresh sequence numbers.
+    #[test]
+    fn ops_target_valid_keys(seed in any::<u64>()) {
+        let loaded = 1_000u64;
+        let state = WorkloadState::new(loaded);
+        let preloaded: std::collections::HashSet<u64> =
+            (0..loaded).map(KeySpace::key).collect();
+        for w in [Workload::A, Workload::B, Workload::C, Workload::E] {
+            let mut g = OpGen::new(w, Arc::clone(&state), seed);
+            for _ in 0..300 {
+                match g.next_op() {
+                    Op::Read(k) | Op::Update(k) | Op::Scan(k, _) => {
+                        prop_assert!(preloaded.contains(&k), "unloaded key {k}");
+                    }
+                    Op::Insert(k) => {
+                        prop_assert!(!preloaded.contains(&k), "insert reused {k}");
+                    }
+                }
+            }
+        }
+    }
+}

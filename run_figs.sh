@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every figure/table output into results/.
+set -x
+cd /root/repo
+B=./target/release
+$B/fig16 > results/fig16.txt 2>&1
+$B/fig4 > results/fig4.txt 2>&1
+$B/fig3 --preload 100000 --ops 40000 > results/fig3.txt 2>&1
+$B/table1 --preload 100000 > results/table1.txt 2>&1
+$B/fig14 --sizes 100000,200000,400000 > results/fig14.txt 2>&1
+$B/fig15 --preload 100000 --ops 40000 > results/fig15.txt 2>&1
+$B/fig17 --preload 100000 --ops 40000 > results/fig17.txt 2>&1
+$B/fig19 --preload 100000 --ops 40000 > results/fig19.txt 2>&1
+$B/fig13 --preload 100000 --ops 40000 > results/fig13.txt 2>&1
+$B/fig18 --preload 100000 --ops 40000 > results/fig18.txt 2>&1
+$B/fig12 --preload 150000 --ops 50000 > results/fig12.txt 2>&1
+echo ALL_FIGURES_DONE

@@ -1,0 +1,161 @@
+//! Model-equivalence tests: every index must agree with a `BTreeMap` under
+//! randomized operation sequences (inserts, updates, deletes, searches and
+//! scans).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dmem::{Pool, RangeIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn check_against_model(mut idx: Box<dyn RangeIndex>, seed: u64, preload: &[(u64, Vec<u8>)]) {
+    let mut model: BTreeMap<u64, Vec<u8>> = preload.iter().cloned().collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let key_of = |r: &mut SmallRng| 1 + r.gen_range(0..4_000u64) * 3;
+    for step in 0..3_000 {
+        match rng.gen_range(0..100) {
+            0..=39 => {
+                let k = key_of(&mut rng);
+                let v = vec![(step % 251) as u8; 8];
+                idx.insert(k, &v).unwrap();
+                model.insert(k, v);
+            }
+            40..=59 => {
+                let k = key_of(&mut rng);
+                let v = vec![(step % 199) as u8; 8];
+                let in_idx = idx.update(k, &v).unwrap();
+                let in_model = model.contains_key(&k);
+                assert_eq!(in_idx, in_model, "update presence for {k} at step {step}");
+                if in_model {
+                    model.insert(k, v);
+                }
+            }
+            60..=74 => {
+                let k = key_of(&mut rng);
+                let in_idx = idx.delete(k).unwrap();
+                let in_model = model.remove(&k).is_some();
+                assert_eq!(in_idx, in_model, "delete presence for {k} at step {step}");
+            }
+            75..=94 => {
+                let k = key_of(&mut rng);
+                assert_eq!(
+                    idx.search(k),
+                    model.get(&k).cloned(),
+                    "search {k} at step {step}"
+                );
+            }
+            _ => {
+                let start = key_of(&mut rng);
+                let n = rng.gen_range(1..40);
+                let mut got = Vec::new();
+                idx.scan(start, n, &mut got);
+                let want: Vec<(u64, Vec<u8>)> = model
+                    .range(start..)
+                    .take(n)
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                assert_eq!(got, want, "scan from {start} x{n} at step {step}");
+            }
+        }
+    }
+    // Final full sweep.
+    for (k, v) in &model {
+        assert_eq!(idx.search(*k).as_ref(), Some(v), "final sweep key {k}");
+    }
+}
+
+fn preload_items(n: u64) -> Vec<(u64, Vec<u8>)> {
+    (0..n).map(|i| (1 + i * 3, vec![7u8; 8])).collect()
+}
+
+#[test]
+fn chime_matches_btreemap() {
+    let pool = Pool::with_defaults(1, 512 << 20);
+    let cfg = chime::ChimeConfig {
+        span: 16,
+        internal_span: 8,
+        neighborhood: 4,
+        ..Default::default()
+    };
+    let t = chime::Chime::create(&pool, cfg, 0);
+    let cn = t.new_cn();
+    let mut c = t.client(&cn);
+    let pre = preload_items(2_000);
+    for (k, v) in &pre {
+        c.insert(*k, v).unwrap();
+    }
+    check_against_model(Box::new(c), 1, &pre);
+}
+
+#[test]
+fn chime_baseline_matches_btreemap() {
+    let pool = Pool::with_defaults(1, 512 << 20);
+    let cfg = chime::ChimeConfig {
+        span: 16,
+        internal_span: 8,
+        neighborhood: 4,
+        ..chime::ChimeConfig::baseline()
+    };
+    let t = chime::Chime::create(&pool, cfg, 0);
+    let cn = t.new_cn();
+    let mut c = t.client(&cn);
+    let pre = preload_items(2_000);
+    for (k, v) in &pre {
+        c.insert(*k, v).unwrap();
+    }
+    check_against_model(Box::new(c), 2, &pre);
+}
+
+#[test]
+fn sherman_matches_btreemap() {
+    let pool = Pool::with_defaults(1, 512 << 20);
+    let cfg = sherman::ShermanConfig {
+        span: 8,
+        internal_span: 8,
+        ..Default::default()
+    };
+    let t = sherman::Sherman::create(&pool, cfg, 0);
+    let cn = t.new_cn();
+    let mut c = t.client(&cn);
+    let pre = preload_items(2_000);
+    for (k, v) in &pre {
+        c.insert(*k, v).unwrap();
+    }
+    check_against_model(Box::new(c), 3, &pre);
+}
+
+#[test]
+fn smart_matches_btreemap() {
+    let pool = Pool::with_defaults(1, 512 << 20);
+    let t = smart::Smart::create(&pool, smart::SmartConfig::default(), 0);
+    let cn = t.new_cn();
+    let mut c = t.client(&cn);
+    let pre = preload_items(2_000);
+    for (k, v) in &pre {
+        c.insert(*k, v).unwrap();
+    }
+    check_against_model(Box::new(c), 4, &pre);
+}
+
+#[test]
+fn rolex_matches_btreemap() {
+    let pool = Pool::with_defaults(1, 512 << 20);
+    let pre = preload_items(2_000);
+    let t = rolex::Rolex::create(&pool, rolex::RolexConfig::default(), &pre);
+    let c = t.client();
+    check_against_model(Box::new(c), 5, &pre);
+}
+
+#[test]
+fn chime_learned_matches_btreemap() {
+    let pool = Pool::with_defaults(1, 512 << 20);
+    let pre = preload_items(2_000);
+    let cfg = rolex::RolexConfig {
+        hopscotch_leaves: true,
+        ..Default::default()
+    };
+    let t = rolex::ChimeLearned::create(&pool, cfg, &pre);
+    let c = t.client();
+    check_against_model(Box::new(c), 6, &pre);
+}

@@ -1,0 +1,126 @@
+//! End-to-end pipeline tests: the experiment driver runs every workload on
+//! every index and the headline relationships of the paper hold at small
+//! scale.
+
+use bench::driver::{run, BenchSetup, IndexKind};
+use ycsb::Workload;
+
+fn setup(kind: IndexKind, w: Workload) -> BenchSetup {
+    BenchSetup {
+        kind,
+        workload: w,
+        num_cns: 2,
+        clients: 16,
+        preload: 8_000,
+        ops: 6_000,
+        mn_capacity: 512 << 20,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_index_runs_every_workload() {
+    for w in Workload::ALL {
+        let mut kinds = vec![
+            IndexKind::Chime(chime::ChimeConfig::default()),
+            IndexKind::Sherman(sherman::ShermanConfig::default()),
+            IndexKind::Smart(smart::SmartConfig::default()),
+        ];
+        if w != Workload::Load {
+            kinds.push(IndexKind::Rolex(rolex::RolexConfig::default()));
+            kinds.push(IndexKind::Rolex(rolex::RolexConfig {
+                hopscotch_leaves: true,
+                ..Default::default()
+            }));
+        }
+        for kind in kinds {
+            let name = kind.name();
+            let r = run(&setup(kind, w));
+            assert!(r.mops > 0.0, "{name} {w:?}");
+            assert!(r.p99_us >= r.p50_us, "{name} {w:?}");
+            assert!(r.rtts_per_op > 0.0, "{name} {w:?}");
+        }
+    }
+}
+
+/// Fig. 12 YCSB C headline: CHIME reads far fewer bytes per search than the
+/// KV-contiguous baselines, and needs far less cache than SMART.
+#[test]
+fn headline_relationships_ycsb_c() {
+    let chime_r = run(&setup(IndexKind::Chime(chime::ChimeConfig::default()), Workload::C));
+    let sherman_r = run(&setup(
+        IndexKind::Sherman(sherman::ShermanConfig::default()),
+        Workload::C,
+    ));
+    let rolex_r = run(&setup(IndexKind::Rolex(rolex::RolexConfig::default()), Workload::C));
+    let smart_r = run(&setup(IndexKind::Smart(smart::SmartConfig::default()), Workload::C));
+    // Read-amplification ordering (bytes per op).
+    assert!(chime_r.bytes_per_op * 2.5 < sherman_r.bytes_per_op);
+    assert!(chime_r.bytes_per_op * 2.5 < rolex_r.bytes_per_op);
+    // Cache-consumption ordering.
+    assert!(smart_r.cache_bytes > 3 * chime_r.cache_bytes);
+    // Modeled throughput ordering at saturation-scale client counts.
+    let sat = |kind| BenchSetup {
+        clients: 320,
+        num_cns: 8,
+        ..setup(kind, Workload::C)
+    };
+    let chime_t = run(&sat(IndexKind::Chime(chime::ChimeConfig::default())));
+    let sherman_t = run(&sat(IndexKind::Sherman(sherman::ShermanConfig::default())));
+    assert!(
+        chime_t.mops > 2.0 * sherman_t.mops,
+        "CHIME {:.1} vs Sherman {:.1} Mops",
+        chime_t.mops,
+        sherman_t.mops
+    );
+}
+
+/// The vacancy bitmap piggyback removes one RTT from every insert.
+#[test]
+fn piggyback_saves_an_insert_round_trip() {
+    let with = run(&setup(
+        IndexKind::Chime(chime::ChimeConfig::default()),
+        Workload::Load,
+    ));
+    let without = run(&setup(
+        IndexKind::Chime(chime::ChimeConfig {
+            vacancy_piggyback: false,
+            sibling_validation: false,
+            ..Default::default()
+        }),
+        Workload::Load,
+    ));
+    // Without piggybacking inserts read whole nodes: more bytes, and the
+    // modeled throughput drops.
+    assert!(
+        without.bytes_per_op > 1.3 * with.bytes_per_op,
+        "no-piggyback {} vs piggyback {} B/op",
+        without.bytes_per_op,
+        with.bytes_per_op
+    );
+}
+
+/// YCSB E: scans on the KV-discrete index cost many small reads; the
+/// KV-contiguous indexes batch whole leaves.
+#[test]
+fn scans_favor_kv_contiguous_indexes() {
+    let chime_r = run(&setup(IndexKind::Chime(chime::ChimeConfig::default()), Workload::E));
+    let smart_r = run(&setup(IndexKind::Smart(smart::SmartConfig::default()), Workload::E));
+    assert!(
+        smart_r.msgs_per_op > 2.0 * chime_r.msgs_per_op,
+        "SMART scans should need many more messages: {:.1} vs {:.1}",
+        smart_r.msgs_per_op,
+        chime_r.msgs_per_op
+    );
+}
+
+/// Workload determinism: the same seed reproduces identical traffic.
+#[test]
+fn runs_are_deterministic() {
+    let mk = || run(&setup(IndexKind::Chime(chime::ChimeConfig::default()), Workload::A));
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.rtts_per_op, b.rtts_per_op);
+    assert_eq!(a.bytes_per_op, b.bytes_per_op);
+    assert_eq!(a.mops, b.mops);
+}
