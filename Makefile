@@ -1,0 +1,21 @@
+# Convenience targets; `make verify` is what CI runs.
+
+CARGO ?= cargo
+
+.PHONY: verify build test chaos clean
+
+# Tier-1 gate plus a fixed-seed chaos smoke run (deterministic fault
+# injection with a crash-while-holding-a-leaf-lock scenario).
+verify: build test chaos
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+chaos:
+	$(CARGO) test -p chime --test chaos -q
+
+clean:
+	$(CARGO) clean

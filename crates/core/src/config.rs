@@ -40,6 +40,13 @@ pub struct ChimeConfig {
     /// at the API; larger sizes model the variable-length-key layout of
     /// §4.5 / Fig. 16.
     pub key_size: usize,
+    /// Crash-safe lock recovery: number of consecutive failed lock-CAS
+    /// attempts observing an *identical* locked word before a waiter
+    /// presumes the holder dead and reclaims the lock by bumping the lease
+    /// epoch (see `lockword`). `0` disables reclamation (the default):
+    /// stealing from a holder that is merely slow is unsound, so leases are
+    /// opted into by fault-tolerant deployments / the chaos harness only.
+    pub lock_lease_spins: u32,
 }
 
 impl Default for ChimeConfig {
@@ -57,6 +64,7 @@ impl Default for ChimeConfig {
             sibling_validation: true,
             indirect_values: false,
             key_size: 8,
+            lock_lease_spins: 0,
         }
     }
 }

@@ -11,9 +11,19 @@ use dmem::hash::home_entry;
 use dmem::versioned::{bump, ev, pack_ver, Fetched};
 use dmem::{Endpoint, GlobalAddr};
 
+use crate::backoff::Backoff;
 use crate::hopscotch::{cyc_dist, Window};
 use crate::layout::{entry_field, replica_field, LeafLayout};
 use crate::lockword::{LockWord, VacancyMap, ARGMAX_NONE};
+
+/// Crash-point label hit immediately after a leaf lock is acquired (the
+/// moment a dying client leaves a stale lock behind).
+pub const CRASH_LEAF_LOCKED: &str = "leaf.lock.acquired";
+
+/// Crash-point label hit just before a locked mutation publishes its write
+/// batch (content + unlock): a crash here leaves the node content untouched
+/// but the lock stale.
+pub const CRASH_LEAF_WRITE_BACK: &str = "leaf.write_back";
 
 /// Leaf metadata carried by every replica (Fig. 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +135,10 @@ pub struct LeafOps {
     pub layout: LeafLayout,
     /// Vacancy-group mapping.
     pub vm: VacancyMap,
+    /// Consecutive failed lock-CAS attempts observing an identical locked
+    /// word before the waiter reclaims the lock via the lease epoch
+    /// (0 = never reclaim). See [`crate::config::ChimeConfig::lock_lease_spins`].
+    pub lease_spins: u32,
 }
 
 /// Which object a logical payload offset belongs to.
@@ -135,12 +149,20 @@ enum Object {
 }
 
 impl LeafOps {
-    /// Creates the ops for `layout`.
+    /// Creates the ops for `layout` (lock reclamation disabled).
     pub fn new(layout: LeafLayout) -> Self {
         LeafOps {
             layout,
             vm: VacancyMap::new(layout.span),
+            lease_spins: 0,
         }
+    }
+
+    /// Returns the ops with stale-lock reclamation after `spins` identical
+    /// observations of a locked word (0 disables it).
+    pub fn with_lease_spins(mut self, spins: u32) -> Self {
+        self.lease_spins = spins;
+        self
     }
 
     fn object_at(&self, l: usize) -> Object {
@@ -299,14 +321,14 @@ impl LeafOps {
             ranges.push((0, self.layout.replica_size()));
         }
         let mut spins = 0u32;
+        let mut backoff = Backoff::new(ep.client_id() as u64 ^ addr.raw());
         loop {
             spins += 1;
-            if spins.is_multiple_of(64) {
-                std::thread::yield_now();
-            }
             assert!(spins < 1_000_000, "neighborhood read livelock at {addr:?}");
             let pieces = self.layout.versioned().fetch_many(ep, addr, &ranges);
             if self.check_all_nv(&pieces).is_none() || !self.check_all_ev(&pieces) {
+                ep.note_torn_read();
+                backoff.wait(ep);
                 continue;
             }
             let meta = self.meta_from(&pieces).expect("no replica covered");
@@ -331,6 +353,8 @@ impl LeafOps {
                 }
             }
             if !consistent {
+                ep.note_torn_read();
+                backoff.wait(ep);
                 continue;
             }
             return NbhRead { meta, found };
@@ -354,6 +378,7 @@ impl LeafOps {
                     .versioned()
                     .fetch(ep, addr, off, off + self.layout.entry_size());
             if !f.check_ev(off, off + self.layout.entry_size()) {
+                ep.note_torn_read();
                 continue;
             }
             if self.entry_key(&f, idx) == key {
@@ -367,26 +392,24 @@ impl LeafOps {
     /// Whole-leaf read with full validation (chases, scans).
     pub fn read_full(&self, ep: &mut Endpoint, addr: GlobalAddr) -> LeafSnapshot {
         let mut spins = 0u32;
+        let mut backoff = Backoff::new(ep.client_id() as u64 ^ addr.raw());
         loop {
             spins += 1;
-            if spins.is_multiple_of(64) {
-                std::thread::yield_now();
-            }
             assert!(spins < 1_000_000, "full leaf read livelock at {addr:?}");
             let pieces = self
                 .layout
                 .versioned()
                 .fetch_many(ep, addr, &[(0, self.layout.payload_len())]);
-            let Some(nv) = self.check_all_nv(&pieces) else {
-                continue;
-            };
-            if !self.check_all_ev(&pieces) {
-                continue;
+            if let Some(nv) = self.check_all_nv(&pieces) {
+                if self.check_all_ev(&pieces) {
+                    let snap = self.snapshot_from(&pieces[0], nv);
+                    if self.bitmaps_consistent(&snap) {
+                        return snap;
+                    }
+                }
             }
-            let snap = self.snapshot_from(&pieces[0], nv);
-            if self.bitmaps_consistent(&snap) {
-                return snap;
-            }
+            ep.note_torn_read();
+            backoff.wait(ep);
         }
     }
 
@@ -397,12 +420,13 @@ impl LeafOps {
         let mut out: Vec<Option<LeafSnapshot>> = (0..n).map(|_| None).collect();
         let mut pending: Vec<usize> = (0..n).collect();
         let mut spins = 0u32;
+        let mut backoff = Backoff::new(ep.client_id() as u64 ^ n as u64);
         while !pending.is_empty() {
             spins += 1;
-            if spins.is_multiple_of(64) {
-                std::thread::yield_now();
-            }
             assert!(spins < 1_000_000, "batched leaf read livelock");
+            if spins > 1 {
+                backoff.wait(ep);
+            }
             // One READ per pending leaf, all in one doorbell batch.
             let full = (0usize, self.layout.payload_len());
             let mut bufs: Vec<Vec<Fetched>> = Vec::with_capacity(pending.len());
@@ -440,6 +464,7 @@ impl LeafOps {
                         continue;
                     }
                 }
+                ep.note_torn_read();
                 still.push(*slot);
             }
             pending = still;
@@ -495,31 +520,64 @@ impl LeafOps {
 
     // ----- locking ---------------------------------------------------------
 
+    /// Acquires the lock word at `lock_addr`, counting retries, backing off
+    /// exponentially and — when `lease_spins > 0` — reclaiming a stale lock
+    /// whose word stayed bit-identical across that many failed attempts:
+    /// the holder is presumed dead and a full-word CAS bumps the lease
+    /// epoch while keeping the lock bit set, transferring ownership to us.
+    fn acquire(&self, ep: &mut Endpoint, addr: GlobalAddr, lock_addr: GlobalAddr) -> LockWord {
+        let mut spins = 0u32;
+        let mut backoff = Backoff::new(ep.client_id() as u64 ^ lock_addr.raw());
+        let mut observed = 0u64;
+        let mut unchanged = 0u32;
+        loop {
+            let old = ep.masked_cas(lock_addr, 0, 1, 1, 1);
+            if old & 1 == 0 {
+                ep.crash_point(CRASH_LEAF_LOCKED);
+                return LockWord(old);
+            }
+            ep.note_lock_retry();
+            if self.lease_spins > 0 {
+                if old == observed {
+                    unchanged += 1;
+                } else {
+                    observed = old;
+                    unchanged = 0;
+                }
+                if unchanged >= self.lease_spins {
+                    // A live holder would have released (or at least changed
+                    // the word) by now; take over. The full-word compare
+                    // makes the takeover race-free: a concurrent release
+                    // clears the lock bit, a concurrent reclaimer bumps the
+                    // epoch — either way our CAS fails harmlessly.
+                    let next = LockWord(old).reclaimed();
+                    if ep.cas(lock_addr, old, next.0) == old {
+                        ep.note_stale_lock_reclaimed();
+                        ep.crash_point(CRASH_LEAF_LOCKED);
+                        return next;
+                    }
+                    unchanged = 0;
+                }
+            }
+            spins += 1;
+            backoff.wait(ep);
+            assert!(spins < 10_000_000, "leaf lock livelock at {addr:?}");
+        }
+    }
+
     /// Acquires the leaf lock, returning the piggybacked lock word
     /// (vacancy bitmap + argmax). With piggybacking disabled this costs an
     /// extra READ for the separate vacancy word.
     pub fn lock(&self, ep: &mut Endpoint, addr: GlobalAddr) -> LockWord {
         let lock_addr = addr.add(self.layout.lock_off() as u64);
-        let mut spins = 0u32;
-        loop {
-            let old = ep.masked_cas(lock_addr, 0, 1, 1, 1);
-            if old & 1 == 0 {
-                if self.layout.piggyback {
-                    return LockWord(old);
-                }
-                // Dedicated vacancy-bitmap access (Fig. 4a).
-                let mut b = [0u8; 8];
-                ep.read(addr.add(self.layout.vacancy_off() as u64), &mut b);
-                return LockWord(u64::from_le_bytes(b));
-            }
-            spins += 1;
-            if spins.is_multiple_of(64) {
-                // On an oversubscribed host the lock holder may be
-                // descheduled; yield so spins stay realistic.
-                std::thread::yield_now();
-            }
-            assert!(spins < 10_000_000, "leaf lock livelock at {addr:?}");
+        let word = self.acquire(ep, addr, lock_addr);
+        if self.layout.piggyback {
+            return word;
         }
+        // Dedicated vacancy-bitmap access (Fig. 4a).
+        let mut b = [0u8; 8];
+        ep.read(addr.add(self.layout.vacancy_off() as u64), &mut b);
+        LockWord(u64::from_le_bytes(b))
     }
 
     /// The WRITEs releasing the lock and persisting `word` (vacancy +
@@ -542,20 +600,7 @@ impl LeafOps {
     /// (the no-piggyback baseline locks and then reads the whole node).
     pub fn lock_plain(&self, ep: &mut Endpoint, addr: GlobalAddr) -> LockWord {
         let lock_addr = addr.add(self.layout.lock_off() as u64);
-        let mut spins = 0u32;
-        loop {
-            let old = ep.masked_cas(lock_addr, 0, 1, 1, 1);
-            if old & 1 == 0 {
-                return LockWord(old);
-            }
-            spins += 1;
-            if spins.is_multiple_of(64) {
-                // On an oversubscribed host the lock holder may be
-                // descheduled; yield so spins stay realistic.
-                std::thread::yield_now();
-            }
-            assert!(spins < 10_000_000, "leaf lock livelock at {addr:?}");
-        }
+        self.acquire(ep, addr, lock_addr)
     }
 
     /// Releases the lock immediately (abort paths).
@@ -699,6 +744,7 @@ impl LeafOps {
         meta: &LeafMeta,
         word: LockWord,
     ) {
+        ep.crash_point(CRASH_LEAF_WRITE_BACK);
         let span = self.layout.span;
         let dirty = w.dirty_slots();
         let mut writes: Vec<(GlobalAddr, Vec<u8>)> = Vec::new();
@@ -841,6 +887,7 @@ impl LeafOps {
         old_nv: u8,
         meta: &LeafMeta,
     ) {
+        ep.crash_point(CRASH_LEAF_WRITE_BACK);
         let nv = bump(old_nv);
         let data = self.full_image(w, nv, meta);
         let (pstart, phys) = self

@@ -13,10 +13,16 @@
 //! * [`cache`] / [`hotspot`] — compute-side internal-node cache and the
 //!   hotness-aware speculative-read buffer;
 //! * [`tree`] — the full index: search / insert / update / delete / scan
-//!   with node splits, up-propagation and sibling-based validation.
+//!   with node splits, up-propagation and sibling-based validation;
+//! * [`backoff`] — bounded exponential backoff with seeded jitter, charged
+//!   to the virtual clock, used by every optimistic retry loop;
+//! * crash-safe lock recovery — the lock word carries a lease epoch
+//!   ([`lockword`]) so survivors can reclaim a dead client's leaf lock
+//!   (opt-in via [`config::ChimeConfig::lock_lease_spins`]).
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cache;
 pub mod config;
 pub mod hopscotch;

@@ -8,14 +8,23 @@
 //!   free);
 //! * bits 1..=10 — `argmax_keys`, the entry index holding the node's maximum
 //!   key (1023 = none), used to resolve the half-split insert corner case;
-//! * bits 11..=63 — the vacancy bitmap: 53 groups of `ceil(span/53)` entries
-//!   each; a set bit means *at least one empty entry in the group*.
+//! * bits 11..=55 — the vacancy bitmap: 45 groups of `ceil(span/45)` entries
+//!   each; a set bit means *at least one empty entry in the group*;
+//! * bits 56..=63 — the lease epoch, used by crash recovery: a waiter that
+//!   observes the same locked word across many failed acquisition attempts
+//!   presumes the holder dead and takes over with a full-word CAS that bumps
+//!   the epoch (lock bit stays set), so concurrent reclaimers and the normal
+//!   release path both fail cleanly. See [`LockWord::reclaimed`].
+//!
+//! The lock is still acquired with a masked-CAS whose compare/swap masks are
+//! `0x1`: epoch and vacancy bits never fail the compare and ride back to the
+//! client in the returned old value.
 //!
 //! With vacancy piggybacking disabled the same encoding (minus the lock bit)
 //! lives in a separate word that costs a dedicated READ.
 
 /// Number of vacancy bits available in the lock word.
-pub const VACANCY_BITS: usize = 53;
+pub const VACANCY_BITS: usize = 45;
 /// Sentinel `argmax` value meaning "node holds no keys".
 pub const ARGMAX_NONE: u16 = 0x3FF;
 
@@ -23,6 +32,8 @@ const LOCK_BIT: u64 = 1;
 const ARGMAX_SHIFT: u32 = 1;
 const ARGMAX_MASK: u64 = 0x3FF;
 const VACANCY_SHIFT: u32 = 11;
+const EPOCH_SHIFT: u32 = 56;
+const EPOCH_MASK: u64 = 0xFF;
 
 /// A decoded lock word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +91,29 @@ impl LockWord {
         } else {
             LockWord(self.0 & !m)
         }
+    }
+
+    /// The lease epoch.
+    pub fn epoch(self) -> u8 {
+        ((self.0 >> EPOCH_SHIFT) & EPOCH_MASK) as u8
+    }
+
+    /// Returns the word with the lease epoch replaced.
+    pub fn with_epoch(self, e: u8) -> Self {
+        LockWord((self.0 & !(EPOCH_MASK << EPOCH_SHIFT)) | ((e as u64) << EPOCH_SHIFT))
+    }
+
+    /// The word a reclaimer installs when it presumes the holder dead:
+    /// identical to the observed stale word (lock still held, vacancy and
+    /// argmax untouched) with the lease epoch bumped by one (wrapping).
+    ///
+    /// Installing it with a full-word CAS against the observed value makes
+    /// the takeover race-free among reclaimers: a second reclaimer's CAS
+    /// fails because the epoch moved, and a normal release in the window
+    /// fails the compare because the lock bit cleared.
+    pub fn reclaimed(self) -> Self {
+        debug_assert!(self.locked(), "only a locked word can be reclaimed");
+        self.with_epoch(self.epoch().wrapping_add(1))
     }
 }
 
@@ -192,12 +226,12 @@ mod tests {
     #[test]
     fn vacancy_bits_roundtrip() {
         let mut w = LockWord(0);
-        w = w.with_vacancy_bit(0, true).with_vacancy_bit(52, true);
+        w = w.with_vacancy_bit(0, true).with_vacancy_bit(44, true);
         assert!(w.vacancy_bit(0));
-        assert!(w.vacancy_bit(52));
+        assert!(w.vacancy_bit(44));
         assert!(!w.vacancy_bit(1));
-        w = w.with_vacancy_bit(52, false);
-        assert!(!w.vacancy_bit(52));
+        w = w.with_vacancy_bit(44, false);
+        assert!(!w.vacancy_bit(44));
     }
 
     #[test]
@@ -231,9 +265,16 @@ mod tests {
     #[test]
     fn group_mapping_large_span() {
         let vm = VacancyMap::new(512);
-        assert_eq!(vm.group_size(), 10);
-        assert_eq!(vm.groups(), 52);
-        assert_eq!(vm.group_range(51), (510, 511));
+        assert_eq!(vm.group_size(), 12);
+        assert_eq!(vm.groups(), 43);
+        assert_eq!(vm.group_range(42), (504, 511));
+    }
+
+    #[test]
+    fn group_mapping_max_span_fits_bitmap() {
+        let vm = VacancyMap::new(1023);
+        assert!(vm.groups() <= VACANCY_BITS);
+        assert_eq!(vm.group_range(vm.groups() - 1).1, 1022);
     }
 
     #[test]
@@ -274,5 +315,67 @@ mod tests {
         let vm = VacancyMap::new(64);
         assert_eq!(vm.align_to_groups(5, 8), (4, 9));
         assert_eq!(vm.align_to_groups(4, 9), (4, 9));
+    }
+
+    #[test]
+    fn lease_pack_unpack_roundtrip() {
+        // All four fields coexist without bleeding into each other.
+        let mut w = LockWord(0)
+            .with_locked(true)
+            .with_argmax(777)
+            .with_epoch(0xAB);
+        for g in [0usize, 7, 20, 44] {
+            w = w.with_vacancy_bit(g, true);
+        }
+        assert!(w.locked());
+        assert_eq!(w.argmax(), 777);
+        assert_eq!(w.epoch(), 0xAB);
+        for g in 0..VACANCY_BITS {
+            assert_eq!(w.vacancy_bit(g), matches!(g, 0 | 7 | 20 | 44), "bit {g}");
+        }
+        // Clearing each field leaves the others intact.
+        let w2 = w.with_locked(false).with_argmax(0).with_epoch(0);
+        for g in 0..VACANCY_BITS {
+            assert_eq!(w2.vacancy_bit(g), matches!(g, 0 | 7 | 20 | 44));
+        }
+    }
+
+    #[test]
+    fn epoch_wraps_around() {
+        let w = LockWord(0).with_locked(true).with_epoch(0xFF);
+        let r = w.reclaimed();
+        assert_eq!(r.epoch(), 0);
+        assert!(r.locked());
+        assert_eq!(r.with_epoch(w.epoch()), w);
+    }
+
+    #[test]
+    fn reclaim_preserves_vacancy_and_argmax() {
+        let w = LockWord::initial(VacancyMap::new(64).groups())
+            .with_locked(true)
+            .with_argmax(13)
+            .with_vacancy_bit(5, false);
+        let r = w.reclaimed();
+        assert_eq!(r.epoch(), w.epoch().wrapping_add(1));
+        assert!(r.locked());
+        assert_eq!(r.argmax(), 13);
+        for g in 0..VACANCY_BITS {
+            assert_eq!(r.vacancy_bit(g), w.vacancy_bit(g));
+        }
+    }
+
+    #[test]
+    fn epoch_sits_outside_lock_acquisition_mask() {
+        // The lock is acquired with masked_cas(compare=0, cmask=1, swap=1,
+        // smask=1). Epoch bits must neither fail that compare nor be
+        // clobbered by the swap, so piggybacked vacancy delivery keeps
+        // working across reclaims.
+        let before = LockWord(0).with_epoch(0x5C).with_vacancy_bit(3, true);
+        let cmask = 1u64;
+        assert_eq!(before.0 & cmask, 0, "epoch bits must not look locked");
+        let after = LockWord((before.0 & !cmask) | 1);
+        assert_eq!(after.epoch(), 0x5C);
+        assert!(after.vacancy_bit(3));
+        assert!(after.locked());
     }
 }

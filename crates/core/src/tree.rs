@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use dmem::hash::{fingerprint16, home_entry};
 use dmem::{ChunkAlloc, ClientStats, Endpoint, GlobalAddr, IndexError, Pool, RangeIndex};
 
+use crate::backoff::Backoff;
 use crate::cache::NodeCache;
 use crate::config::ChimeConfig;
 use crate::hopscotch::{build_table, Window};
@@ -104,6 +105,9 @@ pub struct ChimeClient {
     alloc: ChunkAlloc,
     /// Operation counters.
     pub counters: OpCounters,
+    /// Backoff state for whole-operation optimistic retries; the conflict
+    /// streak resets at the start of each operation.
+    retry_backoff: Backoff,
 }
 
 /// Where a traversal landed: the leaf plus validation context.
@@ -121,7 +125,7 @@ impl Chime {
     /// `slot` of memory node 0.
     pub fn create(pool: &Arc<Pool>, cfg: ChimeConfig, slot: u64) -> Self {
         cfg.validate();
-        let leaf = LeafOps::new(leaf_layout(&cfg));
+        let leaf = LeafOps::new(leaf_layout(&cfg)).with_lease_spins(cfg.lock_lease_spins);
         let internal = InternalOps {
             layout: InternalLayout {
                 span: cfg.internal_span,
@@ -182,12 +186,20 @@ impl Chime {
 
     /// Creates a client attached to compute node `cn`.
     pub fn client(&self, cn: &Arc<CnState>) -> ChimeClient {
+        self.client_with_endpoint(cn, Endpoint::new(Arc::clone(&self.shared.pool)))
+    }
+
+    /// Creates a client over a pre-built endpoint (e.g. one wired to a
+    /// [`dmem::FaultSession`] for fault-injection runs).
+    pub fn client_with_endpoint(&self, cn: &Arc<CnState>, ep: Endpoint) -> ChimeClient {
+        let seed = 0xC1BE_u64 ^ ((ep.client_id() as u64) << 32);
         ChimeClient {
             shared: Arc::clone(&self.shared),
             cn: Arc::clone(cn),
-            ep: Endpoint::new(Arc::clone(&self.shared.pool)),
+            ep,
             alloc: ChunkAlloc::sim_scaled(),
             counters: OpCounters::default(),
+            retry_backoff: Backoff::new(seed),
         }
     }
 
@@ -231,6 +243,14 @@ impl ChimeClient {
         table.acquire(addr.raw())
     }
 
+    /// Records a whole-operation optimistic retry (stale route, failed
+    /// validation, lost race) and backs off with seeded jitter before the
+    /// next attempt.
+    fn on_op_conflict(&mut self) {
+        self.ep.note_op_retry();
+        self.retry_backoff.wait(&mut self.ep);
+    }
+
     /// Reads the root pointer slot and refreshes the CN-wide hint.
     fn refresh_root(&mut self) -> GlobalAddr {
         let mut b = [0u8; 8];
@@ -271,6 +291,7 @@ impl ChimeClient {
             if !node.valid {
                 self.cn.cache.lock().invalidate(addr);
                 addr = self.refresh_root();
+                self.on_op_conflict();
                 continue;
             }
             if !node.covers(key) {
@@ -279,6 +300,7 @@ impl ChimeClient {
                     addr = node.sibling;
                 } else {
                     addr = self.refresh_root();
+                    self.on_op_conflict();
                 }
                 continue;
             }
@@ -325,6 +347,7 @@ impl ChimeClient {
             let (node, _) = self.read_internal_cached(addr, key);
             if !node.valid {
                 addr = self.refresh_root();
+                self.on_op_conflict();
                 continue;
             }
             if !node.covers(key) {
@@ -332,6 +355,7 @@ impl ChimeClient {
                     addr = node.sibling;
                 } else {
                     addr = self.refresh_root();
+                    self.on_op_conflict();
                 }
                 continue;
             }
@@ -350,6 +374,7 @@ impl ChimeClient {
 
     fn search_impl(&mut self, key: u64) -> Option<Vec<u8>> {
         assert_ne!(key, 0, "key 0 is reserved");
+        self.retry_backoff.reset();
         let cfg = self.shared.cfg;
         let span = self.span();
         let h = self.h();
@@ -380,6 +405,7 @@ impl ChimeClient {
             if !r.meta.valid {
                 self.cn.cache.lock().invalidate(loc.parent);
                 self.refresh_root();
+                self.on_op_conflict();
                 continue;
             }
             // Fence-key validation path (sibling validation disabled).
@@ -387,6 +413,7 @@ impl ChimeClient {
                 if key < lo {
                     self.cn.cache.lock().invalidate(loc.parent);
                     self.refresh_root();
+                    self.on_op_conflict();
                     continue;
                 }
                 if !dmem::hash::in_range(key, lo, hi) {
@@ -414,6 +441,7 @@ impl ChimeClient {
                         // Cache validation: refresh the parent and retry.
                         self.counters.invalidations += 1;
                         self.cn.cache.lock().invalidate(loc.parent);
+                        self.on_op_conflict();
                         continue;
                     }
                     // Half-split window: chase the sibling chain.
@@ -512,6 +540,7 @@ impl ChimeClient {
 
     fn insert_impl(&mut self, key: u64, value: &[u8]) -> Result<(), IndexError> {
         assert_ne!(key, 0, "key 0 is reserved");
+        self.retry_backoff.reset();
         let stored = self.store_value(key, value)?;
         let span = self.span();
         let home = home_entry(key, span);
@@ -547,6 +576,7 @@ impl ChimeClient {
                     self.leaf().unlock(&mut self.ep, addr, word);
                     self.cn.cache.lock().invalidate(parent);
                     self.refresh_root();
+                    self.on_op_conflict();
                     continue;
                 }
                 if let Some(next) = self.owns_key(key, expected, &lr) {
@@ -554,6 +584,7 @@ impl ChimeClient {
                     let fenced = lr.meta.fences.is_some();
                     self.leaf().unlock(&mut self.ep, addr, word);
                     on_miss(self, next, fenced);
+                    self.on_op_conflict();
                     continue;
                 }
                 match self.insert_into_full_window(addr, word, lr, key, &stored)? {
@@ -570,12 +601,14 @@ impl ChimeClient {
                     self.leaf().unlock(&mut self.ep, addr, word);
                     self.cn.cache.lock().invalidate(parent);
                     self.refresh_root();
+                    self.on_op_conflict();
                     continue;
                 }
                 if let Some(next) = self.owns_key(key, expected, &lr) {
                     let fenced = lr.meta.fences.is_some();
                     self.leaf().unlock(&mut self.ep, addr, word);
                     on_miss(self, next, fenced);
+                    self.on_op_conflict();
                     continue;
                 }
                 self.split_leaf(addr, lr)?;
@@ -586,6 +619,7 @@ impl ChimeClient {
                 self.leaf().unlock(&mut self.ep, addr, word);
                 self.cn.cache.lock().invalidate(parent);
                 self.refresh_root();
+                self.on_op_conflict();
                 continue;
             }
             if let Some(next) = self.owns_key(key, expected, &lr) {
@@ -593,6 +627,7 @@ impl ChimeClient {
                 let fenced = lr.meta.fences.is_some();
                 self.leaf().unlock(&mut self.ep, addr, word);
                 on_miss(self, next, fenced);
+                self.on_op_conflict();
                 continue;
             }
             // Duplicate: update in place.
@@ -735,6 +770,7 @@ impl ChimeClient {
 
     fn update_impl(&mut self, key: u64, value: &[u8]) -> Result<bool, IndexError> {
         assert_ne!(key, 0, "key 0 is reserved");
+        self.retry_backoff.reset();
         let stored = self.store_value(key, value)?;
         let span = self.span();
         let home = home_entry(key, span);
@@ -759,6 +795,7 @@ impl ChimeClient {
                 self.leaf().unlock(&mut self.ep, addr, word);
                 self.cn.cache.lock().invalidate(parent);
                 self.refresh_root();
+                self.on_op_conflict();
                 continue;
             }
             if let Some(next) = self.owns_key(key, expected, &lr) {
@@ -768,6 +805,7 @@ impl ChimeClient {
                     return Ok(false);
                 }
                 override_addr = Some(next);
+                self.on_op_conflict();
                 continue;
             }
             let Some(pos) = lr.w.find_in_neighborhood(key) else {
@@ -784,6 +822,7 @@ impl ChimeClient {
 
     fn delete_impl(&mut self, key: u64) -> Result<bool, IndexError> {
         assert_ne!(key, 0, "key 0 is reserved");
+        self.retry_backoff.reset();
         let span = self.span();
         let home = home_entry(key, span);
         let mut override_addr: Option<GlobalAddr> = None;
@@ -807,6 +846,7 @@ impl ChimeClient {
                 self.leaf().unlock(&mut self.ep, addr, word);
                 self.cn.cache.lock().invalidate(parent);
                 self.refresh_root();
+                self.on_op_conflict();
                 continue;
             }
             if let Some(next) = self.owns_key(key, expected, &lr) {
@@ -816,6 +856,7 @@ impl ChimeClient {
                     return Ok(false);
                 }
                 override_addr = Some(next);
+                self.on_op_conflict();
                 continue;
             }
             if lr.w.find_in_neighborhood(key).is_none() {
@@ -1084,6 +1125,7 @@ impl ChimeClient {
             let mut fresh = self.shared.internal.read(&mut self.ep, addr);
             if !fresh.valid || !fresh.covers(pivot) {
                 self.shared.internal.unlock(&mut self.ep, addr);
+                self.on_op_conflict();
                 continue;
             }
             match fresh.entries.binary_search_by_key(&pivot, |e| e.0) {
@@ -1301,54 +1343,88 @@ impl ChimeClient {
         if count == 0 {
             return;
         }
-        let mut collected: Vec<(u64, Vec<u8>)> = Vec::new();
-        let mut parent = self.locate_parent(start);
-        let mut idx = match parent.entries.binary_search_by_key(&start, |e| e.0) {
-            Ok(i) => i,
-            Err(0) => 0,
-            Err(i) => i - 1,
-        };
+        self.retry_backoff.reset();
         let per_leaf = (self.span() * 3) / 4; // load-factor estimate
-        loop {
-            // Batch-read the next group of candidate leaves in one RTT.
-            let need = count.saturating_sub(collected.len());
-            let take = need
-                .div_ceil(per_leaf)
-                .max(1)
-                .min(parent.entries.len() - idx);
-            let addrs: Vec<GlobalAddr> = parent.entries[idx..idx + take]
-                .iter()
-                .map(|e| e.1)
-                .collect();
-            let snaps = self.leaf().read_full_batch(&mut self.ep, &addrs);
-            for snap in &snaps {
-                for (k, v) in snap.items() {
-                    if k >= start {
-                        collected.push((k, v));
+        'attempt: for _ in 0..OP_RETRY_LIMIT {
+            let mut collected: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut parent = self.locate_parent(start);
+            let mut idx = match parent.entries.binary_search_by_key(&start, |e| e.0) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            };
+            // Right sibling of the previously consumed leaf: every further
+            // leaf must continue this chain, or the (possibly cached) parent
+            // view has missed a split and the scan must restart.
+            let mut chain: Option<GlobalAddr> = None;
+            loop {
+                // Batch-read the next group of candidate leaves in one RTT.
+                let need = count.saturating_sub(collected.len());
+                let take = need
+                    .div_ceil(per_leaf)
+                    .max(1)
+                    .min(parent.entries.len() - idx);
+                let addrs: Vec<GlobalAddr> = parent.entries[idx..idx + take]
+                    .iter()
+                    .map(|e| e.1)
+                    .collect();
+                let snaps = self.leaf().read_full_batch(&mut self.ep, &addrs);
+                for (i, snap) in snaps.iter().enumerate() {
+                    let broken = !snap.meta.valid || chain.is_some_and(|c| c != addrs[i]);
+                    if broken {
+                        // Deprecated leaf or a gap in the sibling chain:
+                        // the parent view is stale.
+                        self.counters.invalidations += 1;
+                        self.cn.cache.lock().invalidate(parent.addr);
+                        self.refresh_root();
+                        self.on_op_conflict();
+                        continue 'attempt;
+                    }
+                    chain = Some(snap.meta.sibling);
+                    for (k, v) in snap.items() {
+                        if k >= start {
+                            collected.push((k, v));
+                        }
                     }
                 }
-            }
-            idx += take;
-            if collected.len() >= count {
-                break;
-            }
-            if idx >= parent.entries.len() {
-                if parent.sibling.is_null() {
+                idx += take;
+                if collected.len() >= count {
                     break;
                 }
-                parent = self.shared.internal.read(&mut self.ep, parent.sibling);
-                if !parent.valid {
-                    break;
+                if idx >= parent.entries.len() {
+                    if parent.sibling.is_null() {
+                        if chain.is_some_and(|c| !c.is_null()) {
+                            // The last consumed leaf still has a right
+                            // sibling the parent view does not know about.
+                            self.counters.invalidations += 1;
+                            self.cn.cache.lock().invalidate(parent.addr);
+                            self.refresh_root();
+                            self.on_op_conflict();
+                            continue 'attempt;
+                        }
+                        break;
+                    }
+                    let next = self.shared.internal.read(&mut self.ep, parent.sibling);
+                    if !next.valid {
+                        self.counters.invalidations += 1;
+                        self.cn.cache.lock().invalidate(parent.addr);
+                        self.refresh_root();
+                        self.on_op_conflict();
+                        continue 'attempt;
+                    }
+                    parent = next;
+                    idx = 0;
                 }
-                idx = 0;
             }
+            collected.sort_by_key(|&(k, _)| k);
+            collected.truncate(count);
+            for (k, v) in collected {
+                let v = self.resolve_value(v);
+                out.push((k, v));
+            }
+            return;
         }
-        collected.sort_by_key(|&(k, _)| k);
-        collected.truncate(count);
-        for (k, v) in collected {
-            let v = self.resolve_value(v);
-            out.push((k, v));
-        }
+        panic!("scan retry limit from key {start}");
     }
 
     // ------------------------------------------------------------------

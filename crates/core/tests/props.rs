@@ -69,20 +69,26 @@ proptest! {
     #[test]
     fn lockword_field_independence(
         argmax in 0u16..1023,
-        bits in proptest::collection::vec(0usize..53, 0..10),
+        bits in proptest::collection::vec(0usize..chime::lockword::VACANCY_BITS, 0..10),
         locked in any::<bool>(),
+        epoch in any::<u8>(),
     ) {
-        let mut w = LockWord(0).with_argmax(argmax).with_locked(locked);
+        let mut w = LockWord(0)
+            .with_argmax(argmax)
+            .with_locked(locked)
+            .with_epoch(epoch);
         for &b in &bits {
             w = w.with_vacancy_bit(b, true);
         }
         prop_assert_eq!(w.argmax(), argmax);
         prop_assert_eq!(w.locked(), locked);
+        prop_assert_eq!(w.epoch(), epoch);
         for &b in &bits {
             prop_assert!(w.vacancy_bit(b));
         }
-        let w2 = w.with_argmax(7);
+        let w2 = w.with_argmax(7).with_epoch(epoch.wrapping_add(1));
         prop_assert_eq!(w2.locked(), locked);
+        prop_assert_eq!(w2.epoch(), epoch.wrapping_add(1));
         for &b in &bits {
             prop_assert!(w2.vacancy_bit(b));
         }

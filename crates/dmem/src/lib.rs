@@ -13,7 +13,10 @@
 //! * [`versioned`] — the two-level cache-line version layout shared by
 //!   Sherman-style and CHIME-style nodes;
 //! * [`alloc::ChunkAlloc`] — RPC chunk allocation with client-side bumping;
-//! * [`index::RangeIndex`] — the interface every evaluated index implements.
+//! * [`index::RangeIndex`] — the interface every evaluated index implements;
+//! * [`fault`] — a seeded, scriptable fault engine intercepting every verb
+//!   (latency spikes, torn writes, failed/duplicated atomics, labeled crash
+//!   points) with a deterministic, replayable fault trace.
 //!
 //! No RDMA hardware is involved: all semantics relevant to index correctness
 //! and performance shape are preserved and documented in `DESIGN.md`.
@@ -22,6 +25,7 @@
 
 pub mod addr;
 pub mod alloc;
+pub mod fault;
 pub mod hash;
 pub mod index;
 pub mod locktable;
@@ -34,6 +38,9 @@ pub mod versioned;
 
 pub use addr::GlobalAddr;
 pub use alloc::{ChunkAlloc, OutOfMemory};
+pub use fault::{
+    CrashRule, CrashSignal, FaultAction, FaultEvent, FaultPlan, FaultRule, FaultSession, VerbKind,
+};
 pub use index::{IndexError, RangeIndex};
 pub use locktable::{LocalLockGuard, LocalLockTable};
 pub use net::{Bound, NetConfig, RunAccounting, ThroughputEstimate};

@@ -24,6 +24,16 @@ pub struct ClientStats {
     pub wire_bytes: u64,
     /// Payload bytes the application asked for (to compute amplification).
     pub app_bytes: u64,
+    /// Faults injected into this endpoint by the fault engine.
+    pub faults_injected: u64,
+    /// Torn reads detected (and retried) by version validation.
+    pub torn_reads_detected: u64,
+    /// Stale lock words reclaimed from dead holders via the lease path.
+    pub stale_locks_reclaimed: u64,
+    /// Lock-acquisition attempts that found the word already locked.
+    pub lock_retries: u64,
+    /// Whole-operation optimistic retries (validation failed, op restarted).
+    pub op_retries: u64,
 }
 
 impl ClientStats {
@@ -38,6 +48,11 @@ impl ClientStats {
             msgs: self.msgs - earlier.msgs,
             wire_bytes: self.wire_bytes - earlier.wire_bytes,
             app_bytes: self.app_bytes - earlier.app_bytes,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            torn_reads_detected: self.torn_reads_detected - earlier.torn_reads_detected,
+            stale_locks_reclaimed: self.stale_locks_reclaimed - earlier.stale_locks_reclaimed,
+            lock_retries: self.lock_retries - earlier.lock_retries,
+            op_retries: self.op_retries - earlier.op_retries,
         }
     }
 
@@ -51,6 +66,11 @@ impl ClientStats {
         self.msgs += other.msgs;
         self.wire_bytes += other.wire_bytes;
         self.app_bytes += other.app_bytes;
+        self.faults_injected += other.faults_injected;
+        self.torn_reads_detected += other.torn_reads_detected;
+        self.stale_locks_reclaimed += other.stale_locks_reclaimed;
+        self.lock_retries += other.lock_retries;
+        self.op_retries += other.op_retries;
     }
 }
 
@@ -224,5 +244,90 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.mean(), 0);
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn stats_roundtrip_includes_fault_counters() {
+        let a = ClientStats {
+            faults_injected: 9,
+            torn_reads_detected: 4,
+            stale_locks_reclaimed: 2,
+            lock_retries: 17,
+            op_retries: 6,
+            ..Default::default()
+        };
+        let b = ClientStats {
+            faults_injected: 3,
+            torn_reads_detected: 1,
+            stale_locks_reclaimed: 1,
+            lock_retries: 10,
+            op_retries: 2,
+            ..Default::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.faults_injected, 6);
+        assert_eq!(d.torn_reads_detected, 3);
+        assert_eq!(d.stale_locks_reclaimed, 1);
+        assert_eq!(d.lock_retries, 7);
+        assert_eq!(d.op_retries, 4);
+        let mut m = b;
+        m.merge(&d);
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn single_sample_histogram() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 777);
+        // Every quantile of a single sample is that sample (clamped to the
+        // recorded min/max, so exact despite bucket resolution).
+        assert_eq!(h.quantile(0.0), 777);
+        assert_eq!(h.quantile(0.5), 777);
+        assert_eq!(h.quantile(1.0), 777);
+    }
+
+    #[test]
+    fn saturating_bucket_clamps_to_max() {
+        let mut h = Histogram::new();
+        // Far beyond the last bucket boundary: both land in the final
+        // (saturating) bucket but min/max clamping keeps quantiles sane.
+        h.record(u64::MAX / 2);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) <= u64::MAX);
+        assert!(h.quantile(0.0) >= u64::MAX / 2);
+        assert!(h.quantile(0.5) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        for i in 0..50 {
+            a.record(1_000 + i);
+        }
+        let before = (a.count(), a.mean(), a.quantile(0.5), a.quantile(1.0));
+        a.merge(&Histogram::new());
+        assert_eq!(
+            before,
+            (a.count(), a.mean(), a.quantile(0.5), a.quantile(1.0))
+        );
+
+        // Merging into an empty histogram adopts the other side's min/max.
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 50);
+        assert_eq!(e.quantile(0.0), a.quantile(0.0));
+        assert_eq!(e.quantile(1.0), a.quantile(1.0));
+    }
+
+    #[test]
+    fn merge_two_empties_stays_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0);
+        assert_eq!(a.quantile(0.99), 0);
     }
 }

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use crate::addr::GlobalAddr;
+use crate::fault::{FaultClient, FaultSession, VerbFaults, VerbKind};
 use crate::node::Pool;
 use crate::stats::ClientStats;
 
@@ -17,6 +18,7 @@ pub struct Endpoint {
     pool: Arc<Pool>,
     stats: ClientStats,
     clock_ns: u64,
+    fault: Option<FaultClient>,
 }
 
 impl Endpoint {
@@ -26,8 +28,58 @@ impl Endpoint {
             pool,
             stats: ClientStats::default(),
             clock_ns: 0,
+            fault: None,
         }
     }
+
+    /// Creates an endpoint whose verbs are intercepted by a shared fault
+    /// session; `client` identifies this endpoint in rules and traces.
+    pub fn with_faults(pool: Arc<Pool>, session: Arc<FaultSession>, client: u32) -> Self {
+        Endpoint {
+            pool,
+            stats: ClientStats::default(),
+            clock_ns: 0,
+            fault: Some(FaultClient::new(session, client)),
+        }
+    }
+
+    /// Returns the fault session, if this endpoint is fault-injected.
+    pub fn fault_session(&self) -> Option<&Arc<FaultSession>> {
+        self.fault.as_ref().map(|f| f.session())
+    }
+
+    /// Returns this endpoint's client id in the fault session (0 if none).
+    pub fn client_id(&self) -> u32 {
+        self.fault.as_ref().map_or(0, |f| f.client_id())
+    }
+
+    /// Declares a labeled crash point; a [`crate::fault::CrashRule`] matching
+    /// the label kills this client here (panicking with
+    /// [`crate::fault::CrashSignal`]). A no-op without a fault session.
+    pub fn crash_point(&mut self, label: &str) {
+        if let Some(fc) = self.fault.as_mut() {
+            fc.on_crash_point(label);
+        }
+    }
+
+    /// Resolves fault actions for a verb, applies due torn-write heals, and
+    /// charges injected latency. Panics with `CrashSignal` on a crash rule.
+    fn fault_enter(&mut self, kind: VerbKind, addr: u64) -> VerbFaults {
+        let Some(fc) = self.fault.as_mut() else {
+            return VerbFaults::default();
+        };
+        let (faults, due) = fc.on_verb(kind, addr);
+        for w in due {
+            self.pool
+                .mn(w.addr.mn())
+                .region()
+                .write(w.addr.offset() as usize, &w.bytes);
+        }
+        self.stats.faults_injected += faults.injected;
+        self.clock_ns += faults.delay_ns;
+        faults
+    }
+
 
     /// Returns the pool this endpoint is attached to.
     pub fn pool(&self) -> &Arc<Pool> {
@@ -50,6 +102,32 @@ impl Endpoint {
         self.stats.app_bytes += n;
     }
 
+    /// Records a torn read detected (and retried) by version validation.
+    pub fn note_torn_read(&mut self) {
+        self.stats.torn_reads_detected += 1;
+    }
+
+    /// Records a stale lock word reclaimed from a dead holder.
+    pub fn note_stale_lock_reclaimed(&mut self) {
+        self.stats.stale_locks_reclaimed += 1;
+    }
+
+    /// Records a lock-acquisition attempt that found the word locked.
+    pub fn note_lock_retry(&mut self) {
+        self.stats.lock_retries += 1;
+    }
+
+    /// Records a whole-operation optimistic retry.
+    pub fn note_op_retry(&mut self) {
+        self.stats.op_retries += 1;
+    }
+
+    /// Advances the virtual clock without network traffic (used by backoff:
+    /// the client spends time, not round-trips).
+    pub fn advance_clock(&mut self, ns: u64) {
+        self.clock_ns += ns;
+    }
+
     fn charge(&mut self, msgs: u64, payload: u64, rtts: u64) {
         let net = self.pool.net();
         let wire = payload + msgs * net.msg_overhead;
@@ -61,6 +139,7 @@ impl Endpoint {
 
     /// One-sided READ of `dst.len()` bytes at `addr`.
     pub fn read(&mut self, addr: GlobalAddr, dst: &mut [u8]) {
+        self.fault_enter(VerbKind::Read, addr.raw());
         self.pool
             .mn(addr.mn())
             .region()
@@ -73,6 +152,7 @@ impl Endpoint {
     /// single round-trip, but each is a separate NIC work request.
     pub fn read_batch(&mut self, reqs: &mut [(GlobalAddr, &mut [u8])]) {
         assert!(!reqs.is_empty());
+        self.fault_enter(VerbKind::Read, reqs[0].0.raw());
         let mut payload = 0u64;
         for (addr, dst) in reqs.iter_mut() {
             self.pool
@@ -87,10 +167,15 @@ impl Endpoint {
 
     /// One-sided WRITE of `src` at `addr`.
     pub fn write(&mut self, addr: GlobalAddr, src: &[u8]) {
-        self.pool
-            .mn(addr.mn())
-            .region()
-            .write(addr.offset() as usize, src);
+        let f = self.fault_enter(VerbKind::Write, addr.raw());
+        if let Some((lines, heal_after)) = f.torn {
+            self.torn_write(&[(addr, src)], lines, heal_after);
+        } else {
+            self.pool
+                .mn(addr.mn())
+                .region()
+                .write(addr.offset() as usize, src);
+        }
         self.stats.writes += 1;
         self.charge(1, src.len() as u64, 1);
     }
@@ -99,31 +184,75 @@ impl Endpoint {
     /// one round-trip"). Writes are applied in order.
     pub fn write_batch(&mut self, reqs: &[(GlobalAddr, &[u8])]) {
         assert!(!reqs.is_empty());
+        let f = self.fault_enter(VerbKind::Write, reqs[0].0.raw());
+        if let Some((lines, heal_after)) = f.torn {
+            self.torn_write(reqs, lines, heal_after);
+        } else {
+            for (addr, src) in reqs {
+                self.pool
+                    .mn(addr.mn())
+                    .region()
+                    .write(addr.offset() as usize, src);
+            }
+        }
         let mut payload = 0u64;
-        for (addr, src) in reqs {
-            self.pool
-                .mn(addr.mn())
-                .region()
-                .write(addr.offset() as usize, src);
+        for (_, src) in reqs {
             payload += src.len() as u64;
             self.stats.writes += 1;
         }
         self.charge(reqs.len() as u64, payload, 1);
     }
 
+    /// Applies a torn (batched) write: the first `lines` 64-byte cache lines
+    /// of the concatenated payload reach memory now; the rest lands after
+    /// `heal_after` more verbs by this client, or never (`None`). The full
+    /// cost is charged either way — the client believes the doorbell posted.
+    fn torn_write(
+        &mut self,
+        reqs: &[(GlobalAddr, &[u8])],
+        lines: usize,
+        heal_after: Option<u64>,
+    ) {
+        let mut budget = lines * crate::region::LINE;
+        for (addr, src) in reqs {
+            let now = budget.min(src.len());
+            if now > 0 {
+                self.pool
+                    .mn(addr.mn())
+                    .region()
+                    .write(addr.offset() as usize, &src[..now]);
+                budget -= now;
+            }
+            if now < src.len() {
+                if let Some(after) = heal_after {
+                    let fc = self.fault.as_mut().expect("torn write without faults");
+                    fc.schedule_heal(addr.add(now as u64), src[now..].to_vec(), after);
+                }
+            }
+        }
+    }
+
     /// RDMA compare-and-swap on the 8-byte word at `addr`.
     ///
     /// Returns the previous value; the swap happened iff it equals `compare`.
     pub fn cas(&mut self, addr: GlobalAddr, compare: u64, swap: u64) -> u64 {
-        let old = self
-            .pool
-            .mn(addr.mn())
-            .region()
-            .atomic_rmw_u64(addr.offset() as usize, |cur| {
-                (cur == compare).then_some(swap)
-            });
+        let f = self.fault_enter(VerbKind::Cas, addr.raw());
         self.stats.atomics += 1;
         self.charge(1, 16, 1);
+        let region = self.pool.mn(addr.mn()).region();
+        let off = addr.offset() as usize;
+        if f.fail_cas {
+            // Completion dropped: nothing executes, and the reported old
+            // value is made to conflict with `compare` so the caller sees a
+            // clean failure and retries.
+            let cur = region.atomic_rmw_u64(off, |_| None);
+            return if cur == compare { cur ^ 1 } else { cur };
+        }
+        let old = region.atomic_rmw_u64(off, |cur| (cur == compare).then_some(swap));
+        if f.duplicate {
+            // Retransmitted completion: the atomic executes a second time.
+            region.atomic_rmw_u64(off, |cur| (cur == compare).then_some(swap));
+        }
         old
     }
 
@@ -141,28 +270,50 @@ impl Endpoint {
         swap: u64,
         swap_mask: u64,
     ) -> u64 {
-        let old = self
-            .pool
-            .mn(addr.mn())
-            .region()
-            .atomic_rmw_u64(addr.offset() as usize, |cur| {
-                (cur & compare_mask == compare & compare_mask)
-                    .then_some((cur & !swap_mask) | (swap & swap_mask))
-            });
+        let f = self.fault_enter(VerbKind::MaskedCas, addr.raw());
         self.stats.atomics += 1;
         self.charge(1, 32, 1);
+        let region = self.pool.mn(addr.mn()).region();
+        let off = addr.offset() as usize;
+        let apply = |cur: u64| {
+            (cur & compare_mask == compare & compare_mask)
+                .then_some((cur & !swap_mask) | (swap & swap_mask))
+        };
+        if f.fail_cas {
+            // Completion dropped: flip the lowest compared bit of the
+            // reported old value if it would have matched, so the caller
+            // observes a spurious conflict.
+            let cur = region.atomic_rmw_u64(off, |_| None);
+            let flip = if compare_mask == 0 {
+                1
+            } else {
+                compare_mask & compare_mask.wrapping_neg()
+            };
+            return if cur & compare_mask == compare & compare_mask {
+                cur ^ flip
+            } else {
+                cur
+            };
+        }
+        let old = region.atomic_rmw_u64(off, apply);
+        if f.duplicate {
+            region.atomic_rmw_u64(off, apply);
+        }
         old
     }
 
     /// RDMA fetch-and-add on the 8-byte word at `addr`; returns the old value.
     pub fn faa(&mut self, addr: GlobalAddr, add: u64) -> u64 {
-        let old = self
-            .pool
-            .mn(addr.mn())
-            .region()
-            .atomic_rmw_u64(addr.offset() as usize, |cur| Some(cur.wrapping_add(add)));
+        let f = self.fault_enter(VerbKind::Faa, addr.raw());
         self.stats.atomics += 1;
         self.charge(1, 16, 1);
+        let region = self.pool.mn(addr.mn()).region();
+        let off = addr.offset() as usize;
+        let old = region.atomic_rmw_u64(off, |cur| Some(cur.wrapping_add(add)));
+        if f.duplicate {
+            // Retransmitted completion: the add lands twice.
+            region.atomic_rmw_u64(off, |cur| Some(cur.wrapping_add(add)));
+        }
         old
     }
 
@@ -171,6 +322,7 @@ impl Endpoint {
     /// This is the only MN-CPU-involving operation, used to grab 16 MB
     /// chunks that the client then sub-allocates locally.
     pub fn alloc_rpc(&mut self, mn: u16, size: u64) -> Option<GlobalAddr> {
+        self.fault_enter(VerbKind::Alloc, (mn as u64) << 48);
         let r = self.pool.mn(mn).alloc(size);
         self.stats.rpcs += 1;
         self.stats.msgs += 2;
@@ -287,5 +439,210 @@ mod tests {
         let b = e.alloc_rpc(0, 4096).unwrap();
         assert_ne!(a, b);
         assert_eq!(e.stats().rpcs, 2);
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{
+            CrashRule, CrashSignal, FaultAction, FaultPlan, FaultRule, FaultSession, VerbKind,
+        };
+        use std::sync::Arc;
+
+        fn faulty_ep(plan: FaultPlan) -> (Endpoint, Arc<FaultSession>) {
+            let session = Arc::new(FaultSession::new(plan));
+            let pool = Pool::with_defaults(1, 1 << 20);
+            (
+                Endpoint::with_faults(pool, Arc::clone(&session), 0),
+                session,
+            )
+        }
+
+        #[test]
+        fn delay_rule_advances_clock_and_counts() {
+            let mut plan = FaultPlan::seeded(1);
+            plan.rules.push(FaultRule::always(
+                "spike",
+                Some(VerbKind::Read),
+                FaultAction::Delay { ns: 50_000 },
+            ));
+            let (mut e, s) = faulty_ep(plan);
+            let addr = GlobalAddr::new(0, RESERVED_BYTES);
+            let before = e.clock_ns();
+            let mut buf = [0u8; 8];
+            e.read(addr, &mut buf);
+            assert!(e.clock_ns() >= before + 50_000);
+            assert_eq!(e.stats().faults_injected, 1);
+            assert_eq!(s.trace().len(), 1);
+        }
+
+        #[test]
+        fn torn_write_never_heals_drops_tail() {
+            let mut plan = FaultPlan::seeded(2);
+            plan.rules.push(FaultRule::always(
+                "tear-1-line",
+                Some(VerbKind::Write),
+                FaultAction::TornWrite {
+                    lines: 1,
+                    heal_after: None,
+                },
+            ));
+            let (mut e, _s) = faulty_ep(plan);
+            let addr = GlobalAddr::new(0, RESERVED_BYTES);
+            e.write(addr, &[7u8; 128]);
+            let mut clean = Endpoint::new(Arc::clone(e.pool()));
+            let mut buf = [0u8; 128];
+            clean.read(addr, &mut buf);
+            assert_eq!(&buf[..64], &[7u8; 64][..], "first line landed");
+            assert_eq!(&buf[64..], &[0u8; 64][..], "second line never landed");
+        }
+
+        #[test]
+        fn torn_write_heals_after_n_verbs() {
+            let mut plan = FaultPlan::seeded(3);
+            plan.rules.push(FaultRule {
+                label: "tear-then-heal".into(),
+                verb: Some(VerbKind::Write),
+                client: None,
+                probability: 1.0,
+                after_seq: 0,
+                max_fires: 1,
+                action: FaultAction::TornWrite {
+                    lines: 1,
+                    heal_after: Some(2),
+                },
+            });
+            let (mut e, _s) = faulty_ep(plan);
+            let addr = GlobalAddr::new(0, RESERVED_BYTES);
+            e.write(addr, &[9u8; 128]);
+            let mut buf = [0u8; 128];
+            e.read(addr, &mut buf); // verb 1 after the tear
+            assert_eq!(&buf[64..], &[0u8; 64][..], "tail still missing");
+            e.read(addr, &mut buf); // verb 2: heal applied before the read
+            assert_eq!(&buf[..], &[9u8; 128][..], "tail healed");
+        }
+
+        #[test]
+        fn failed_cas_reports_conflict_without_executing() {
+            let mut plan = FaultPlan::seeded(4);
+            plan.rules.push(FaultRule {
+                label: "drop-cas".into(),
+                verb: Some(VerbKind::Cas),
+                client: None,
+                probability: 1.0,
+                after_seq: 0,
+                max_fires: 1,
+                action: FaultAction::FailCas,
+            });
+            let (mut e, _s) = faulty_ep(plan);
+            let addr = GlobalAddr::new(0, RESERVED_BYTES);
+            let old = e.cas(addr, 0, 7);
+            assert_ne!(old, 0, "reported old value must conflict");
+            let mut b = [0u8; 8];
+            e.read(addr, &mut b);
+            assert_eq!(u64::from_le_bytes(b), 0, "swap must not have executed");
+            // Budget spent: the retry succeeds.
+            assert_eq!(e.cas(addr, 0, 7), 0);
+            e.read(addr, &mut b);
+            assert_eq!(u64::from_le_bytes(b), 7);
+        }
+
+        #[test]
+        fn failed_masked_cas_flips_a_compared_bit_only() {
+            let mut plan = FaultPlan::seeded(5);
+            plan.rules.push(FaultRule {
+                label: "drop-mcas".into(),
+                verb: Some(VerbKind::MaskedCas),
+                client: None,
+                probability: 1.0,
+                after_seq: 0,
+                max_fires: 1,
+                action: FaultAction::FailCas,
+            });
+            let (mut e, _s) = faulty_ep(plan);
+            let addr = GlobalAddr::new(0, RESERVED_BYTES);
+            e.write(addr, &0xAABB_0000_0000_0000u64.to_le_bytes());
+            // Lock acquisition: compare bit 0 == 0, swap bit 0 := 1.
+            let old = e.masked_cas(addr, 0, 1, 1, 1);
+            assert_eq!(old & 1, 1, "must look locked so the caller retries");
+            assert_eq!(old & !1, 0xAABB_0000_0000_0000, "other bits untouched");
+            let mut b = [0u8; 8];
+            e.read(addr, &mut b);
+            assert_eq!(
+                u64::from_le_bytes(b),
+                0xAABB_0000_0000_0000,
+                "memory unchanged"
+            );
+        }
+
+        #[test]
+        fn duplicated_faa_lands_twice() {
+            let mut plan = FaultPlan::seeded(6);
+            plan.rules.push(FaultRule {
+                label: "dup-faa".into(),
+                verb: Some(VerbKind::Faa),
+                client: None,
+                probability: 1.0,
+                after_seq: 0,
+                max_fires: 1,
+                action: FaultAction::DuplicateAtomic,
+            });
+            let (mut e, _s) = faulty_ep(plan);
+            let addr = GlobalAddr::new(0, RESERVED_BYTES);
+            assert_eq!(e.faa(addr, 5), 0);
+            assert_eq!(e.faa(addr, 1), 10, "first add landed twice");
+        }
+
+        #[test]
+        fn crash_point_kills_client() {
+            let plan = FaultPlan {
+                seed: 7,
+                rules: vec![],
+                crashes: vec![CrashRule {
+                    label: "op.midway".into(),
+                    client: Some(0),
+                    at_hit: 1,
+                }],
+            };
+            let (mut e, s) = faulty_ep(plan);
+            e.crash_point("unrelated");
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                e.crash_point("op.midway");
+            }));
+            let payload = r.unwrap_err();
+            let sig = payload.downcast_ref::<CrashSignal>().expect("CrashSignal");
+            assert_eq!(sig.label, "op.midway");
+            assert_eq!(s.trace().len(), 1);
+        }
+
+        #[test]
+        fn same_seed_same_trace() {
+            let run = |seed: u64| {
+                let mut plan = FaultPlan::seeded(seed);
+                plan.rules.push(FaultRule {
+                    label: "p30-delay".into(),
+                    verb: None,
+                    client: None,
+                    probability: 0.3,
+                    after_seq: 0,
+                    max_fires: u64::MAX,
+                    action: FaultAction::Delay { ns: 10 },
+                });
+                let (mut e, s) = faulty_ep(plan);
+                let addr = GlobalAddr::new(0, RESERVED_BYTES);
+                let mut buf = [0u8; 16];
+                for i in 0..100u64 {
+                    match i % 3 {
+                        0 => e.read(addr, &mut buf),
+                        1 => e.write(addr, &buf),
+                        _ => {
+                            e.faa(addr.add(64), 1);
+                        }
+                    }
+                }
+                s.trace()
+            };
+            assert_eq!(run(11), run(11));
+            assert_ne!(run(11), run(12), "different seeds should diverge");
+        }
     }
 }

@@ -1,0 +1,119 @@
+//! Fault injection and crash-safe lock recovery.
+//!
+//! Builds a tree with lock leases enabled, kills one client at the
+//! `leaf.lock.acquired` crash point (it dies holding a leaf lock), and shows
+//! a surviving client reclaiming the stale lock and carrying on. Runs the
+//! whole scenario twice to demonstrate seed-exact fault-trace replay.
+//!
+//! Run with: `cargo run --release --example fault_injection`
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use chime::leaf::CRASH_LEAF_LOCKED;
+use chime::{Chime, ChimeConfig};
+use dmem::{
+    CrashRule, CrashSignal, Endpoint, FaultAction, FaultPlan, FaultRule, FaultSession, Pool,
+    RangeIndex, VerbKind,
+};
+
+fn scenario() -> (Vec<String>, String) {
+    let pool = Pool::with_defaults(1, 256 << 20);
+    let cfg = ChimeConfig {
+        span: 16,
+        internal_span: 8,
+        neighborhood: 4,
+        // A waiter that sees the same locked word 4 times in a row presumes
+        // the holder dead and reclaims the lock by bumping the lease epoch.
+        lock_lease_spins: 4,
+        ..Default::default()
+    };
+    let tree = Chime::create(&pool, cfg, 0);
+
+    // Fault plan: client 0 dies the 3rd time it wins a leaf lock; lock
+    // CASes occasionally fail spuriously for everyone.
+    let mut plan = FaultPlan::seeded(0xFA017);
+    plan.crashes.push(CrashRule {
+        label: CRASH_LEAF_LOCKED.to_string(),
+        client: Some(0),
+        at_hit: 3,
+    });
+    plan.rules.push(FaultRule {
+        probability: 0.10,
+        ..FaultRule::always("flaky-lock", Some(VerbKind::MaskedCas), FaultAction::FailCas)
+    });
+    let session = Arc::new(FaultSession::new(plan));
+
+    let cn0 = tree.new_cn();
+    let cn1 = tree.new_cn();
+    let mut victim = tree.client_with_endpoint(
+        &cn0,
+        Endpoint::with_faults(Arc::clone(&pool), Arc::clone(&session), 0),
+    );
+    let mut survivor = tree.client_with_endpoint(
+        &cn1,
+        Endpoint::with_faults(Arc::clone(&pool), Arc::clone(&session), 1),
+    );
+
+    let mut log = Vec::new();
+    // The victim inserts until the crash rule kills it mid-operation.
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        for k in 1..=100u64 {
+            victim.insert(k, &k.to_le_bytes()).unwrap();
+        }
+    }));
+    match outcome {
+        Err(p) => {
+            let sig = p
+                .downcast_ref::<CrashSignal>()
+                .expect("only the crash rule panics here");
+            log.push(format!(
+                "victim died at crash point '{}' (client {})",
+                sig.label, sig.client
+            ));
+        }
+        Ok(()) => panic!("the crash rule should have fired"),
+    }
+
+    // The survivor now works over the same keys. Whenever it collides with
+    // the leaf the victim locked and never released, the lease path kicks
+    // in: after `lock_lease_spins` identical observations it CASes the lock
+    // free (epoch bump) and proceeds.
+    for k in 1..=100u64 {
+        survivor.insert(k, &(k * 7).to_le_bytes()).unwrap();
+    }
+    for k in 1..=100u64 {
+        assert_eq!(survivor.search(k).as_deref(), Some(&(k * 7).to_le_bytes()[..]));
+    }
+    let s = survivor.stats();
+    log.push(format!(
+        "survivor finished: stale_locks_reclaimed={} lock_retries={} op_retries={} faults_injected={}",
+        s.stale_locks_reclaimed, s.lock_retries, s.op_retries, s.faults_injected,
+    ));
+    assert!(
+        s.stale_locks_reclaimed >= 1,
+        "the survivor must have reclaimed the victim's stale lock"
+    );
+    (log, session.trace_report())
+}
+
+fn main() {
+    // Intentional CrashSignal panics should not spray backtraces.
+    let default = panic::take_hook();
+    panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<CrashSignal>().is_none() {
+            default(info);
+        }
+    }));
+
+    let (log_a, trace_a) = scenario();
+    for line in &log_a {
+        println!("{line}");
+    }
+    println!("\nfault trace:\n{trace_a}");
+
+    // Same plan, fresh pool: the verb-level fault trace replays exactly.
+    let (_, trace_b) = scenario();
+    assert_eq!(trace_a, trace_b, "same seed must replay the same trace");
+    println!("deterministic replay: OK (second run produced an identical trace)");
+}

@@ -1,0 +1,74 @@
+//! Minimal stand-in for the `crossbeam` scoped-thread API this workspace uses.
+//!
+//! The build environment is fully offline, so the real crates.io crate cannot
+//! be fetched. Scoped threads are delegated to `std::thread::scope` (stable
+//! since Rust 1.63), wrapped in the `crossbeam::thread::scope(|s| ...)`
+//! calling convention where spawned closures receive a scope argument.
+
+/// Scoped threads (`crossbeam::thread::scope`).
+pub mod thread {
+    use std::any::Any;
+
+    pub use std::thread::ScopedJoinHandle;
+
+    /// Scope handle passed to the `scope` closure; lets it spawn threads that
+    /// may borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Argument passed to closures spawned via [`Scope::spawn`].
+    ///
+    /// The real crossbeam passes a nested `&Scope` here; every call site in
+    /// this workspace ignores it (`|_| ...`), so a zero-sized token suffices.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NestedScope;
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives a scope token.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(NestedScope))
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller.
+    ///
+    /// All spawned threads are joined before this returns. Unlike real
+    /// crossbeam, a panicking child propagates its panic out of `scope`
+    /// (via `std::thread::scope`) instead of surfacing as `Err`; callers
+    /// here immediately `.unwrap()` the result, so both fail the same way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let counter = AtomicUsize::new(0);
+        let total = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        1usize
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(total, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}
