@@ -2,11 +2,12 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test chaos clean
+.PHONY: verify build test lint chaos perf-smoke baseline clean
 
-# Tier-1 gate plus a fixed-seed chaos smoke run (deterministic fault
-# injection with a crash-while-holding-a-leaf-lock scenario).
-verify: build test chaos
+# Tier-1 gate (build + tests) plus the clippy lint wall and a fixed-seed
+# chaos smoke run (deterministic fault injection with a
+# crash-while-holding-a-leaf-lock scenario).
+verify: build test lint chaos
 
 build:
 	$(CARGO) build --release
@@ -14,8 +15,21 @@ build:
 test:
 	$(CARGO) test -q
 
+lint:
+	$(CARGO) clippy --all-targets -- -D warnings
+
 chaos:
 	$(CARGO) test -p chime --test chaos -q
+
+# Fixed-seed micro-benchmark matrix compared against results/baseline.json;
+# fails on any tolerance-exceeding regression. The simulator's virtual clock
+# makes the numbers machine-independent.
+perf-smoke:
+	$(CARGO) run --release -p bench --bin perf_smoke
+
+# Refresh the perf baseline after an intentional performance change.
+baseline:
+	$(CARGO) run --release -p bench --bin perf_smoke -- --write-baseline
 
 clean:
 	$(CARGO) clean

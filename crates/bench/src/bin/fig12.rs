@@ -8,6 +8,7 @@
 //! ratios (see EXPERIMENTS.md).
 
 use bench::driver::{deploy, print_row, run_deployed, Args, BenchSetup, IndexKind};
+use bench::report::Report;
 use ycsb::Workload;
 
 fn main() {
@@ -31,6 +32,7 @@ fn main() {
 
     println!("# Figure 12: throughput-latency under YCSB workloads");
     println!("# preload={preload} ops/point={ops}");
+    let mut rep = Report::new("fig12");
     for w in workloads {
         println!("\n## YCSB {}", w.name());
         let kinds: Vec<(String, IndexKind)> = {
@@ -81,9 +83,11 @@ fn main() {
                 setup.ops = ops_for(clients);
                 let r = run_deployed(&setup, &mut dep);
                 print_row(&format!("{} {}", w.name(), name), clients, &r);
+                rep.add(&format!("{}/{}/{}", w.name(), name, clients), &r);
             }
         }
     }
+    rep.finish();
 }
 
 /// Scales the paper's 100 MB / 60 M-key CN cache to the loaded dataset.

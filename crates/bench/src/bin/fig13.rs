@@ -8,6 +8,7 @@
 //! Usage: `fig13 [--preload N] [--ops N] [--value N]`
 
 use bench::driver::{print_row, run, Args, BenchSetup, IndexKind};
+use bench::report::Report;
 use ycsb::Workload;
 
 fn main() {
@@ -18,6 +19,7 @@ fn main() {
     let clients = 320usize;
 
     println!("# Figure 13: variable-length KV support ({clients} clients, {value}-B values)");
+    let mut rep = Report::new("fig13");
     for w in [Workload::C, Workload::Load, Workload::D, Workload::A, Workload::B, Workload::E] {
         println!("\n## YCSB {}", w.name());
         let mut kinds: Vec<(&str, IndexKind)> = vec![
@@ -71,6 +73,8 @@ fn main() {
             };
             let r = run(&setup);
             print_row(name, clients, &r);
+            rep.add(&format!("{}/{}", w.name(), name), &r);
         }
     }
+    rep.finish();
 }

@@ -8,6 +8,7 @@
 //! the dataset size, §5.2).
 
 use bench::driver::{deploy, run_deployed, Args, BenchSetup, IndexKind};
+use bench::report::Report;
 use ycsb::Workload;
 
 fn main() {
@@ -19,6 +20,7 @@ fn main() {
         "{:<10} {:>10} {:>14} {:>20}",
         "index", "items", "cache (MB)", "@60M items (MB)"
     );
+    let mut rep = Report::new("fig14");
     for &n in &sizes {
         let kinds = [
             (
@@ -65,8 +67,10 @@ fn main() {
             let mb = r.cache_bytes as f64 / (1 << 20) as f64;
             let extrap = mb * 60.0e6 / n as f64;
             println!("{name:<10} {n:>10} {mb:>14.2} {extrap:>20.1}");
+            rep.add(&format!("{name}/{n}"), &r);
         }
     }
+    rep.finish();
     println!("\n# Paper reference @60M: CHIME 27.6 MB (+30 MB hotspot buffer),");
     println!("# Sherman 23.6 MB, ROLEX 31.2 MB, SMART 503.2 MB.");
 }

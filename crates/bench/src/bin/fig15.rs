@@ -7,6 +7,7 @@
 //! Usage: `fig15 [--preload N] [--ops N] [--clients N]`
 
 use bench::driver::{print_row, run, Args, BenchSetup, IndexKind};
+use bench::report::Report;
 use ycsb::Workload;
 
 fn main() {
@@ -58,6 +59,7 @@ fn main() {
             }),
         ),
     ];
+    let mut rep = Report::new("fig15");
     println!("# Figure 15a: factor analysis from Sherman ({clients} clients)");
     for w in [Workload::C, Workload::Load, Workload::A] {
         println!("\n## YCSB {}", w.name());
@@ -73,6 +75,7 @@ fn main() {
             };
             let r = run(&setup);
             print_row(name, clients, &r);
+            rep.add(&format!("15a/{}/{}", w.name(), name), &r);
         }
     }
 
@@ -110,6 +113,8 @@ fn main() {
             };
             let r = run(&setup);
             print_row(name, clients, &r);
+            rep.add(&format!("15b/{}/{}", w.name(), name), &r);
         }
     }
+    rep.finish();
 }

@@ -6,9 +6,11 @@
 //!
 //! Usage: `fig16`
 
+use bench::report::Report;
 use chime::layout::LeafLayout;
 
 fn main() {
+    let mut rep = Report::new("fig16");
     println!("# Figure 16: metadata bytes per leaf node vs key size");
     println!(
         "{:>8} {:>16} {:>18} {:>12}",
@@ -34,6 +36,14 @@ fn main() {
             "{key_size:>8} {f:>16} {s:>18} {:>11.1}x",
             f as f64 / s as f64
         );
+        rep.add_custom(
+            &format!("16/{key_size}"),
+            &[
+                ("fence_metadata_bytes", f as f64),
+                ("sibling_metadata_bytes", s as f64),
+            ],
+        );
     }
     println!("\n# Paper: the optimization grows from 1.4x (8-B keys) to 8.6x (256-B keys).");
+    rep.finish();
 }

@@ -8,6 +8,7 @@
 //! Usage: `fig17 [--preload N] [--ops N]`
 
 use bench::driver::{deploy, print_row, run_deployed, Args, BenchSetup, IndexKind};
+use bench::report::Report;
 use ycsb::Workload;
 
 fn main() {
@@ -18,6 +19,7 @@ fn main() {
     let hotspot = (preload as f64 / 60.0e6 * (30 << 20) as f64) as u64 + (16 << 10);
 
     println!("# Figure 17: speculative read (SR) contribution, YCSB C");
+    let mut rep = Report::new("fig17");
     for (name, sr) in [("CHIME w/o SR", false), ("CHIME w/ SR", true)] {
         let mut setup = BenchSetup {
             kind: IndexKind::Chime(chime::ChimeConfig {
@@ -40,6 +42,8 @@ fn main() {
             if sr {
                 println!("{:>34} hotspot hit ratio {:.1}%", "", r.hotspot_hit_ratio * 100.0);
             }
+            rep.add(&format!("{name}/{c}"), &r);
         }
     }
+    rep.finish();
 }

@@ -10,6 +10,7 @@
 //! Usage: `fig18 [--preload N] [--ops N] [--parts a,b,c,d,e,f]`
 
 use bench::driver::{print_row, run, Args, BenchSetup, IndexKind};
+use bench::report::Report;
 use ycsb::Workload;
 
 fn main() {
@@ -59,6 +60,7 @@ fn main() {
         ]
     };
 
+    let mut rep = Report::new("fig18");
     if parts.contains('a') {
         println!("# Figure 18a: skewness (50% search + 50% update)");
         for theta in [0.5, 0.7, 0.9, 0.99] {
@@ -67,6 +69,7 @@ fn main() {
                 s.theta = theta;
                 let r = run(&s);
                 print_row(&format!("theta {theta} {name}"), clients, &r);
+                rep.add(&format!("18a/theta{theta}/{name}"), &r);
             }
         }
     }
@@ -102,6 +105,7 @@ fn main() {
             for (name, kind) in kinds {
                 let r = run(&base(kind, Workload::C));
                 print_row(&format!("cache {cache_kb}KB {name}"), clients, &r);
+                rep.add(&format!("18b/cache{cache_kb}KB/{name}"), &r);
             }
         }
     }
@@ -139,7 +143,6 @@ fn main() {
                     IndexKind::Smart(smart::SmartConfig {
                         value_size: v,
                         cache_bytes: cache,
-                        ..Default::default()
                     }),
                 ),
             ];
@@ -148,6 +151,7 @@ fn main() {
                 s.value_size = v;
                 let r = run(&s);
                 print_row(&format!("value {v}B {name}"), clients, &r);
+                rep.add(&format!("18c/value{v}B/{name}"), &r);
             }
         }
     }
@@ -186,6 +190,7 @@ fn main() {
                 s.value_size = v;
                 let r = run(&s);
                 print_row(&format!("indirect {v}B {name}"), clients, &r);
+                rep.add(&format!("18d/indirect{v}B/{name}"), &r);
             }
         }
     }
@@ -220,6 +225,7 @@ fn main() {
             for (name, kind) in kinds {
                 let r = run(&base(kind, Workload::C));
                 print_row(&format!("span {span} {name}"), clients, &r);
+                rep.add(&format!("18e/span{span}/{name}"), &r);
             }
         }
     }
@@ -236,6 +242,8 @@ fn main() {
                 Workload::C,
             ));
             print_row(&format!("H = {h}"), clients, &r);
+            rep.add(&format!("18f/H{h}"), &r);
         }
     }
+    rep.finish();
 }

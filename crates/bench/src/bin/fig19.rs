@@ -7,6 +7,7 @@
 //! Usage: `fig19 [--preload N] [--ops N] [--trials N]`
 
 use bench::driver::{print_row, run, Args, BenchSetup, IndexKind};
+use bench::report::Report;
 use chime::hopscotch::{build_table, Window};
 use dmem::hash::home_entry;
 use ycsb::Workload;
@@ -17,6 +18,7 @@ fn main() {
     let ops: u64 = args.get("ops", 50_000);
     let trials: usize = args.get("trials", 300);
 
+    let mut rep = Report::new("fig19");
     println!("# Figure 19a: span size vs max load factor & cache consumption");
     println!(
         "{:>6} {:>16} {:>14}",
@@ -44,6 +46,13 @@ fn main() {
             "{span:>6} {lf:>16.3} {:>14.3}",
             r.cache_bytes as f64 / (1 << 20) as f64
         );
+        rep.add_custom(
+            &format!("19a/span{span}"),
+            &[
+                ("max_load_factor", lf),
+                ("cache_mb", r.cache_bytes as f64 / (1 << 20) as f64),
+            ],
+        );
     }
 
     println!("\n# Figure 19b: neighborhood size vs max load factor (span 64)");
@@ -51,6 +60,7 @@ fn main() {
     for h in [2usize, 4, 8, 16] {
         let lf = leaf_max_load_factor(64, h, trials);
         println!("{h:>6} {lf:>16.3}");
+        rep.add_custom(&format!("19b/H{h}"), &[("max_load_factor", lf)]);
     }
 
     println!("\n# Figure 19c: hotspot buffer size (YCSB C, 640 clients)");
@@ -74,7 +84,9 @@ fn main() {
             "",
             r.hotspot_hit_ratio * 100.0
         );
+        rep.add(&format!("19c/buffer{kb}KB"), &r);
     }
+    rep.finish();
 }
 
 /// Fills single hopscotch tables with random keys until the first

@@ -8,6 +8,7 @@
 //! Usage: `fig3 [--preload N] [--ops N]`
 
 use bench::driver::{deploy, print_row, run, run_deployed, Args, BenchSetup, IndexKind};
+use bench::report::Report;
 use ycsb::Workload;
 
 fn main() {
@@ -15,14 +16,16 @@ fn main() {
     let preload: u64 = args.get("preload", 150_000);
     let ops: u64 = args.get("ops", 50_000);
 
-    fig3a(preload, ops / 2);
-    fig3b(preload, ops);
-    fig3c(preload, ops);
-    fig3d();
+    let mut rep = Report::new("fig3");
+    fig3a(preload, ops / 2, &mut rep);
+    fig3b(preload, ops, &mut rep);
+    fig3c(preload, ops, &mut rep);
+    fig3d(&mut rep);
+    rep.finish();
 }
 
 /// 3a: the trade-off scatter — amplification factor vs CN cache bytes.
-fn fig3a(preload: u64, ops: u64) {
+fn fig3a(preload: u64, ops: u64, rep: &mut Report) {
     println!("# Figure 3a: cache consumption vs amplification factor");
     println!(
         "{:<24} {:>12} {:>14}",
@@ -82,10 +85,11 @@ fn fig3a(preload: u64, ops: u64) {
             r.read_amp,
             r.cache_bytes as f64 / (1 << 20) as f64
         );
+        rep.add(&format!("3a/{name}"), &r);
     }
 }
 
-fn curve(label: &str, kind: IndexKind, preload: u64, ops: u64, num_mns: u16) {
+fn curve(label: &str, kind: IndexKind, preload: u64, ops: u64, num_mns: u16, rep: &mut Report, part: &str) {
     let sweep = [40usize, 160, 480, 960];
     let mut setup = BenchSetup {
         kind,
@@ -105,11 +109,12 @@ fn curve(label: &str, kind: IndexKind, preload: u64, ops: u64, num_mns: u16) {
         setup.clients = c;
         let r = run_deployed(&setup, &mut dep);
         print_row(label, c, &r);
+        rep.add(&format!("{part}/{label}/{c}"), &r);
     }
 }
 
 /// 3b: limited bandwidth (1 MN), ample caches.
-fn fig3b(preload: u64, ops: u64) {
+fn fig3b(preload: u64, ops: u64, rep: &mut Report) {
     println!("\n# Figure 3b: limited bandwidth (1 MN, 1000 MB caches)");
     curve(
         "Sherman",
@@ -120,6 +125,8 @@ fn fig3b(preload: u64, ops: u64) {
         preload,
         ops,
         1,
+        rep,
+        "3b",
     );
     curve(
         "ROLEX",
@@ -127,6 +134,8 @@ fn fig3b(preload: u64, ops: u64) {
         preload,
         ops,
         1,
+        rep,
+        "3b",
     );
     curve(
         "SMART",
@@ -137,11 +146,13 @@ fn fig3b(preload: u64, ops: u64) {
         preload,
         ops,
         1,
+        rep,
+        "3b",
     );
 }
 
 /// 3c: limited caches (10 MNs), scaled to the dataset.
-fn fig3c(preload: u64, ops: u64) {
+fn fig3c(preload: u64, ops: u64, rep: &mut Report) {
     println!("\n# Figure 3c: limited caches (10 MNs, 100 MB-scaled caches)");
     let cache = (preload as f64 / 60.0e6 * (100 << 20) as f64) as u64 + (32 << 10);
     curve(
@@ -153,6 +164,8 @@ fn fig3c(preload: u64, ops: u64) {
         preload,
         ops,
         10,
+        rep,
+        "3c",
     );
     curve(
         "ROLEX",
@@ -160,6 +173,8 @@ fn fig3c(preload: u64, ops: u64) {
         preload,
         ops,
         10,
+        rep,
+        "3c",
     );
     curve(
         "SMART",
@@ -170,11 +185,13 @@ fn fig3c(preload: u64, ops: u64) {
         preload,
         ops,
         10,
+        rep,
+        "3c",
     );
 }
 
 /// 3d: hashing schemes — max load factor vs amplification (128 entries).
-fn fig3d() {
+fn fig3d(rep: &mut Report) {
     println!("\n# Figure 3d: hashing schemes (128-entry tables, 500 trials)");
     println!(
         "{:<16} {:>6} {:>12} {:>16}",
@@ -191,6 +208,10 @@ fn fig3d() {
         println!(
             "{:<16} {param:>6} {amp:>12} {lf:>16.3}",
             scheme.name()
+        );
+        rep.add_custom(
+            &format!("3d/{}/{param}", scheme.name()),
+            &[("amp_factor", amp as f64), ("max_load_factor", lf)],
         );
     }
 }

@@ -10,6 +10,7 @@
 //! Usage: `fig4 [--ops N]`
 
 use bench::driver::Args;
+use bench::report::Report;
 use dmem::{Endpoint, GlobalAddr, NetConfig, Pool, RunAccounting};
 
 /// Entry size with 8-byte keys and values (1 ver + 2 bitmap + 8 + 8).
@@ -23,6 +24,7 @@ fn main() {
     let clients = 640u64;
     let pool = Pool::with_defaults(1, 64 << 20);
     let base = GlobalAddr::new(0, 4096);
+    let mut rep = Report::new("fig4");
 
     println!("# Figure 4a: vacancy bitmap accesses (inserts, {clients} clients)");
     println!("{:<28} {:>10} {:>12}", "pattern", "Mops", "bytes/op");
@@ -35,6 +37,7 @@ fn main() {
     ] {
         let (mops, bpo) = stream(&pool, base, &reads, ops, clients);
         println!("{name:<28} {mops:>10.2} {bpo:>12.0}");
+        rep.add_custom(&format!("4a/{name}"), &[("mops", mops), ("bytes_per_op", bpo)]);
     }
 
     println!("\n# Figure 4b: leaf metadata accesses (searches, {clients} clients)");
@@ -47,6 +50,7 @@ fn main() {
     ] {
         let (mops, bpo) = stream(&pool, base, &reads, ops, clients);
         println!("{name:<28} {mops:>10.2} {bpo:>12.0}");
+        rep.add_custom(&format!("4b/{name}"), &[("mops", mops), ("bytes_per_op", bpo)]);
     }
 
     println!("\n# Figure 4c: neighborhood size (searches, {clients} clients)");
@@ -55,7 +59,9 @@ fn main() {
         let (mops, bpo) = stream(&pool, base, &[h * ENTRY + 10], ops, clients);
         let bound = if bpo * mops * 1e6 >= 12.4e9 { "BW" } else { "IOPS" };
         println!("{:<28} {mops:>10.2} {bpo:>12.0} {bound:>10}", format!("{h} entries"));
+        rep.add_custom(&format!("4c/{h}"), &[("mops", mops), ("bytes_per_op", bpo)]);
     }
+    rep.finish();
 }
 
 /// Issues `ops` iterations of the given READ sizes (one doorbell batch per

@@ -1,0 +1,155 @@
+//! The CI perf gate: a fixed-seed micro-benchmark matrix compared against
+//! `results/baseline.json`.
+//!
+//! The whole simulator runs on a virtual clock, so the numbers are exact
+//! and machine-independent; tolerances exist to absorb intentional
+//! algorithm changes, not noise. The matrix covers CHIME and Sherman on
+//! read-heavy, write-heavy and scan workloads at two client counts.
+//!
+//! Usage: `perf_smoke [--baseline PATH] [--write-baseline] [--tolerance PCT]`
+//!
+//! Exits 1 when any metric regresses beyond its tolerance or a baseline
+//! point is missing from the run.
+
+use bench::driver::{run, Args, BenchSetup, IndexKind};
+use bench::report::Report;
+use obs::{compare, Baseline, BenchPoint};
+use ycsb::Workload;
+
+/// The gate compares this subset of each point's metrics. Ratios and cache
+/// footprints are informational (they appear in BENCH_perf_smoke.json) but
+/// latency, throughput and traffic guard the paper's claims.
+const GATED: &[&str] = &[
+    "mops",
+    "p50_us",
+    "p99_us",
+    "bytes_per_op",
+    "rtts_per_op",
+    "verbs_per_op",
+    "cache_hit_ratio",
+];
+
+fn matrix() -> Vec<(String, BenchSetup)> {
+    let mut points = Vec::new();
+    let base = BenchSetup {
+        num_cns: 2,
+        clients: 16,
+        preload: 20_000,
+        ops: 10_000,
+        mn_capacity: 512 << 20,
+        seed: 42,
+        ..Default::default()
+    };
+    for (index, kind) in [
+        ("chime", IndexKind::Chime(chime::ChimeConfig::default())),
+        (
+            "sherman",
+            IndexKind::Sherman(sherman::ShermanConfig::default()),
+        ),
+    ] {
+        for w in [Workload::C, Workload::A, Workload::E] {
+            for clients in [16usize, 64] {
+                let name = format!("{index}/{}/{clients}", w.name().to_lowercase());
+                points.push((
+                    name,
+                    BenchSetup {
+                        kind: kind.clone(),
+                        workload: w,
+                        clients,
+                        ops: if w == Workload::E { 4_000 } else { 10_000 },
+                        ..base.clone()
+                    },
+                ));
+            }
+        }
+    }
+    points
+}
+
+fn main() {
+    let args = Args::parse();
+    let path: String = args.get("baseline", "results/baseline.json".to_string());
+    let write = args.flag("write-baseline");
+    let tolerance: f64 = args.get("tolerance", 10.0);
+
+    println!("# perf smoke: fixed-seed micro-benchmark matrix");
+    let mut rep = Report::new("perf_smoke");
+    let mut current: Vec<BenchPoint> = Vec::new();
+    for (name, setup) in matrix() {
+        let r = run(&setup);
+        println!(
+            "{name:<18} {:>8.3} Mops  p99 {:>8.1} us  {:>6.0} B/op  {:>5.2} rtt/op",
+            r.mops, r.p99_us, r.bytes_per_op, r.rtts_per_op
+        );
+        rep.add(&name, &r);
+        let all = Report::flat_metrics(&r);
+        current.push(BenchPoint {
+            name,
+            metrics: all
+                .into_iter()
+                .filter(|(k, _)| GATED.contains(&k.as_str()))
+                .collect(),
+        });
+    }
+    rep.finish();
+
+    if write {
+        let baseline = Baseline {
+            tolerance_pct: tolerance,
+            // The p99 model folds in a saturation tail factor that amplifies
+            // small traffic shifts; give latency tails more headroom.
+            metric_tolerance_pct: [("p99_us".to_string(), 2.0 * tolerance)]
+                .into_iter()
+                .collect(),
+            points: current,
+        };
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create baseline dir");
+            }
+        }
+        std::fs::write(&path, baseline.to_json()).expect("write baseline");
+        println!("wrote baseline {path}");
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            eprintln!("hint: generate one with `perf_smoke --write-baseline`");
+            std::process::exit(1);
+        }
+    };
+    let baseline = match Baseline::from_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: malformed baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = compare(&current, &baseline);
+    println!(
+        "\n# gate: {} comparisons against {path} (tolerance {}%)",
+        report.compared, baseline.tolerance_pct
+    );
+    for (point, metric, pct) in &report.improvements {
+        println!("improved: {point} / {metric} by {pct:.1}% — consider refreshing the baseline");
+    }
+    for v in &report.violations {
+        eprintln!("REGRESSION: {v}");
+    }
+    for p in &report.missing_points {
+        eprintln!("MISSING POINT: {p}");
+    }
+    if report.passed() {
+        println!("perf smoke PASSED");
+    } else {
+        eprintln!(
+            "perf smoke FAILED: {} violations, {} missing points",
+            report.violations.len(),
+            report.missing_points.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@
 //! Usage: `table1 [--preload N]`
 
 use bench::driver::Args;
+use bench::report::Report;
 use dmem::{Pool, RangeIndex};
 use ycsb::KeySpace;
 
@@ -17,6 +18,7 @@ fn main() {
     let samples = 400u64;
 
     println!("# Table 1: round-trips per CHIME operation (measured)");
+    let mut rep = Report::new("table1");
     for (case, cache) in [("best (warm cache)", 1u64 << 30), ("worst (no cache)", 0)] {
         let pool = Pool::with_defaults(1, 2 << 30);
         let cfg = chime::ChimeConfig {
@@ -35,6 +37,7 @@ fn main() {
         for seq in 0..preload.min(20_000) {
             c.search(KeySpace::key(seq * 3 % preload));
         }
+        let rep = &mut rep;
         let mut rtts = |label: &str, f: &mut dyn FnMut(&mut chime::ChimeClient, u64)| {
             let before = c.stats().rtts;
             for s in 0..samples {
@@ -42,6 +45,7 @@ fn main() {
             }
             let per_op = (c.stats().rtts - before) as f64 / samples as f64;
             println!("  {label:<22} {per_op:>6.2} RTTs/op");
+            rep.add_custom(&format!("{case}/{label}"), &[("rtts_per_op", per_op)]);
         };
         println!("\n## {case}");
         rtts("search (hit)", &mut |c, s| {
@@ -66,4 +70,5 @@ fn main() {
     }
     println!("\n# Paper formulas: search 1-2 (best) / h+1..h+2 (worst); insert 3 / h+3;");
     println!("# update/delete 3-4 / h+3..h+4; scan 1 / h+1 (plus per-100-item leaf reads).");
+    rep.finish();
 }

@@ -14,7 +14,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dmem::{Bound, Histogram, NetConfig, Pool, RangeIndex, RunAccounting};
+use dmem::{Bound, ClientStats, Histogram, NetConfig, Pool, RangeIndex, RunAccounting};
+use obs::{HistogramSummary, MetricsSnapshot};
 use ycsb::{KeySpace, Op, OpGen, Workload, WorkloadState};
 
 /// Which index implementation a run measures.
@@ -115,8 +116,17 @@ pub struct BenchResult {
     pub cache_bytes: u64,
     /// Hotspot-buffer hit ratio (CHIME only; 0 elsewhere).
     pub hotspot_hit_ratio: f64,
+    /// Internal-node cache hit ratio during the measured phase (CHIME and
+    /// Sherman; 0 for indexes without a node cache).
+    pub cache_hit_ratio: f64,
     /// Remote memory allocated across the pool, bytes.
     pub remote_bytes: u64,
+    /// Per-MN `(msgs, wire_bytes)` traffic of the measured phase.
+    pub mn_traffic: Vec<(u64, u64)>,
+    /// The unified metrics snapshot of the measured phase: client verb
+    /// counters, cache and hotspot hits, per-MN traffic, allocator bytes,
+    /// and the op-latency histogram. Deterministic for a fixed seed.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Builds the pool, index and per-CN client handles for a setup.
@@ -127,6 +137,8 @@ pub struct Deployment {
     pub cns: Vec<Vec<Box<dyn RangeIndex + Send>>>,
     /// Hotspot-stat probe (CHIME only).
     hotspot_probe: Option<Vec<Arc<chime::CnState>>>,
+    /// Per-CN `(cache hits, cache misses)` probes (CHIME and Sherman).
+    cache_probe: Vec<Box<dyn Fn() -> (u64, u64) + Send>>,
 }
 
 /// Creates the index and preloads `setup.preload` keys.
@@ -154,10 +166,18 @@ pub fn deploy(setup: &BenchSetup) -> Deployment {
                         .collect()
                 })
                 .collect();
+            let cache_probe = cns
+                .iter()
+                .map(|cn| {
+                    let cn = Arc::clone(cn);
+                    Box::new(move || cn.cache_stats()) as Box<dyn Fn() -> (u64, u64) + Send>
+                })
+                .collect();
             Deployment {
                 pool,
                 cns: handles,
                 hotspot_probe: Some(cns),
+                cache_probe,
             }
         }
         IndexKind::Sherman(cfg) => {
@@ -179,10 +199,18 @@ pub fn deploy(setup: &BenchSetup) -> Deployment {
                         .collect()
                 })
                 .collect();
+            let cache_probe = cns
+                .iter()
+                .map(|cn| {
+                    let cn = Arc::clone(cn);
+                    Box::new(move || cn.cache_stats()) as Box<dyn Fn() -> (u64, u64) + Send>
+                })
+                .collect();
             Deployment {
                 pool,
                 cns: handles,
                 hotspot_probe: None,
+                cache_probe,
             }
         }
         IndexKind::Rolex(cfg) => {
@@ -207,6 +235,7 @@ pub fn deploy(setup: &BenchSetup) -> Deployment {
                 pool,
                 cns: handles,
                 hotspot_probe: None,
+                cache_probe: Vec::new(),
             }
         }
         IndexKind::Smart(cfg) => {
@@ -232,6 +261,7 @@ pub fn deploy(setup: &BenchSetup) -> Deployment {
                 pool,
                 cns: handles,
                 hotspot_probe: None,
+                cache_probe: Vec::new(),
             }
         }
     }
@@ -256,6 +286,12 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
     let mut total_rtts = 0u64;
     let mut sum_latency = 0u64;
     let mut executed = 0u64;
+    let mut stats_delta = ClientStats::default();
+    // Measured-phase deltas: deployments are reused across sweep points, so
+    // every cumulative source is snapshotted before and diffed after.
+    let mn_before = dep.pool.traffic();
+    let cache_before: Vec<(u64, u64)> = dep.cache_probe.iter().map(|p| p()).collect();
+    let hotspot_before = probe_hotspot(dep);
     // Each CN schedules its clients round-robin; RDWC combines duplicate
     // same-key read/update ops within one round. Client sweeps reuse one
     // deployment: only the first `setup.clients / num_cns` handles per CN
@@ -335,6 +371,7 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             total_wire += d.wire_bytes;
             total_app += d.app_bytes;
             total_rtts += d.rtts;
+            stats_delta.merge(&d);
         }
     }
     let net = NetConfig::default();
@@ -353,21 +390,61 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
         .map(|cs| cs.first().map(|c| c.cache_bytes()).unwrap_or(0))
         .max()
         .unwrap_or(0);
-    let hit_ratio = dep
-        .hotspot_probe
-        .as_ref()
-        .map(|cns| {
-            let (h, l) = cns
-                .iter()
-                .map(|c| c.hotspot_stats())
-                .fold((0, 0), |(a, b), (h, l)| (a + h, b + l));
-            if l == 0 {
-                0.0
-            } else {
-                h as f64 / l as f64
-            }
+    let (hs_hits, hs_lookups) = {
+        let (h1, l1) = probe_hotspot(dep);
+        let (h0, l0) = hotspot_before;
+        (h1 - h0, l1 - l0)
+    };
+    let hit_ratio = ratio(hs_hits, hs_lookups);
+    let (cache_hits, cache_misses) = dep
+        .cache_probe
+        .iter()
+        .zip(&cache_before)
+        .map(|(p, &(h0, m0))| {
+            let (h1, m1) = p();
+            (h1 - h0, m1 - m0)
         })
-        .unwrap_or(0.0);
+        .fold((0, 0), |(a, b), (h, m)| (a + h, b + m));
+    let mn_traffic: Vec<(u64, u64)> = dep
+        .pool
+        .traffic()
+        .iter()
+        .zip(&mn_before)
+        .map(|(now, before)| {
+            let d = now.since(before);
+            (d.msgs, d.wire_bytes)
+        })
+        .collect();
+    let remote_bytes = dep.pool.allocated_bytes();
+    let mut metrics = MetricsSnapshot::new();
+    for (name, v) in stats_delta.as_pairs() {
+        metrics.counter(&format!("client_{name}_total"), &[], v);
+    }
+    metrics.counter("cache_hits_total", &[], cache_hits);
+    metrics.counter("cache_misses_total", &[], cache_misses);
+    metrics.counter("hotspot_hits_total", &[], hs_hits);
+    metrics.counter("hotspot_lookups_total", &[], hs_lookups);
+    metrics.counter("ops_total", &[], executed);
+    for (mn, &(msgs, wire)) in mn_traffic.iter().enumerate() {
+        let id = mn.to_string();
+        metrics.counter("mn_msgs_total", &[("mn", &id)], msgs);
+        metrics.counter("mn_wire_bytes_total", &[("mn", &id)], wire);
+    }
+    metrics.gauge("cache_bytes", &[], cache_bytes as f64);
+    metrics.gauge("remote_alloc_bytes", &[], remote_bytes as f64);
+    metrics.gauge("cache_hit_ratio", &[], ratio(cache_hits, cache_hits + cache_misses));
+    metrics.gauge("hotspot_hit_ratio", &[], hit_ratio);
+    metrics.histogram(
+        "op_latency",
+        &[],
+        HistogramSummary {
+            count: executed,
+            mean_ns: sum_latency.checked_div(executed).unwrap_or(0),
+            p50_ns: hist.quantile(0.5),
+            p99_ns: hist.quantile(0.99),
+            max_ns: hist.max(),
+        },
+    );
     // At saturation, queueing delay dominates and is roughly exponential,
     // so the tail stretches beyond the uniform inflation of the mean.
     let queue = est.inflation - 1.0;
@@ -388,8 +465,30 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
         },
         cache_bytes,
         hotspot_hit_ratio: hit_ratio,
-        remote_bytes: dep.pool.allocated_bytes(),
+        cache_hit_ratio: ratio(cache_hits, cache_hits + cache_misses),
+        remote_bytes,
+        mn_traffic,
+        metrics,
     }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn probe_hotspot(dep: &Deployment) -> (u64, u64) {
+    dep.hotspot_probe
+        .as_ref()
+        .map(|cns| {
+            cns.iter()
+                .map(|c| c.hotspot_stats())
+                .fold((0, 0), |(a, b), (h, l)| (a + h, b + l))
+        })
+        .unwrap_or((0, 0))
 }
 
 /// Prints a standard result row.

@@ -1,2 +1,3 @@
 //! Experiment harness library (figure runners live in `src/bin`).
 pub mod driver;
+pub mod report;

@@ -1,0 +1,216 @@
+//! Machine-readable bench output.
+//!
+//! Every figure binary accumulates its measured points into a [`Report`] and
+//! writes `BENCH_<name>.json` next to its human-readable table. The file
+//! carries, per point, the flat gate-comparable metric map (throughput,
+//! latency percentiles, verbs/op, bytes/op, cache hit rate), the per-MN
+//! traffic split, and the full [`MetricsSnapshot`]. Output is deterministic:
+//! two runs with the same seed produce byte-identical files.
+
+use std::path::PathBuf;
+
+use obs::{BenchPoint, Json};
+
+use crate::driver::BenchResult;
+
+/// A machine-readable bench report (one per figure binary).
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    points: Vec<BenchPoint>,
+    details: Vec<Json>,
+}
+
+impl Report {
+    /// Creates an empty report for bench `name` (e.g. `fig3`).
+    pub fn new(name: &str) -> Self {
+        Report {
+            name: name.to_string(),
+            points: Vec::new(),
+            details: Vec::new(),
+        }
+    }
+
+    /// Adds one measured point under `point` (unique within the report).
+    pub fn add(&mut self, point: &str, r: &BenchResult) {
+        self.points.push(BenchPoint {
+            name: point.to_string(),
+            metrics: Self::flat_metrics(r),
+        });
+        let per_mn = Json::Arr(
+            r.mn_traffic
+                .iter()
+                .map(|&(msgs, wire)| {
+                    Json::obj(vec![
+                        ("msgs", Json::from(msgs)),
+                        ("wire_bytes", Json::from(wire)),
+                    ])
+                })
+                .collect(),
+        );
+        self.details.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str(point.to_string())),
+            (
+                "metrics".to_string(),
+                Json::Obj(
+                    self.points
+                        .last()
+                        .unwrap()
+                        .metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("per_mn".to_string(), per_mn),
+            ("snapshot".to_string(), r.metrics.to_json_value()),
+        ]));
+    }
+
+    /// Adds a point with hand-picked metrics (layout studies, raw verb
+    /// streams — anything without a full [`BenchResult`]).
+    pub fn add_custom(&mut self, point: &str, metrics: &[(&str, f64)]) {
+        let p = BenchPoint::new(point, metrics);
+        self.details.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str(point.to_string())),
+            (
+                "metrics".to_string(),
+                Json::Obj(
+                    p.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ]));
+        self.points.push(p);
+    }
+
+    /// The gate-comparable view of the accumulated points.
+    pub fn points(&self) -> &[BenchPoint] {
+        &self.points
+    }
+
+    /// The flat metric map the perf gate compares.
+    pub fn flat_metrics(r: &BenchResult) -> std::collections::BTreeMap<String, f64> {
+        let executed = r.metrics.counter_value("ops_total", &[]).max(1);
+        let verbs: u64 = [
+            "client_reads_total",
+            "client_writes_total",
+            "client_atomics_total",
+            "client_rpcs_total",
+        ]
+        .iter()
+        .map(|n| r.metrics.counter_value(n, &[]))
+        .sum();
+        [
+            ("mops", r.mops),
+            ("p50_us", r.p50_us),
+            ("p99_us", r.p99_us),
+            ("avg_us", r.avg_us),
+            ("bytes_per_op", r.bytes_per_op),
+            ("msgs_per_op", r.msgs_per_op),
+            ("rtts_per_op", r.rtts_per_op),
+            ("verbs_per_op", verbs as f64 / executed as f64),
+            ("read_amp", r.read_amp),
+            ("cache_mb", r.cache_bytes as f64 / (1 << 20) as f64),
+            ("cache_hit_ratio", r.cache_hit_ratio),
+            ("hotspot_hit_ratio", r.hotspot_hit_ratio),
+            ("remote_mb", r.remote_bytes as f64 / (1 << 20) as f64),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+
+    /// Serializes the report (pretty, deterministic).
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("bench".to_string(), Json::Str(self.name.clone())),
+            ("schema".to_string(), Json::from(1u64)),
+            ("points".to_string(), Json::Arr(self.details.clone())),
+        ])
+        .to_pretty()
+    }
+
+    /// Path this report writes to: `BENCH_<name>.json`, placed in
+    /// `$BENCH_OUT_DIR` when set (created if missing), else the working
+    /// directory.
+    pub fn path(&self) -> PathBuf {
+        let file = format!("BENCH_{}.json", self.name);
+        match std::env::var_os("BENCH_OUT_DIR") {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir).join(file),
+            _ => PathBuf::from(file),
+        }
+    }
+
+    /// Writes `BENCH_<name>.json` and returns its path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes the report and prints where it went; exits the process on I/O
+    /// failure so `run_figs.sh` can't silently miss a file.
+    pub fn finish(&self) {
+        match self.write() {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", self.path().display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run, BenchSetup, IndexKind};
+    use ycsb::Workload;
+
+    fn tiny() -> BenchSetup {
+        BenchSetup {
+            kind: IndexKind::Chime(chime::ChimeConfig::default()),
+            num_cns: 2,
+            clients: 8,
+            preload: 3_000,
+            ops: 2_000,
+            mn_capacity: 512 << 20,
+            workload: Workload::C,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_gate_metrics() {
+        let r = run(&tiny());
+        let mut rep = Report::new("unit");
+        rep.add("chime/c/8", &r);
+        let doc = obs::json::parse(&rep.to_json()).unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("unit"));
+        let points = doc.get("points").unwrap().as_arr().unwrap();
+        assert_eq!(points.len(), 1);
+        let m = points[0].get("metrics").unwrap();
+        assert!(m.get("mops").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("verbs_per_op").unwrap().as_f64().unwrap() > 0.0);
+        assert!(points[0].get("per_mn").unwrap().as_arr().unwrap().len() == 1);
+        assert!(points[0]
+            .get("snapshot")
+            .unwrap()
+            .get("counters")
+            .unwrap()
+            .get("ops_total")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0);
+        assert_eq!(rep.points()[0].name, "chime/c/8");
+    }
+}

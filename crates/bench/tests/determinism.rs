@@ -1,0 +1,79 @@
+//! Determinism acceptance tests: two identical seeded runs must produce
+//! byte-identical exported artifacts — the metrics snapshot JSON, the
+//! Prometheus text, the bench report JSON, and the span/event trace JSONL.
+
+use bench::driver::{run, BenchSetup, IndexKind};
+use bench::report::Report;
+use dmem::RangeIndex;
+use ycsb::Workload;
+
+fn tiny(workload: Workload) -> BenchSetup {
+    BenchSetup {
+        kind: IndexKind::Chime(chime::ChimeConfig::default()),
+        num_cns: 2,
+        num_mns: 2,
+        clients: 8,
+        preload: 3_000,
+        ops: 2_000,
+        mn_capacity: 256 << 20,
+        workload,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn identical_seeded_runs_export_identical_metrics_json() {
+    for w in [Workload::C, Workload::A] {
+        let r1 = run(&tiny(w));
+        let r2 = run(&tiny(w));
+        assert_eq!(
+            r1.metrics.to_json(),
+            r2.metrics.to_json(),
+            "snapshot JSON diverged on {w:?}"
+        );
+        assert_eq!(r1.metrics.to_prometheus(), r2.metrics.to_prometheus());
+        assert_eq!(r1.mn_traffic, r2.mn_traffic);
+        // The snapshot is non-trivial: verbs flowed and per-MN accounting
+        // covers the whole pool.
+        assert!(r1.metrics.counter_sum("client_reads_total") > 0);
+        assert_eq!(r1.mn_traffic.len(), 2);
+        assert!(r1.mn_traffic.iter().map(|&(msgs, _)| msgs).sum::<u64>() > 0);
+    }
+}
+
+#[test]
+fn identical_seeded_runs_export_identical_bench_reports() {
+    let r1 = run(&tiny(Workload::B));
+    let r2 = run(&tiny(Workload::B));
+    let mut rep1 = Report::new("determinism");
+    let mut rep2 = Report::new("determinism");
+    rep1.add("chime/b/8", &r1);
+    rep2.add("chime/b/8", &r2);
+    assert_eq!(rep1.to_json(), rep2.to_json());
+}
+
+#[test]
+fn identical_seeded_workloads_export_identical_trace_jsonl() {
+    let trace = || {
+        let pool = dmem::Pool::with_defaults(2, 128 << 20);
+        let cfg = chime::ChimeConfig {
+            trace_events: 1 << 16,
+            ..Default::default()
+        };
+        let t = chime::Chime::create(&pool, cfg, 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for seq in 0..500u64 {
+            c.insert(ycsb::KeySpace::key(seq), &seq.to_le_bytes()).unwrap();
+        }
+        for seq in 0..500u64 {
+            assert!(c.search(ycsb::KeySpace::key(seq * 7 % 500)).is_some());
+        }
+        c.take_tracer().unwrap().to_jsonl()
+    };
+    let a = trace();
+    let b = trace();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "trace JSONL diverged between identical seeded runs");
+}

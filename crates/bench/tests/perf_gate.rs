@@ -1,0 +1,91 @@
+//! End-to-end perf-gate test: a real bench run passes against a baseline
+//! built from its own numbers and demonstrably fails once that baseline is
+//! perturbed — the property `make perf-smoke` relies on in CI.
+
+use bench::driver::{run, BenchSetup, IndexKind};
+use bench::report::Report;
+use obs::{compare, Baseline, BenchPoint};
+use ycsb::Workload;
+
+fn measure() -> Vec<BenchPoint> {
+    let setup = BenchSetup {
+        kind: IndexKind::Chime(chime::ChimeConfig::default()),
+        num_cns: 2,
+        clients: 8,
+        preload: 3_000,
+        ops: 2_000,
+        mn_capacity: 256 << 20,
+        workload: Workload::C,
+        ..Default::default()
+    };
+    let r = run(&setup);
+    vec![BenchPoint {
+        name: "chime/c/8".into(),
+        metrics: Report::flat_metrics(&r),
+    }]
+}
+
+#[test]
+fn gate_passes_against_own_baseline_and_fails_against_perturbed_one() {
+    let current = measure();
+    let baseline = Baseline {
+        tolerance_pct: 10.0,
+        metric_tolerance_pct: Default::default(),
+        points: current.clone(),
+    };
+    let report = compare(&current, &baseline);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert!(report.compared > 0);
+
+    // Pretend the baseline was 2x faster: the current run must now register
+    // as a ~50% throughput regression and fail the gate.
+    let mut perturbed = baseline.clone();
+    let mops = perturbed.points[0].metrics.get_mut("mops").unwrap();
+    assert!(*mops > 0.0);
+    *mops *= 2.0;
+    let report = compare(&current, &perturbed);
+    assert!(!report.passed(), "perturbed baseline must fail the gate");
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].metric, "mops");
+    assert!(report.violations[0].regression_pct > 40.0);
+
+    // Perturbing a lower-is-better metric downward fails too.
+    let mut perturbed = baseline.clone();
+    let bpo = perturbed.points[0].metrics.get_mut("bytes_per_op").unwrap();
+    *bpo /= 2.0;
+    let report = compare(&current, &perturbed);
+    assert!(!report.passed());
+    assert_eq!(report.violations[0].metric, "bytes_per_op");
+
+    // A missing point fails the gate outright.
+    let current_renamed = vec![BenchPoint {
+        name: "someone/else".into(),
+        metrics: current[0].metrics.clone(),
+    }];
+    let report = compare(&current_renamed, &baseline);
+    assert!(!report.passed());
+    assert_eq!(report.missing_points, vec!["chime/c/8".to_string()]);
+}
+
+#[test]
+fn checked_in_baseline_parses_and_covers_the_matrix() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/baseline.json"
+    ))
+    .expect("results/baseline.json must be checked in");
+    let baseline = Baseline::from_json(&text).expect("baseline must parse");
+    assert!(baseline.tolerance_pct > 0.0);
+    assert!(
+        baseline.points.len() >= 12,
+        "expected the full CHIME+Sherman matrix, got {}",
+        baseline.points.len()
+    );
+    for p in &baseline.points {
+        assert!(
+            p.metrics.contains_key("mops") && p.metrics.contains_key("p99_us"),
+            "point {} lacks core metrics",
+            p.name
+        );
+    }
+}

@@ -44,12 +44,29 @@ impl NodeCache {
                 *stamp = self.tick;
                 self.lru.push_back((addr.raw(), self.tick));
                 self.hits += 1;
-                Some(node.clone())
+                let node = node.clone();
+                self.compact_lru();
+                Some(node)
             }
             None => {
                 self.misses += 1;
                 None
             }
+        }
+    }
+
+    /// Drops superseded recency entries once the queue outgrows the map.
+    ///
+    /// Every hit pushes a fresh `(key, tick)` entry but stale ones are only
+    /// consumed by `insert`'s eviction loop, so a read-mostly workload that
+    /// never evicts would grow `lru` without bound. Compacting when the queue
+    /// is more than twice the live-node count keeps it O(len()) while staying
+    /// amortized O(1) per hit.
+    fn compact_lru(&mut self) {
+        if self.lru.len() > (2 * self.map.len()).max(16) {
+            let map = &self.map;
+            self.lru
+                .retain(|(key, stamp)| matches!(map.get(key), Some((_, cur)) if cur == stamp));
         }
     }
 
@@ -107,6 +124,12 @@ impl NodeCache {
     /// `(hits, misses)` since creation.
     pub fn hit_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Length of the internal recency queue (exposed for the growth
+    /// regression test; stays within a small factor of `len()`).
+    pub fn recency_queue_len(&self) -> usize {
+        self.lru.len()
     }
 }
 
@@ -186,5 +209,37 @@ mod tests {
         let mut c = NodeCache::new(100);
         c.insert(node(0x1000, 64));
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn read_mostly_workload_does_not_grow_recency_queue() {
+        // Regression: get() used to push a recency entry per hit that was
+        // only ever drained by insert()'s eviction loop, so a cache that
+        // stopped evicting grew its queue by one entry per lookup.
+        let mut c = NodeCache::new(10_000);
+        for i in 0..8 {
+            c.insert(node(0x1000 * (i + 1), 4));
+        }
+        for round in 0..10_000u64 {
+            let i = round % 8;
+            assert!(c.get(GlobalAddr::new(0, 0x1000 * (i + 1))).is_some());
+        }
+        assert!(
+            c.recency_queue_len() <= (2 * c.len()).max(16),
+            "recency queue grew to {} entries for {} cached nodes",
+            c.recency_queue_len(),
+            c.len()
+        );
+        // LRU order must survive compaction: touch node 1, insert over budget
+        // repeatedly and check node 1 outlives the untouched ones.
+        let mut small = NodeCache::new(250);
+        small.insert(node(0x1000, 4));
+        small.insert(node(0x2000, 4));
+        for _ in 0..100 {
+            assert!(small.get(GlobalAddr::new(0, 0x1000)).is_some());
+        }
+        small.insert(node(0x3000, 4));
+        assert!(small.get(GlobalAddr::new(0, 0x1000)).is_some());
+        assert!(small.get(GlobalAddr::new(0, 0x2000)).is_none());
     }
 }

@@ -40,6 +40,12 @@ pub struct ChimeConfig {
     /// at the API; larger sizes model the variable-length-key layout of
     /// §4.5 / Fig. 16.
     pub key_size: usize,
+    /// Span/event tracing: capacity of each client's trace ring buffer, in
+    /// events. `0` (the default) disables tracing; any other value attaches
+    /// an `obs::Tracer` to every client endpoint, recording one span per
+    /// index operation and one event per verb / injected fault on the
+    /// virtual clock. Traces are a pure function of the workload seed.
+    pub trace_events: usize,
     /// Crash-safe lock recovery: number of consecutive failed lock-CAS
     /// attempts observing an *identical* locked word before a waiter
     /// presumes the holder dead and reclaims the lock by bumping the lease
@@ -64,6 +70,7 @@ impl Default for ChimeConfig {
             sibling_validation: true,
             indirect_values: false,
             key_size: 8,
+            trace_events: 0,
             lock_lease_spins: 0,
         }
     }

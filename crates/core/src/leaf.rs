@@ -700,11 +700,11 @@ impl LeafOps {
         let meta = self.meta_from(&pieces).expect("no replica in hop range");
         let mut w = Window::new(span, self.layout.h, a, len);
         let mut evs = vec![0u8; len];
-        for r in 0..len {
+        for (r, ev) in evs.iter_mut().enumerate() {
             let i = (a + r) % span;
             let p = self.piece_for(&pieces, i);
             w.set_slot(i, self.entry_key(p, i), self.entry_value(p, i), self.entry_bitmap(p, i));
-            evs[r] = self.entry_ev(p, i);
+            *ev = self.entry_ev(p, i);
         }
         let max_key = if len == span {
             // Full-node window: compute the true maximum directly (also
@@ -734,6 +734,7 @@ impl LeafOps {
     ///
     /// Dirty entries get their EV bumped; clean entries inside the covering
     /// range are rewritten byte-identically.
+    #[allow(clippy::too_many_arguments)]
     pub fn write_window_and_unlock(
         &self,
         ep: &mut Endpoint,
@@ -789,6 +790,7 @@ impl LeafOps {
         let lend = self.layout.entry_off(t) + self.layout.entry_size();
         let mut data = vec![0u8; lend - lstart];
         let mut entry_ver = vec![0u8; self.layout.span];
+        #[allow(clippy::needless_range_loop)] // `i` also drives offsets/slots
         for i in s..=t {
             let off = self.layout.entry_off(i);
             let (key, value, bitmap) = w.slot(i);

@@ -28,6 +28,10 @@ use crate::lockword::{LockWord, ARGMAX_NONE};
 
 const OP_RETRY_LIMIT: usize = 100_000;
 
+/// Max split-off leaves a scan will bridge via sibling pointers between two
+/// consecutive parent entries before declaring the parent view stale.
+const SCAN_BRIDGE_LIMIT: usize = 64;
+
 /// Shared description of one remote CHIME tree.
 pub struct Shared {
     pool: Arc<Pool>,
@@ -77,6 +81,16 @@ impl CnState {
     /// `(hits, lookups)` of the hotspot buffer.
     pub fn hotspot_stats(&self) -> (u64, u64) {
         self.hotspot.lock().hit_stats()
+    }
+
+    /// `(hits, misses)` of the internal-node cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().hit_stats()
+    }
+
+    /// `(node cache bytes, hotspot buffer bytes)` currently used.
+    pub fn cache_breakdown(&self) -> (u64, u64) {
+        (self.cache.lock().bytes(), self.hotspot.lock().bytes())
     }
 }
 
@@ -191,7 +205,13 @@ impl Chime {
 
     /// Creates a client over a pre-built endpoint (e.g. one wired to a
     /// [`dmem::FaultSession`] for fault-injection runs).
-    pub fn client_with_endpoint(&self, cn: &Arc<CnState>, ep: Endpoint) -> ChimeClient {
+    pub fn client_with_endpoint(&self, cn: &Arc<CnState>, mut ep: Endpoint) -> ChimeClient {
+        if self.shared.cfg.trace_events > 0 && ep.tracer().is_none() {
+            ep.set_tracer(dmem::Tracer::new(
+                ep.client_id(),
+                self.shared.cfg.trace_events,
+            ));
+        }
         let seed = 0xC1BE_u64 ^ ((ep.client_id() as u64) << 32);
         ChimeClient {
             shared: Arc::clone(&self.shared),
@@ -223,6 +243,16 @@ pub fn leaf_layout(cfg: &ChimeConfig) -> LeafLayout {
 }
 
 impl ChimeClient {
+    /// The span/event trace of this client, when `cfg.trace_events > 0`.
+    pub fn tracer(&self) -> Option<&dmem::Tracer> {
+        self.ep.tracer()
+    }
+
+    /// Detaches and returns this client's tracer (e.g. for JSONL export).
+    pub fn take_tracer(&mut self) -> Option<dmem::Tracer> {
+        self.ep.take_tracer()
+    }
+
     fn leaf(&self) -> LeafOps {
         self.shared.leaf
     }
@@ -1354,8 +1384,10 @@ impl ChimeClient {
                 Err(i) => i - 1,
             };
             // Right sibling of the previously consumed leaf: every further
-            // leaf must continue this chain, or the (possibly cached) parent
-            // view has missed a split and the scan must restart.
+            // leaf must continue this chain. A half-split leaf may be linked
+            // in the chain before its pivot reaches the parent (B-link), so
+            // a gap is bridged by walking the sibling pointers; only a chain
+            // that cannot reconnect means the parent view is stale.
             let mut chain: Option<GlobalAddr> = None;
             loop {
                 // Batch-read the next group of candidate leaves in one RTT.
@@ -1370,15 +1402,43 @@ impl ChimeClient {
                     .collect();
                 let snaps = self.leaf().read_full_batch(&mut self.ep, &addrs);
                 for (i, snap) in snaps.iter().enumerate() {
-                    let broken = !snap.meta.valid || chain.is_some_and(|c| c != addrs[i]);
-                    if broken {
-                        // Deprecated leaf or a gap in the sibling chain:
-                        // the parent view is stale.
+                    if !snap.meta.valid {
+                        // Deprecated leaf: the parent view is stale.
                         self.counters.invalidations += 1;
                         self.cn.cache.lock().invalidate(parent.addr);
                         self.refresh_root();
                         self.on_op_conflict();
                         continue 'attempt;
+                    }
+                    // Bridge split-off leaves the parent does not know yet.
+                    if let Some(mut c) = chain {
+                        let mut hops = 0usize;
+                        while c != addrs[i] {
+                            if c.is_null() || hops >= SCAN_BRIDGE_LIMIT {
+                                // The chain ends (or wanders) before the
+                                // parent's next child: stale parent view.
+                                self.counters.invalidations += 1;
+                                self.cn.cache.lock().invalidate(parent.addr);
+                                self.refresh_root();
+                                self.on_op_conflict();
+                                continue 'attempt;
+                            }
+                            let gap = &self.leaf().read_full_batch(&mut self.ep, &[c])[0];
+                            if !gap.meta.valid {
+                                self.counters.invalidations += 1;
+                                self.cn.cache.lock().invalidate(parent.addr);
+                                self.refresh_root();
+                                self.on_op_conflict();
+                                continue 'attempt;
+                            }
+                            for (k, v) in gap.items() {
+                                if k >= start {
+                                    collected.push((k, v));
+                                }
+                            }
+                            c = gap.meta.sibling;
+                            hops += 1;
+                        }
                     }
                     chain = Some(snap.meta.sibling);
                     for (k, v) in snap.items() {
@@ -1393,14 +1453,33 @@ impl ChimeClient {
                 }
                 if idx >= parent.entries.len() {
                     if parent.sibling.is_null() {
-                        if chain.is_some_and(|c| !c.is_null()) {
-                            // The last consumed leaf still has a right
-                            // sibling the parent view does not know about.
-                            self.counters.invalidations += 1;
-                            self.cn.cache.lock().invalidate(parent.addr);
-                            self.refresh_root();
-                            self.on_op_conflict();
-                            continue 'attempt;
+                        // Drain trailing split-off leaves past the parent's
+                        // last known child before concluding the tree ends.
+                        let mut c = chain.unwrap_or(GlobalAddr::NULL);
+                        let mut hops = 0usize;
+                        while !c.is_null() && collected.len() < count {
+                            if hops >= SCAN_BRIDGE_LIMIT {
+                                self.counters.invalidations += 1;
+                                self.cn.cache.lock().invalidate(parent.addr);
+                                self.refresh_root();
+                                self.on_op_conflict();
+                                continue 'attempt;
+                            }
+                            let tail = &self.leaf().read_full_batch(&mut self.ep, &[c])[0];
+                            if !tail.meta.valid {
+                                self.counters.invalidations += 1;
+                                self.cn.cache.lock().invalidate(parent.addr);
+                                self.refresh_root();
+                                self.on_op_conflict();
+                                continue 'attempt;
+                            }
+                            for (k, v) in tail.items() {
+                                if k >= start {
+                                    collected.push((k, v));
+                                }
+                            }
+                            c = tail.meta.sibling;
+                            hops += 1;
                         }
                         break;
                     }
@@ -1467,13 +1546,12 @@ impl ChimeClient {
     }
 }
 
+/// One built leaf chunk: its hopscotch window plus the items it holds.
+type Chunk = (Window, Vec<(u64, Vec<u8>)>);
+
 /// Recursively builds hopscotch tables for `items`, splitting chunks that
 /// do not fit. Returns `(window, sorted items)` per chunk, in key order.
-fn build_chunks(
-    span: usize,
-    h: usize,
-    items: &[(u64, Vec<u8>)],
-) -> Vec<(Window, Vec<(u64, Vec<u8>)>)> {
+fn build_chunks(span: usize, h: usize, items: &[(u64, Vec<u8>)]) -> Vec<Chunk> {
     if let Some(w) = build_table(span, h, items) {
         return vec![(w, items.to_vec())];
     }
@@ -1486,23 +1564,37 @@ fn build_chunks(
 
 impl RangeIndex for ChimeClient {
     fn insert(&mut self, key: u64, value: &[u8]) -> Result<(), IndexError> {
-        self.insert_impl(key, value)
+        let sp = self.ep.span_begin("insert", key);
+        let r = self.insert_impl(key, value);
+        self.ep.span_end(sp, r.is_ok());
+        r
     }
 
     fn search(&mut self, key: u64) -> Option<Vec<u8>> {
-        self.search_impl(key)
+        let sp = self.ep.span_begin("search", key);
+        let r = self.search_impl(key);
+        self.ep.span_end(sp, r.is_some());
+        r
     }
 
     fn update(&mut self, key: u64, value: &[u8]) -> Result<bool, IndexError> {
-        self.update_impl(key, value)
+        let sp = self.ep.span_begin("update", key);
+        let r = self.update_impl(key, value);
+        self.ep.span_end(sp, matches!(r, Ok(true)));
+        r
     }
 
     fn delete(&mut self, key: u64) -> Result<bool, IndexError> {
-        self.delete_impl(key)
+        let sp = self.ep.span_begin("delete", key);
+        let r = self.delete_impl(key);
+        self.ep.span_end(sp, matches!(r, Ok(true)));
+        r
     }
 
     fn scan(&mut self, start: u64, count: usize, out: &mut Vec<(u64, Vec<u8>)>) {
-        self.scan_impl(start, count, out)
+        let sp = self.ep.span_begin("scan", start);
+        self.scan_impl(start, count, out);
+        self.ep.span_end(sp, true);
     }
 
     fn stats(&self) -> &ClientStats {
@@ -1555,6 +1647,85 @@ mod tests {
             assert_eq!(c.search(k), Some(v(k)), "key {k}");
         }
         assert_eq!(c.search(999), None);
+    }
+
+    #[test]
+    fn trace_events_attaches_tracer_and_records_op_spans() {
+        let pool = pool();
+        let cfg = ChimeConfig {
+            trace_events: 4096,
+            ..small_cfg()
+        };
+        let t = Chime::create(&pool, cfg, 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        assert!(c.tracer().is_some(), "trace_events > 0 must attach a tracer");
+        c.insert(7, &v(7)).unwrap();
+        assert_eq!(c.search(7), Some(v(7)));
+        assert_eq!(c.search(8), None);
+        let spans = c.tracer().unwrap().spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(
+            spans.iter().map(|s| s.op).collect::<Vec<_>>(),
+            ["insert", "search", "search"]
+        );
+        assert!(spans.iter().all(|s| s.closed));
+        assert_eq!(
+            spans.iter().map(|s| s.ok).collect::<Vec<_>>(),
+            [true, true, false]
+        );
+        // Every index op on an empty cache must issue at least one verb, and
+        // the verb events carry real wire bytes on the virtual clock.
+        for s in &spans {
+            assert!(!s.verbs.is_empty(), "span {:?} recorded no verbs", s.op);
+            assert!(s.wire_bytes > 0);
+            assert!(s.end_ns >= s.start_ns);
+        }
+        // Tracing is off by default.
+        let t2 = Chime::create(&pool, small_cfg(), 8);
+        let cn2 = t2.new_cn();
+        let c2 = t2.client(&cn2);
+        assert!(c2.tracer().is_none());
+    }
+
+    #[test]
+    fn scan_bridges_leaf_chain_gaps_missing_from_parent() {
+        // Regression for the fig12 YCSB-E livelock: a leaf can be reachable
+        // through the sibling chain while its pivot is absent from the
+        // level-1 node (unpropagated half-split). The scan must bridge the
+        // gap by walking the chain instead of restarting forever.
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        let n = 2_000u64;
+        for k in 1..=n {
+            c.insert(k, &v(k)).unwrap();
+        }
+        // Drop a mid pivot from a level-1 node, leaving its leaf reachable
+        // only through the previous leaf's sibling pointer.
+        let parent = c.locate_parent(n / 2);
+        assert!(parent.entries.len() >= 3, "need a populated level-1 node");
+        let victim_pivot = parent.entries[parent.entries.len() / 2].0;
+        let shared = Arc::clone(&c.shared);
+        shared.internal.lock(&mut c.ep, parent.addr);
+        let mut fresh = shared.internal.read(&mut c.ep, parent.addr);
+        let i = fresh
+            .entries
+            .iter()
+            .position(|e| e.0 == victim_pivot)
+            .expect("victim pivot present");
+        fresh.entries.remove(i);
+        shared.internal.write_and_unlock(&mut c.ep, &fresh);
+        c.cn.cache.lock().invalidate(parent.addr);
+        // A full scan must still return every key exactly once, in order.
+        let mut out = Vec::new();
+        c.scan(1, n as usize, &mut out);
+        assert_eq!(out.len(), n as usize);
+        for (i, (k, val)) in out.iter().enumerate() {
+            assert_eq!(*k, i as u64 + 1);
+            assert_eq!(val, &v(i as u64 + 1));
+        }
     }
 
     #[test]
@@ -1740,7 +1911,7 @@ mod tests {
         for k in 1..=300u64 {
             assert_eq!(c.search(k), Some(vec![k as u8; 40]));
         }
-        assert!(c.update(5, &vec![9u8; 33]).unwrap());
+        assert!(c.update(5, &[9u8; 33]).unwrap());
         assert_eq!(c.search(5), Some(vec![9u8; 33]));
         let mut out = Vec::new();
         c.scan(1, 10, &mut out);

@@ -29,7 +29,9 @@ fn ops() -> LeafOps {
     })
 }
 
-fn setup(n: u64) -> (Arc<Pool>, LeafOps, GlobalAddr, Vec<(u64, Vec<u8>)>) {
+type Setup = (Arc<Pool>, LeafOps, GlobalAddr, Vec<(u64, Vec<u8>)>);
+
+fn setup(n: u64) -> Setup {
     let pool = Pool::with_defaults(1, 4 << 20);
     let mut ep = Endpoint::new(Arc::clone(&pool));
     let ops = ops();

@@ -68,6 +68,10 @@ impl GlobalAddr {
     /// # Panics
     ///
     /// Panics if the new offset overflows 48 bits.
+    // Not `ops::Add`: mixing address + byte-delta under the `+` operator
+    // reads like pointer arithmetic on the raw u64 and hides the 48-bit
+    // offset check; the explicit method keeps call sites unambiguous.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn add(self, delta: u64) -> Self {
         GlobalAddr::new(self.mn(), self.offset() + delta)

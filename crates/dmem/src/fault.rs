@@ -270,6 +270,10 @@ pub(crate) struct VerbFaults {
     pub duplicate: bool,
     /// Number of faults injected (for stats).
     pub injected: u64,
+    /// `(action, label)` of each fired rule, for the endpoint's tracer.
+    /// Crash rules never appear here — they unwind out of `on_verb`
+    /// (the session trace still records them).
+    pub fired: Vec<(&'static str, String)>,
 }
 
 /// A write that tore and is scheduled to complete later.
@@ -391,6 +395,7 @@ impl FaultClient {
                 addr,
             });
             faults.injected += 1;
+            faults.fired.push((action.kind_name(), label.clone()));
             match action {
                 FaultAction::Delay { ns } => faults.delay_ns += ns,
                 FaultAction::TornWrite { lines, heal_after } => {

@@ -44,6 +44,7 @@ pub use fault::{
 pub use index::{IndexError, RangeIndex};
 pub use locktable::{LocalLockGuard, LocalLockTable};
 pub use net::{Bound, NetConfig, RunAccounting, ThroughputEstimate};
-pub use node::{root_slot, MemoryNode, Pool};
+pub use node::{root_slot, MemoryNode, MnTraffic, Pool};
+pub use obs::Tracer;
 pub use stats::{ClientStats, Histogram};
 pub use verbs::Endpoint;

@@ -29,11 +29,32 @@ pub fn root_slot(i: u64) -> GlobalAddr {
     GlobalAddr::new(0, ROOT_SLOT_BASE + 8 * i)
 }
 
+/// Traffic served by one memory node's NIC, as counted at verb issue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MnTraffic {
+    /// NIC work requests handled.
+    pub msgs: u64,
+    /// Wire bytes that crossed this node's link (payload + overhead).
+    pub wire_bytes: u64,
+}
+
+impl MnTraffic {
+    /// Returns the difference `self - earlier`, counter by counter.
+    pub fn since(&self, earlier: &MnTraffic) -> MnTraffic {
+        MnTraffic {
+            msgs: self.msgs - earlier.msgs,
+            wire_bytes: self.wire_bytes - earlier.wire_bytes,
+        }
+    }
+}
+
 /// One memory node: a registered region plus a bump allocator.
 pub struct MemoryNode {
     id: u16,
     region: Region,
     next_free: AtomicU64,
+    msgs: AtomicU64,
+    wire_bytes: AtomicU64,
 }
 
 impl MemoryNode {
@@ -44,6 +65,23 @@ impl MemoryNode {
             id,
             region: Region::new(capacity),
             next_free: AtomicU64::new(RESERVED_BYTES),
+            msgs: AtomicU64::new(0),
+            wire_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Charges `msgs` work requests and `wire_bytes` to this node's NIC
+    /// (called by endpoints on every verb targeting this node).
+    pub fn note_traffic(&self, msgs: u64, wire_bytes: u64) {
+        self.msgs.fetch_add(msgs, Ordering::Relaxed);
+        self.wire_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
+    }
+
+    /// Traffic served by this node since creation.
+    pub fn traffic(&self) -> MnTraffic {
+        MnTraffic {
+            msgs: self.msgs.load(Ordering::Relaxed),
+            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -142,6 +180,11 @@ impl Pool {
     /// Total bytes allocated across all memory nodes.
     pub fn allocated_bytes(&self) -> u64 {
         self.mns.iter().map(|m| m.allocated_bytes()).sum()
+    }
+
+    /// Per-MN traffic counters, indexed by node id.
+    pub fn traffic(&self) -> Vec<MnTraffic> {
+        self.mns.iter().map(|m| m.traffic()).collect()
     }
 }
 

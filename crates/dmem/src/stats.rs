@@ -56,6 +56,27 @@ impl ClientStats {
         }
     }
 
+    /// Returns every counter as a `(name, value)` pair, in declaration
+    /// order. The single source of truth for exporters (metrics registry,
+    /// JSON reports) so a new counter cannot be silently dropped from one.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 13] {
+        [
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("atomics", self.atomics),
+            ("rpcs", self.rpcs),
+            ("rtts", self.rtts),
+            ("msgs", self.msgs),
+            ("wire_bytes", self.wire_bytes),
+            ("app_bytes", self.app_bytes),
+            ("faults_injected", self.faults_injected),
+            ("torn_reads_detected", self.torn_reads_detected),
+            ("stale_locks_reclaimed", self.stale_locks_reclaimed),
+            ("lock_retries", self.lock_retries),
+            ("op_retries", self.op_retries),
+        ]
+    }
+
     /// Merges another set of counters into this one.
     pub fn merge(&mut self, other: &ClientStats) {
         self.reads += other.reads;
@@ -141,6 +162,15 @@ impl Histogram {
             0
         } else {
             (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// Returns the largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
         }
     }
 
@@ -296,7 +326,7 @@ mod tests {
         h.record(u64::MAX / 2);
         h.record(u64::MAX);
         assert_eq!(h.count(), 2);
-        assert!(h.quantile(1.0) <= u64::MAX);
+        assert!(h.quantile(1.0) >= u64::MAX / 2);
         assert!(h.quantile(0.0) >= u64::MAX / 2);
         assert!(h.quantile(0.5) >= u64::MAX / 2);
     }
@@ -320,6 +350,61 @@ mod tests {
         assert_eq!(e.count(), 50);
         assert_eq!(e.quantile(0.0), a.quantile(0.0));
         assert_eq!(e.quantile(1.0), a.quantile(1.0));
+    }
+
+    #[test]
+    fn since_then_merge_is_identity_for_every_counter() {
+        // Exercise all 13 counters at once via as_pairs, so a newly added
+        // field cannot silently escape the round-trip contract.
+        let mut later = ClientStats::default();
+        let mut earlier = ClientStats::default();
+        for (i, (field, _)) in ClientStats::default().as_pairs().iter().enumerate() {
+            let hi = 1_000 + 37 * i as u64;
+            let lo = 13 * i as u64 + 7;
+            for (stats, v) in [(&mut later, hi), (&mut earlier, lo)] {
+                match *field {
+                    "reads" => stats.reads = v,
+                    "writes" => stats.writes = v,
+                    "atomics" => stats.atomics = v,
+                    "rpcs" => stats.rpcs = v,
+                    "rtts" => stats.rtts = v,
+                    "msgs" => stats.msgs = v,
+                    "wire_bytes" => stats.wire_bytes = v,
+                    "app_bytes" => stats.app_bytes = v,
+                    "faults_injected" => stats.faults_injected = v,
+                    "torn_reads_detected" => stats.torn_reads_detected = v,
+                    "stale_locks_reclaimed" => stats.stale_locks_reclaimed = v,
+                    "lock_retries" => stats.lock_retries = v,
+                    "op_retries" => stats.op_retries = v,
+                    other => panic!("unknown counter {other}"),
+                }
+            }
+        }
+        let delta = later.since(&earlier);
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, later);
+        // And every pair actually changed, i.e. the exercise covered all
+        // fields.
+        for ((name, d), (_, l)) in delta.as_pairs().iter().zip(later.as_pairs()) {
+            assert!(*d > 0 && *d < l, "{name}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_single_sample_histograms() {
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+        assert_eq!(empty.max(), 0);
+
+        let mut one = Histogram::new();
+        one.record(4_242);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 4_242);
+        }
+        assert_eq!(one.max(), 4_242);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::sync::Arc;
 
+use obs::Tracer;
+
 use crate::addr::GlobalAddr;
 use crate::fault::{FaultClient, FaultSession, VerbFaults, VerbKind};
 use crate::node::Pool;
@@ -19,6 +21,7 @@ pub struct Endpoint {
     stats: ClientStats,
     clock_ns: u64,
     fault: Option<FaultClient>,
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Endpoint {
@@ -29,6 +32,7 @@ impl Endpoint {
             stats: ClientStats::default(),
             clock_ns: 0,
             fault: None,
+            tracer: None,
         }
     }
 
@@ -40,6 +44,49 @@ impl Endpoint {
             stats: ClientStats::default(),
             clock_ns: 0,
             fault: Some(FaultClient::new(session, client)),
+            tracer: None,
+        }
+    }
+
+    /// Attaches a span/event tracer; every subsequent verb (and injected
+    /// fault) records an event on the virtual clock.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Returns the tracer, if one is attached.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Detaches and returns the tracer.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take().map(|t| *t)
+    }
+
+    /// Opens an operation span on the attached tracer (0 without one).
+    pub fn span_begin(&mut self, op: &'static str, key: u64) -> u64 {
+        let now = self.clock_ns;
+        self.tracer
+            .as_mut()
+            .map_or(0, |t| t.begin_span(op, key, now))
+    }
+
+    /// Closes an operation span opened with [`Endpoint::span_begin`].
+    pub fn span_end(&mut self, span: u64, ok: bool) {
+        let now = self.clock_ns;
+        if let Some(t) = self.tracer.as_mut() {
+            if span != 0 {
+                t.end_span(span, ok, now);
+            }
+        }
+    }
+
+    /// Records a verb event on the tracer (no-op without one).
+    fn trace_verb(&mut self, t0: u64, verb: &'static str, addr: GlobalAddr, wire: u64, msgs: u64) {
+        let dur = self.clock_ns - t0;
+        if let Some(t) = self.tracer.as_mut() {
+            t.verb(t0, dur, verb, addr.mn(), addr.raw(), wire, msgs);
         }
     }
 
@@ -76,6 +123,11 @@ impl Endpoint {
                 .write(w.addr.offset() as usize, &w.bytes);
         }
         self.stats.faults_injected += faults.injected;
+        if let Some(t) = self.tracer.as_mut() {
+            for (action, label) in &faults.fired {
+                t.fault(self.clock_ns, action, label.clone());
+            }
+        }
         self.clock_ns += faults.delay_ns;
         faults
     }
@@ -128,45 +180,58 @@ impl Endpoint {
         self.clock_ns += ns;
     }
 
-    fn charge(&mut self, msgs: u64, payload: u64, rtts: u64) {
+    /// Charges client counters and the virtual clock; returns wire bytes.
+    fn charge(&mut self, msgs: u64, payload: u64, rtts: u64) -> u64 {
         let net = self.pool.net();
         let wire = payload + msgs * net.msg_overhead;
         self.stats.msgs += msgs;
         self.stats.rtts += rtts;
         self.stats.wire_bytes += wire;
         self.clock_ns += net.verb_latency_ns(msgs, wire);
+        wire
     }
 
     /// One-sided READ of `dst.len()` bytes at `addr`.
     pub fn read(&mut self, addr: GlobalAddr, dst: &mut [u8]) {
+        let t0 = self.clock_ns;
         self.fault_enter(VerbKind::Read, addr.raw());
         self.pool
             .mn(addr.mn())
             .region()
             .read(addr.offset() as usize, dst);
         self.stats.reads += 1;
-        self.charge(1, dst.len() as u64, 1);
+        let wire = self.charge(1, dst.len() as u64, 1);
+        self.pool.mn(addr.mn()).note_traffic(1, wire);
+        self.trace_verb(t0, "read", addr, wire, 1);
     }
 
     /// Doorbell-batched READs: all requests are posted together and pay a
     /// single round-trip, but each is a separate NIC work request.
     pub fn read_batch(&mut self, reqs: &mut [(GlobalAddr, &mut [u8])]) {
         assert!(!reqs.is_empty());
+        let t0 = self.clock_ns;
         self.fault_enter(VerbKind::Read, reqs[0].0.raw());
+        let overhead = self.pool.net().msg_overhead;
         let mut payload = 0u64;
         for (addr, dst) in reqs.iter_mut() {
             self.pool
                 .mn(addr.mn())
                 .region()
                 .read(addr.offset() as usize, dst);
+            self.pool
+                .mn(addr.mn())
+                .note_traffic(1, dst.len() as u64 + overhead);
             payload += dst.len() as u64;
             self.stats.reads += 1;
         }
-        self.charge(reqs.len() as u64, payload, 1);
+        let msgs = reqs.len() as u64;
+        let wire = self.charge(msgs, payload, 1);
+        self.trace_verb(t0, "read", reqs[0].0, wire, msgs);
     }
 
     /// One-sided WRITE of `src` at `addr`.
     pub fn write(&mut self, addr: GlobalAddr, src: &[u8]) {
+        let t0 = self.clock_ns;
         let f = self.fault_enter(VerbKind::Write, addr.raw());
         if let Some((lines, heal_after)) = f.torn {
             self.torn_write(&[(addr, src)], lines, heal_after);
@@ -177,13 +242,16 @@ impl Endpoint {
                 .write(addr.offset() as usize, src);
         }
         self.stats.writes += 1;
-        self.charge(1, src.len() as u64, 1);
+        let wire = self.charge(1, src.len() as u64, 1);
+        self.pool.mn(addr.mn()).note_traffic(1, wire);
+        self.trace_verb(t0, "write", addr, wire, 1);
     }
 
     /// Doorbell-batched WRITEs (e.g. Sherman-style "write data + unlock in
     /// one round-trip"). Writes are applied in order.
     pub fn write_batch(&mut self, reqs: &[(GlobalAddr, &[u8])]) {
         assert!(!reqs.is_empty());
+        let t0 = self.clock_ns;
         let f = self.fault_enter(VerbKind::Write, reqs[0].0.raw());
         if let Some((lines, heal_after)) = f.torn {
             self.torn_write(reqs, lines, heal_after);
@@ -195,12 +263,18 @@ impl Endpoint {
                     .write(addr.offset() as usize, src);
             }
         }
+        let overhead = self.pool.net().msg_overhead;
         let mut payload = 0u64;
-        for (_, src) in reqs {
+        for (addr, src) in reqs {
+            self.pool
+                .mn(addr.mn())
+                .note_traffic(1, src.len() as u64 + overhead);
             payload += src.len() as u64;
             self.stats.writes += 1;
         }
-        self.charge(reqs.len() as u64, payload, 1);
+        let msgs = reqs.len() as u64;
+        let wire = self.charge(msgs, payload, 1);
+        self.trace_verb(t0, "write", reqs[0].0, wire, msgs);
     }
 
     /// Applies a torn (batched) write: the first `lines` 64-byte cache lines
@@ -236,9 +310,12 @@ impl Endpoint {
     ///
     /// Returns the previous value; the swap happened iff it equals `compare`.
     pub fn cas(&mut self, addr: GlobalAddr, compare: u64, swap: u64) -> u64 {
+        let t0 = self.clock_ns;
         let f = self.fault_enter(VerbKind::Cas, addr.raw());
         self.stats.atomics += 1;
-        self.charge(1, 16, 1);
+        let wire = self.charge(1, 16, 1);
+        self.pool.mn(addr.mn()).note_traffic(1, wire);
+        self.trace_verb(t0, "cas", addr, wire, 1);
         let region = self.pool.mn(addr.mn()).region();
         let off = addr.offset() as usize;
         if f.fail_cas {
@@ -270,9 +347,12 @@ impl Endpoint {
         swap: u64,
         swap_mask: u64,
     ) -> u64 {
+        let t0 = self.clock_ns;
         let f = self.fault_enter(VerbKind::MaskedCas, addr.raw());
         self.stats.atomics += 1;
-        self.charge(1, 32, 1);
+        let wire = self.charge(1, 32, 1);
+        self.pool.mn(addr.mn()).note_traffic(1, wire);
+        self.trace_verb(t0, "masked_cas", addr, wire, 1);
         let region = self.pool.mn(addr.mn()).region();
         let off = addr.offset() as usize;
         let apply = |cur: u64| {
@@ -304,9 +384,12 @@ impl Endpoint {
 
     /// RDMA fetch-and-add on the 8-byte word at `addr`; returns the old value.
     pub fn faa(&mut self, addr: GlobalAddr, add: u64) -> u64 {
+        let t0 = self.clock_ns;
         let f = self.fault_enter(VerbKind::Faa, addr.raw());
         self.stats.atomics += 1;
-        self.charge(1, 16, 1);
+        let wire = self.charge(1, 16, 1);
+        self.pool.mn(addr.mn()).note_traffic(1, wire);
+        self.trace_verb(t0, "faa", addr, wire, 1);
         let region = self.pool.mn(addr.mn()).region();
         let off = addr.offset() as usize;
         let old = region.atomic_rmw_u64(off, |cur| Some(cur.wrapping_add(add)));
@@ -322,13 +405,17 @@ impl Endpoint {
     /// This is the only MN-CPU-involving operation, used to grab 16 MB
     /// chunks that the client then sub-allocates locally.
     pub fn alloc_rpc(&mut self, mn: u16, size: u64) -> Option<GlobalAddr> {
+        let t0 = self.clock_ns;
         self.fault_enter(VerbKind::Alloc, (mn as u64) << 48);
         let r = self.pool.mn(mn).alloc(size);
+        let wire = 2 * self.pool.net().msg_overhead;
         self.stats.rpcs += 1;
         self.stats.msgs += 2;
         self.stats.rtts += 1;
-        self.stats.wire_bytes += 2 * self.pool.net().msg_overhead;
+        self.stats.wire_bytes += wire;
         self.clock_ns += self.pool.net().alloc_rpc_ns;
+        self.pool.mn(mn).note_traffic(2, wire);
+        self.trace_verb(t0, "alloc", GlobalAddr::new(mn, 0), wire, 2);
         r
     }
 }
@@ -430,6 +517,52 @@ mod tests {
         assert_eq!(d.reads, 2);
         // One doorbell batch is cheaper than two sequential reads.
         assert!(e.clock_ns() - clock_before < 2 * e.pool().net().rtt_ns);
+    }
+
+    #[test]
+    fn tracer_records_verbs_with_spans_and_mn_traffic() {
+        let mut e = ep();
+        e.set_tracer(obs::Tracer::new(0, 1024));
+        let addr = GlobalAddr::new(0, RESERVED_BYTES);
+        let sp = e.span_begin("insert", 99);
+        e.write(addr, &[1u8; 32]);
+        assert_eq!(e.cas(addr.add(64), 0, 5), 0);
+        e.span_end(sp, true);
+        let mut buf = [0u8; 8];
+        e.read(addr, &mut buf); // outside any span
+
+        let t = e.tracer().unwrap();
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].op, "insert");
+        assert_eq!(spans[0].key, 99);
+        let verbs: Vec<&str> = spans[0].verbs.iter().map(|v| v.verb).collect();
+        assert_eq!(verbs, ["write", "cas"]);
+        assert!(spans[0].ok);
+        // The span's wire bytes match the client counters minus the
+        // out-of-span read.
+        let overhead = e.pool().net().msg_overhead;
+        assert_eq!(spans[0].wire_bytes, (32 + overhead) + (16 + overhead));
+        // Per-MN traffic saw all three verbs.
+        let traffic = e.pool().traffic();
+        assert_eq!(traffic[0].msgs, 3);
+        assert_eq!(traffic[0].wire_bytes, e.stats().wire_bytes);
+        // The loose read is attributed to span 0.
+        let last = t.events().last().unwrap();
+        assert_eq!(last.span, 0);
+    }
+
+    #[test]
+    fn batch_traffic_splits_across_mns() {
+        let mut e = Endpoint::new(Pool::with_defaults(2, 1 << 20));
+        let a0 = GlobalAddr::new(0, RESERVED_BYTES);
+        let a1 = GlobalAddr::new(1, RESERVED_BYTES);
+        e.write_batch(&[(a0, &[1u8; 10]), (a1, &[2u8; 30])]);
+        let overhead = e.pool().net().msg_overhead;
+        let t = e.pool().traffic();
+        assert_eq!(t[0], crate::node::MnTraffic { msgs: 1, wire_bytes: 10 + overhead });
+        assert_eq!(t[1], crate::node::MnTraffic { msgs: 1, wire_bytes: 30 + overhead });
+        assert_eq!(t[0].wire_bytes + t[1].wire_bytes, e.stats().wire_bytes);
     }
 
     #[test]

@@ -468,7 +468,7 @@ mod tests {
         let data = vec![7u8; 150];
         layout.write(&mut e, node, 0, &data, |_| pack_ver(2, 0));
         // Overwrite the second line only, with a different NV.
-        layout.write(&mut e, node, 63, &vec![7u8; 63], |_| pack_ver(3, 0));
+        layout.write(&mut e, node, 63, &[7u8; 63], |_| pack_ver(3, 0));
         let f = layout.fetch(&mut e, node, 0, 150);
         assert_eq!(f.check_nv(&[]), None);
         // A fetch confined to the second line is self-consistent.

@@ -1,0 +1,409 @@
+//! The CI perf gate: compare a bench run against a checked-in baseline.
+//!
+//! A [`Baseline`] is a JSON document of named bench points, each with a flat
+//! metric map. [`compare`] checks every baseline metric against the current
+//! run with a relative tolerance, honouring metric *direction* (throughput
+//! regresses downward, latency and traffic regress upward), and returns the
+//! violations. Because the whole simulator runs on a virtual clock, the
+//! baseline is exact and machine-independent — tolerances only absorb
+//! intentional algorithm changes, not noise.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Json};
+
+/// One measured bench point: a name plus flat metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchPoint {
+    /// Unique point name (e.g. `chime/c/64`).
+    pub name: String,
+    /// Metric name → value.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl BenchPoint {
+    /// Creates a point from `(metric, value)` pairs.
+    pub fn new(name: &str, metrics: &[(&str, f64)]) -> Self {
+        BenchPoint {
+            name: name.to_string(),
+            metrics: metrics
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// A set of reference points plus tolerances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Default relative tolerance, percent (e.g. `10.0`).
+    pub tolerance_pct: f64,
+    /// Per-metric tolerance overrides, percent.
+    pub metric_tolerance_pct: BTreeMap<String, f64>,
+    /// The reference points.
+    pub points: Vec<BenchPoint>,
+}
+
+impl Default for Baseline {
+    fn default() -> Self {
+        Baseline {
+            tolerance_pct: 10.0,
+            metric_tolerance_pct: BTreeMap::new(),
+            points: Vec::new(),
+        }
+    }
+}
+
+/// Which way a metric regresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (throughput, hit ratios): regressions go down.
+    HigherBetter,
+    /// Smaller is better (latency, traffic): regressions go up.
+    LowerBetter,
+}
+
+/// Classifies a metric name by its regression direction.
+///
+/// Throughput (`mops`), hit/success ratios and load factors regress
+/// downward; everything else (latencies, bytes/op, verbs/op, rtts/op,
+/// cache bytes) upward.
+pub fn direction_of(metric: &str) -> Direction {
+    if metric.contains("mops")
+        || metric.contains("hit")
+        || metric.contains("throughput")
+        || metric.contains("load_factor")
+    {
+        Direction::HigherBetter
+    } else {
+        Direction::LowerBetter
+    }
+}
+
+/// One tolerance-exceeding regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Bench point name.
+    pub point: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in percent, signed so that positive = worse.
+    pub regression_pct: f64,
+    /// The tolerance that was exceeded, percent.
+    pub tolerance_pct: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {}: {:.4} -> {:.4} ({:+.1}% worse, tolerance {:.1}%)",
+            self.point,
+            self.metric,
+            self.baseline,
+            self.current,
+            self.regression_pct,
+            self.tolerance_pct
+        )
+    }
+}
+
+/// The outcome of a gate run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Tolerance-exceeding regressions (non-empty fails the gate).
+    pub violations: Vec<Violation>,
+    /// Baseline points absent from the current run (each also fails).
+    pub missing_points: Vec<String>,
+    /// `(point, metric, improvement_pct)` improvements beyond tolerance —
+    /// informational, and a hint to refresh the baseline.
+    pub improvements: Vec<(String, String, f64)>,
+    /// Metric comparisons performed.
+    pub compared: usize,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.missing_points.is_empty()
+    }
+}
+
+/// Compares `current` points against `baseline`.
+///
+/// Every metric present in a baseline point must exist in the same-named
+/// current point (a vanished metric counts as a violation with
+/// `current = NaN`). Extra current points or metrics are ignored — adding
+/// coverage never fails the gate.
+pub fn compare(current: &[BenchPoint], baseline: &Baseline) -> GateReport {
+    let mut report = GateReport::default();
+    for bp in &baseline.points {
+        let Some(cur) = current.iter().find(|c| c.name == bp.name) else {
+            report.missing_points.push(bp.name.clone());
+            continue;
+        };
+        for (metric, &base_v) in &bp.metrics {
+            let tol = baseline
+                .metric_tolerance_pct
+                .get(metric)
+                .copied()
+                .unwrap_or(baseline.tolerance_pct);
+            report.compared += 1;
+            let Some(&cur_v) = cur.metrics.get(metric) else {
+                report.violations.push(Violation {
+                    point: bp.name.clone(),
+                    metric: metric.clone(),
+                    baseline: base_v,
+                    current: f64::NAN,
+                    regression_pct: f64::INFINITY,
+                    tolerance_pct: tol,
+                });
+                continue;
+            };
+            if base_v == 0.0 {
+                // A zero baseline can't express a relative change; only a
+                // nonzero current value in the regressing direction counts.
+                let worse = match direction_of(metric) {
+                    Direction::HigherBetter => cur_v < 0.0,
+                    Direction::LowerBetter => cur_v > 0.0,
+                };
+                if worse {
+                    report.violations.push(Violation {
+                        point: bp.name.clone(),
+                        metric: metric.clone(),
+                        baseline: base_v,
+                        current: cur_v,
+                        regression_pct: f64::INFINITY,
+                        tolerance_pct: tol,
+                    });
+                }
+                continue;
+            }
+            let change_pct = (cur_v - base_v) / base_v.abs() * 100.0;
+            // Signed so that positive = worse.
+            let regression_pct = match direction_of(metric) {
+                Direction::HigherBetter => -change_pct,
+                Direction::LowerBetter => change_pct,
+            };
+            if regression_pct > tol {
+                report.violations.push(Violation {
+                    point: bp.name.clone(),
+                    metric: metric.clone(),
+                    baseline: base_v,
+                    current: cur_v,
+                    regression_pct,
+                    tolerance_pct: tol,
+                });
+            } else if regression_pct < -tol {
+                report
+                    .improvements
+                    .push((bp.name.clone(), metric.clone(), -regression_pct));
+            }
+        }
+    }
+    report
+}
+
+fn points_to_json(points: &[BenchPoint]) -> Json {
+    Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(p.name.clone())),
+                    (
+                        "metrics".to_string(),
+                        Json::Obj(
+                            p.metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn points_from_json(v: &Json) -> Result<Vec<BenchPoint>, String> {
+    let arr = v.as_arr().ok_or("points must be an array")?;
+    let mut out = Vec::new();
+    for p in arr {
+        let name = p
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("point missing name")?
+            .to_string();
+        let mut metrics = BTreeMap::new();
+        if let Some(Json::Obj(members)) = p.get("metrics") {
+            for (k, v) in members {
+                metrics.insert(
+                    k.clone(),
+                    v.as_f64().ok_or_else(|| format!("metric {k} not numeric"))?,
+                );
+            }
+        }
+        out.push(BenchPoint { name, metrics });
+    }
+    Ok(out)
+}
+
+impl Baseline {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        let tols = self
+            .metric_tolerance_pct
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+            .collect();
+        Json::Obj(vec![
+            ("tolerance_pct".to_string(), Json::Num(self.tolerance_pct)),
+            ("metric_tolerance_pct".to_string(), Json::Obj(tols)),
+            ("points".to_string(), points_to_json(&self.points)),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a baseline document.
+    pub fn from_json(s: &str) -> Result<Baseline, String> {
+        let v = parse(s)?;
+        let tolerance_pct = v
+            .get("tolerance_pct")
+            .and_then(Json::as_f64)
+            .ok_or("missing tolerance_pct")?;
+        let mut metric_tolerance_pct = BTreeMap::new();
+        if let Some(Json::Obj(members)) = v.get("metric_tolerance_pct") {
+            for (k, t) in members {
+                metric_tolerance_pct
+                    .insert(k.clone(), t.as_f64().ok_or("tolerance not numeric")?);
+            }
+        }
+        let points = points_from_json(v.get("points").ok_or("missing points")?)?;
+        Ok(Baseline {
+            tolerance_pct,
+            metric_tolerance_pct,
+            points,
+        })
+    }
+}
+
+/// Serializes bench points (the *current* side of a gate run) to JSON.
+pub fn points_json(points: &[BenchPoint]) -> String {
+    points_to_json(points).to_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Baseline {
+        Baseline {
+            tolerance_pct: 10.0,
+            metric_tolerance_pct: BTreeMap::new(),
+            points: vec![BenchPoint::new(
+                "chime/c",
+                &[("mops", 10.0), ("p99_us", 50.0), ("bytes_per_op", 400.0)],
+            )],
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let cur = vec![BenchPoint::new(
+            "chime/c",
+            &[("mops", 9.5), ("p99_us", 54.0), ("bytes_per_op", 410.0)],
+        )];
+        let r = compare(&cur, &base());
+        assert!(r.passed(), "{:?}", r.violations);
+        assert_eq!(r.compared, 3);
+    }
+
+    #[test]
+    fn throughput_drop_fails() {
+        let cur = vec![BenchPoint::new(
+            "chime/c",
+            &[("mops", 8.0), ("p99_us", 50.0), ("bytes_per_op", 400.0)],
+        )];
+        let r = compare(&cur, &base());
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].metric, "mops");
+        assert!((r.violations[0].regression_pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_gain_is_an_improvement_not_a_violation() {
+        let cur = vec![BenchPoint::new(
+            "chime/c",
+            &[("mops", 14.0), ("p99_us", 50.0), ("bytes_per_op", 400.0)],
+        )];
+        let r = compare(&cur, &base());
+        assert!(r.passed());
+        assert_eq!(r.improvements.len(), 1);
+        assert_eq!(r.improvements[0].1, "mops");
+    }
+
+    #[test]
+    fn latency_rise_fails_latency_drop_improves() {
+        let cur = vec![BenchPoint::new(
+            "chime/c",
+            &[("mops", 10.0), ("p99_us", 60.0), ("bytes_per_op", 300.0)],
+        )];
+        let r = compare(&cur, &base());
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].metric, "p99_us");
+        assert_eq!(r.improvements.len(), 1);
+        assert_eq!(r.improvements[0].1, "bytes_per_op");
+    }
+
+    #[test]
+    fn missing_point_and_metric_fail() {
+        let r = compare(&[], &base());
+        assert_eq!(r.missing_points, vec!["chime/c".to_string()]);
+        assert!(!r.passed());
+
+        let cur = vec![BenchPoint::new("chime/c", &[("mops", 10.0)])];
+        let r = compare(&cur, &base());
+        assert_eq!(r.violations.len(), 2, "p99_us and bytes_per_op vanished");
+    }
+
+    #[test]
+    fn per_metric_tolerance_overrides_default() {
+        let mut b = base();
+        b.metric_tolerance_pct.insert("p99_us".into(), 50.0);
+        let cur = vec![BenchPoint::new(
+            "chime/c",
+            &[("mops", 10.0), ("p99_us", 70.0), ("bytes_per_op", 400.0)],
+        )];
+        let r = compare(&cur, &b);
+        assert!(r.passed(), "40% rise within the 50% override");
+    }
+
+    #[test]
+    fn baseline_json_roundtrip() {
+        let mut b = base();
+        b.metric_tolerance_pct.insert("p99_us".into(), 25.0);
+        let s = b.to_json();
+        let back = Baseline::from_json(&s).unwrap();
+        assert_eq!(back, b);
+        // Deterministic output.
+        assert_eq!(s, back.to_json());
+    }
+
+    #[test]
+    fn extra_current_points_are_ignored() {
+        let cur = vec![
+            BenchPoint::new(
+                "chime/c",
+                &[("mops", 10.0), ("p99_us", 50.0), ("bytes_per_op", 400.0)],
+            ),
+            BenchPoint::new("new/bench", &[("mops", 1.0)]),
+        ];
+        assert!(compare(&cur, &base()).passed());
+    }
+}

@@ -1,0 +1,32 @@
+//! `obs` — deterministic observability for the disaggregated-memory stack.
+//!
+//! CHIME's performance argument is verb economics: round trips, wire bytes
+//! and IOPS per operation. This crate makes those economics observable
+//! without sacrificing the simulator's core property — bit-for-bit
+//! reproducibility from a seed:
+//!
+//! * [`trace`] — span/event tracing on the virtual clock: each index
+//!   operation opens a span, every verb and injected fault records an event
+//!   in a bounded per-client ring buffer, exportable as JSONL;
+//! * [`metrics`] — the unified [`metrics::MetricsSnapshot`] registry
+//!   (labeled counters / gauges / histogram summaries) with Prometheus-text
+//!   and JSON exporters;
+//! * [`gate`] — the CI perf gate comparing bench points against a
+//!   checked-in baseline with direction-aware relative tolerances;
+//! * [`json`] — the dependency-free, deterministic JSON writer/parser the
+//!   other modules (and `bench`'s `BENCH_*.json` reports) are built on.
+//!
+//! Everything here is pure data handling: no wall clocks, no randomness, no
+//! hash-map iteration orders in any exported byte.
+
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use gate::{compare, Baseline, BenchPoint, GateReport, Violation};
+pub use json::Json;
+pub use metrics::{HistogramSummary, MetricsSnapshot};
+pub use trace::{Event, EventKind, SpanSummary, Tracer};

@@ -1,0 +1,439 @@
+//! Structured span/event tracing on the virtual clock.
+//!
+//! Each index operation opens a *span*; every verb the operation issues (and
+//! every fault injected into it) is recorded as an *event* attributed to the
+//! innermost open span. All timestamps are virtual-clock nanoseconds, so a
+//! trace is a pure function of the workload seed: two identical runs export
+//! byte-identical JSONL.
+//!
+//! Events live in a bounded per-client ring buffer; when it overflows the
+//! oldest events are dropped (and counted), never the newest — the tail of a
+//! run is what failure reports need.
+
+use std::collections::VecDeque;
+
+use crate::json::Json;
+
+/// What one trace event describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// An operation span opened.
+    SpanBegin {
+        /// Operation name (`search`, `insert`, ...).
+        op: &'static str,
+        /// The key the operation targets.
+        key: u64,
+    },
+    /// An operation span closed.
+    SpanEnd {
+        /// Whether the operation reported success.
+        ok: bool,
+    },
+    /// A verb issued through the endpoint.
+    Verb {
+        /// Verb name (`read`, `write`, `cas`, `masked_cas`, `faa`, `alloc`).
+        verb: &'static str,
+        /// Target memory node.
+        mn: u16,
+        /// Packed target address.
+        addr: u64,
+        /// Wire bytes charged (payload + per-message overhead).
+        wire_bytes: u64,
+        /// NIC work requests posted (doorbell batches > 1).
+        msgs: u64,
+        /// Virtual nanoseconds the verb took (including injected delay).
+        dur_ns: u64,
+    },
+    /// A fault injected by the fault engine.
+    Fault {
+        /// Fault action name (`delay`, `torn-write`, ...).
+        action: &'static str,
+        /// Label of the rule that fired.
+        label: String,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The span the event belongs to (0 = outside any span).
+    pub span: u64,
+    /// Monotonic per-client event sequence number.
+    pub seq: u64,
+    /// Virtual-clock timestamp, nanoseconds.
+    pub t_ns: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    fn to_json(&self, client: u32) -> Json {
+        let mut pairs = vec![
+            ("client", Json::from(client as u64)),
+            ("span", Json::from(self.span)),
+            ("seq", Json::from(self.seq)),
+            ("t_ns", Json::from(self.t_ns)),
+        ];
+        match &self.kind {
+            EventKind::SpanBegin { op, key } => {
+                pairs.push(("ev", Json::from("span_begin")));
+                pairs.push(("op", Json::from(*op)));
+                pairs.push(("key", Json::from(*key)));
+            }
+            EventKind::SpanEnd { ok } => {
+                pairs.push(("ev", Json::from("span_end")));
+                pairs.push(("ok", Json::Bool(*ok)));
+            }
+            EventKind::Verb {
+                verb,
+                mn,
+                addr,
+                wire_bytes,
+                msgs,
+                dur_ns,
+            } => {
+                pairs.push(("ev", Json::from("verb")));
+                pairs.push(("verb", Json::from(*verb)));
+                pairs.push(("mn", Json::from(*mn as u64)));
+                pairs.push(("addr", Json::from(*addr)));
+                pairs.push(("wire_bytes", Json::from(*wire_bytes)));
+                pairs.push(("msgs", Json::from(*msgs)));
+                pairs.push(("dur_ns", Json::from(*dur_ns)));
+            }
+            EventKind::Fault { action, label } => {
+                pairs.push(("ev", Json::from("fault")));
+                pairs.push(("action", Json::from(*action)));
+                pairs.push(("label", Json::from(label.as_str())));
+            }
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// A bounded, per-client span/event recorder.
+#[derive(Debug)]
+pub struct Tracer {
+    client: u32,
+    capacity: usize,
+    events: VecDeque<Event>,
+    open: Vec<u64>,
+    next_span: u64,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer for `client` holding at most `capacity` events.
+    pub fn new(client: u32, capacity: usize) -> Self {
+        Tracer {
+            client,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            open: Vec::new(),
+            next_span: 0,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The client id events are attributed to.
+    pub fn client(&self) -> u32 {
+        self.client
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped to the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn push(&mut self, span: u64, t_ns: u64, kind: EventKind) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push_back(Event {
+            span,
+            seq,
+            t_ns,
+            kind,
+        });
+    }
+
+    fn current_span(&self) -> u64 {
+        self.open.last().copied().unwrap_or(0)
+    }
+
+    /// Opens a span; returns its id (spans may nest).
+    pub fn begin_span(&mut self, op: &'static str, key: u64, now_ns: u64) -> u64 {
+        self.next_span += 1;
+        let id = self.next_span;
+        self.open.push(id);
+        self.push(id, now_ns, EventKind::SpanBegin { op, key });
+        id
+    }
+
+    /// Closes span `id` (and any unclosed spans nested inside it).
+    pub fn end_span(&mut self, id: u64, ok: bool, now_ns: u64) {
+        while let Some(top) = self.open.pop() {
+            if top == id {
+                break;
+            }
+        }
+        self.push(id, now_ns, EventKind::SpanEnd { ok });
+    }
+
+    /// Records a verb event attributed to the innermost open span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn verb(
+        &mut self,
+        t_start_ns: u64,
+        dur_ns: u64,
+        verb: &'static str,
+        mn: u16,
+        addr: u64,
+        wire_bytes: u64,
+        msgs: u64,
+    ) {
+        let span = self.current_span();
+        self.push(
+            span,
+            t_start_ns,
+            EventKind::Verb {
+                verb,
+                mn,
+                addr,
+                wire_bytes,
+                msgs,
+                dur_ns,
+            },
+        );
+    }
+
+    /// Records an injected fault attributed to the innermost open span.
+    pub fn fault(&mut self, t_ns: u64, action: &'static str, label: String) {
+        let span = self.current_span();
+        self.push(span, t_ns, EventKind::Fault { action, label });
+    }
+
+    /// Returns the buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Exports the buffer as JSON Lines (one event per line, oldest first).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json(self.client).to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Reconstructs per-span summaries from the buffered events.
+    ///
+    /// Only spans whose `SpanBegin` is still in the ring are reported; a
+    /// span without a matching `SpanEnd` (crashed client, truncated run) is
+    /// reported with `ok == false` and its duration up to its last event.
+    pub fn spans(&self) -> Vec<SpanSummary> {
+        let mut spans: Vec<SpanSummary> = Vec::new();
+        let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::SpanBegin { op, key } => {
+                    index.insert(ev.span, spans.len());
+                    spans.push(SpanSummary {
+                        id: ev.span,
+                        op,
+                        key: *key,
+                        start_ns: ev.t_ns,
+                        end_ns: ev.t_ns,
+                        ok: false,
+                        closed: false,
+                        verbs: Vec::new(),
+                        faults: 0,
+                        wire_bytes: 0,
+                    });
+                }
+                EventKind::SpanEnd { ok } => {
+                    if let Some(&i) = index.get(&ev.span) {
+                        spans[i].end_ns = ev.t_ns;
+                        spans[i].ok = *ok;
+                        spans[i].closed = true;
+                    }
+                }
+                EventKind::Verb {
+                    verb,
+                    mn,
+                    wire_bytes,
+                    dur_ns,
+                    ..
+                } => {
+                    if let Some(&i) = index.get(&ev.span) {
+                        let s = &mut spans[i];
+                        s.end_ns = s.end_ns.max(ev.t_ns + dur_ns);
+                        s.wire_bytes += wire_bytes;
+                        s.verbs.push(SpanVerb {
+                            verb,
+                            mn: *mn,
+                            wire_bytes: *wire_bytes,
+                            dur_ns: *dur_ns,
+                        });
+                    }
+                }
+                EventKind::Fault { .. } => {
+                    if let Some(&i) = index.get(&ev.span) {
+                        spans[i].faults += 1;
+                    }
+                }
+            }
+        }
+        spans
+    }
+}
+
+/// One verb inside a reconstructed span.
+#[derive(Debug, Clone)]
+pub struct SpanVerb {
+    /// Verb name.
+    pub verb: &'static str,
+    /// Target memory node.
+    pub mn: u16,
+    /// Wire bytes charged.
+    pub wire_bytes: u64,
+    /// Virtual duration, ns.
+    pub dur_ns: u64,
+}
+
+/// A reconstructed operation span.
+#[derive(Debug, Clone)]
+pub struct SpanSummary {
+    /// Span id.
+    pub id: u64,
+    /// Operation name.
+    pub op: &'static str,
+    /// Target key.
+    pub key: u64,
+    /// Open timestamp, virtual ns.
+    pub start_ns: u64,
+    /// Close timestamp (or last event) in virtual ns.
+    pub end_ns: u64,
+    /// Whether the operation reported success.
+    pub ok: bool,
+    /// Whether the span's end event was observed.
+    pub closed: bool,
+    /// Verbs issued inside the span, in order.
+    pub verbs: Vec<SpanVerb>,
+    /// Faults injected inside the span.
+    pub faults: u64,
+    /// Total wire bytes of the span's verbs.
+    pub wire_bytes: u64,
+}
+
+impl SpanSummary {
+    /// Span duration in virtual nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_attribute_verbs_and_faults() {
+        let mut t = Tracer::new(3, 1024);
+        let s1 = t.begin_span("search", 42, 1_000);
+        t.verb(1_000, 2_500, "read", 0, 0x100, 300, 1);
+        t.fault(3_500, "delay", "spike".into());
+        t.verb(3_500, 2_500, "read", 1, 0x200, 80, 1);
+        t.end_span(s1, true, 6_000);
+        let s2 = t.begin_span("insert", 7, 6_000);
+        t.verb(6_000, 2_500, "cas", 0, 0x300, 64, 1);
+        t.end_span(s2, false, 9_000);
+
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].op, "search");
+        assert_eq!(spans[0].verbs.len(), 2);
+        assert_eq!(spans[0].faults, 1);
+        assert_eq!(spans[0].wire_bytes, 380);
+        assert_eq!(spans[0].dur_ns(), 5_000);
+        assert!(spans[0].ok && spans[0].closed);
+        assert!(!spans[1].ok);
+        assert_eq!(spans[1].verbs[0].verb, "cas");
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest() {
+        let mut t = Tracer::new(0, 4);
+        let s = t.begin_span("scan", 0, 0);
+        for i in 0..10 {
+            t.verb(i * 100, 100, "read", 0, i, 64, 1);
+        }
+        t.end_span(s, true, 2_000);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 8);
+        // The newest events survive.
+        let last = t.events().last().unwrap();
+        assert_eq!(last.kind, EventKind::SpanEnd { ok: true });
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_parseable() {
+        let mk = || {
+            let mut t = Tracer::new(1, 64);
+            let s = t.begin_span("update", 9, 50);
+            t.verb(50, 2_500, "masked_cas", 0, 0xABC, 80, 1);
+            t.end_span(s, true, 2_550);
+            t.to_jsonl()
+        };
+        let a = mk();
+        assert_eq!(a, mk());
+        for line in a.lines() {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(v.get("client").unwrap().as_f64(), Some(1.0));
+        }
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn nested_spans_attribute_to_innermost() {
+        let mut t = Tracer::new(0, 64);
+        let outer = t.begin_span("insert", 1, 0);
+        t.verb(0, 100, "read", 0, 1, 64, 1);
+        let inner = t.begin_span("split", 1, 100);
+        t.verb(100, 100, "write", 0, 2, 64, 1);
+        t.end_span(inner, true, 200);
+        t.verb(200, 100, "cas", 0, 3, 64, 1);
+        t.end_span(outer, true, 300);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].verbs.len(), 2, "outer gets read + cas");
+        assert_eq!(spans[1].verbs.len(), 1, "inner gets write");
+    }
+
+    #[test]
+    fn unclosed_span_reported_open() {
+        let mut t = Tracer::new(0, 64);
+        t.begin_span("delete", 5, 10);
+        t.verb(10, 90, "read", 0, 1, 64, 1);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert!(!spans[0].closed);
+        assert_eq!(spans[0].end_ns, 100);
+    }
+}

@@ -620,7 +620,7 @@ mod tests {
         for (k, val) in &data {
             assert_eq!(c.search(*k), Some(val.clone()));
         }
-        c.insert(1, &vec![7u8; 10]).unwrap();
+        c.insert(1, &[7u8; 10]).unwrap();
         assert_eq!(c.search(1), Some(vec![7u8; 10]));
     }
 }

@@ -2,7 +2,6 @@
 //! sets and index/model equivalence for both leaf formats.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use dmem::{Pool, RangeIndex};
 use proptest::prelude::*;

@@ -68,6 +68,11 @@ impl CnState {
     pub fn cache_bytes(&self) -> u64 {
         self.cache.lock().bytes()
     }
+
+    /// `(hits, misses)` of the internal-node cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().hit_stats()
+    }
 }
 
 /// One Sherman client.
@@ -740,7 +745,7 @@ mod tests {
         let cn = t.new_cn();
         let mut c = t.client(&cn);
         for k in 1..=200u64 {
-            c.insert(k, &vec![k as u8; 33]).unwrap();
+            c.insert(k, &[k as u8; 33]).unwrap();
         }
         for k in 1..=200u64 {
             assert_eq!(c.search(k), Some(vec![k as u8; 33]));

@@ -2,7 +2,6 @@
 //! and tree/model equivalence.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use dmem::node::RESERVED_BYTES;
 use dmem::{Endpoint, GlobalAddr, Pool, RangeIndex};

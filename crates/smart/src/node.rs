@@ -542,6 +542,7 @@ impl ArtOps {
             NodeType::N4 | NodeType::N16 => {
                 let cap = ty.capacity();
                 let mut free = None;
+                #[allow(clippy::needless_range_loop)] // `i` also feeds ptr_at
                 for i in 0..cap {
                     if ptr_at(i) != 0 {
                         if body[i] == byte {

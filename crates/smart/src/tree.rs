@@ -11,6 +11,9 @@ use crate::node::{ArtNode, ArtOps, Child, NodeType};
 
 const OP_RETRY_LIMIT: usize = 100_000;
 
+/// Internal node holding a leaf's slot: (node address, node type, slot byte).
+type ParentSlot = (GlobalAddr, NodeType, u8);
+
 /// SMART configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SmartConfig {
@@ -253,10 +256,7 @@ impl SmartClient {
 
     /// Finds `key`'s leaf (and its value) with cache-miss retry;
     /// `None` = truly absent.
-    fn find_leaf(
-        &mut self,
-        key: u64,
-    ) -> Option<(GlobalAddr, Vec<u8>, (GlobalAddr, NodeType, u8))> {
+    fn find_leaf(&mut self, key: u64) -> Option<(GlobalAddr, Vec<u8>, ParentSlot)> {
         let mut path = Vec::new();
         if let Some(hit) = self.descend(key, true, &mut path) {
             let (k, v) = self.ops().read_leaf(&mut self.ep, hit.0);

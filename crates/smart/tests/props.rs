@@ -2,7 +2,6 @@
 //! serialization and tree/model equivalence over adversarial key shapes.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use dmem::node::RESERVED_BYTES;
 use dmem::{Endpoint, GlobalAddr, Pool, RangeIndex};

@@ -1,17 +1,40 @@
 #!/bin/bash
-# Regenerates every figure/table output into results/.
-set -x
-cd /root/repo
+# Regenerates every figure/table output into results/: the human-readable
+# table as results/<fig>.txt and the machine-readable BENCH_<fig>.json
+# (emitted by each binary via BENCH_OUT_DIR). Fails loudly on the first
+# nonzero exit instead of silently producing a partial results/ directory.
+set -euo pipefail
+cd "$(dirname "$0")"
+
 B=./target/release
-$B/fig16 > results/fig16.txt 2>&1
-$B/fig4 > results/fig4.txt 2>&1
-$B/fig3 --preload 100000 --ops 40000 > results/fig3.txt 2>&1
-$B/table1 --preload 100000 > results/table1.txt 2>&1
-$B/fig14 --sizes 100000,200000,400000 > results/fig14.txt 2>&1
-$B/fig15 --preload 100000 --ops 40000 > results/fig15.txt 2>&1
-$B/fig17 --preload 100000 --ops 40000 > results/fig17.txt 2>&1
-$B/fig19 --preload 100000 --ops 40000 > results/fig19.txt 2>&1
-$B/fig13 --preload 100000 --ops 40000 > results/fig13.txt 2>&1
-$B/fig18 --preload 100000 --ops 40000 > results/fig18.txt 2>&1
-$B/fig12 --preload 150000 --ops 50000 > results/fig12.txt 2>&1
+OUT=results
+mkdir -p "$OUT"
+export BENCH_OUT_DIR="$OUT"
+
+run() {
+  local name=$1
+  shift
+  echo "== $name $*"
+  if ! "$B/$name" "$@" > "$OUT/$name.txt" 2>&1; then
+    echo "FAILED: $name (see $OUT/$name.txt)" >&2
+    tail -n 20 "$OUT/$name.txt" >&2
+    exit 1
+  fi
+  if [ ! -s "$OUT/BENCH_$name.json" ]; then
+    echo "FAILED: $name wrote no $OUT/BENCH_$name.json" >&2
+    exit 1
+  fi
+}
+
+run fig16
+run fig4
+run fig3 --preload 100000 --ops 40000
+run table1 --preload 100000
+run fig14 --sizes 100000,200000,400000
+run fig15 --preload 100000 --ops 40000
+run fig17 --preload 100000 --ops 40000
+run fig19 --preload 100000 --ops 40000
+run fig13 --preload 100000 --ops 40000
+run fig18 --preload 100000 --ops 40000
+run fig12 --preload 150000 --ops 50000
 echo ALL_FIGURES_DONE

@@ -2,7 +2,6 @@
 //! pool; committed writes must never be lost and readers must never observe
 //! torn state (the three-level optimistic synchronization at work).
 
-use std::sync::Arc;
 
 use dmem::{Pool, RangeIndex};
 
@@ -113,7 +112,7 @@ fn chime_readers_never_see_torn_values() {
         let cn = t.new_cn();
         let mut c = t.client(&cn);
         for k in 1..=200u64 {
-            c.insert(k, &vec![1u8; 64]).unwrap();
+            c.insert(k, &[1u8; 64]).unwrap();
         }
     }
     crossbeam::thread::scope(|s| {
@@ -124,7 +123,7 @@ fn chime_readers_never_see_torn_values() {
             for i in 0..2_000u64 {
                 let k = 1 + i % 200;
                 let fill = (i % 255) as u8 + 1;
-                c.update(k, &vec![fill; 64]).unwrap();
+                c.update(k, &[fill; 64]).unwrap();
             }
         });
         for _ in 0..2 {
@@ -163,7 +162,7 @@ fn sherman_readers_never_see_torn_values() {
         let cn = t.new_cn();
         let mut c = t.client(&cn);
         for k in 1..=200u64 {
-            c.insert(k, &vec![1u8; 64]).unwrap();
+            c.insert(k, &[1u8; 64]).unwrap();
         }
     }
     crossbeam::thread::scope(|s| {
@@ -172,7 +171,7 @@ fn sherman_readers_never_see_torn_values() {
             let cn = tw.new_cn();
             let mut c = tw.client(&cn);
             for i in 0..2_000u64 {
-                c.update(1 + i % 200, &vec![(i % 255) as u8 + 1; 64]).unwrap();
+                c.update(1 + i % 200, &[(i % 255) as u8 + 1; 64]).unwrap();
             }
         });
         let tr = t.clone();

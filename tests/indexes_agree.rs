@@ -3,8 +3,6 @@
 //! scans).
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
-
 use dmem::{Pool, RangeIndex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -1,8 +1,6 @@
 //! Protocol-cost tests: Table 1's round-trip counts and the paper's
 //! amplification orderings, asserted from the verb statistics.
 
-use std::sync::Arc;
-
 use dmem::{Pool, RangeIndex};
 use ycsb::KeySpace;
 
@@ -138,7 +136,7 @@ fn amplification_ordering_chime_sherman_smart() {
         cs.insert(k, &[1u8; 8]).unwrap();
         cm.insert(k, &[1u8; 8]).unwrap();
     }
-    let mut probe = |c: &mut dyn RangeIndex| {
+    let probe = |c: &mut dyn RangeIndex| {
         // Warm pass, then measure.
         for s in 0..2_000u64 {
             c.search(KeySpace::key((s * 13) % n)).unwrap();

@@ -61,6 +61,12 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API parity; the shim's timing
+    /// budget is fixed, so this is a no-op).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<F>(&mut self, id: &str, f: F)
     where
