@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint chaos perf-smoke baseline clean
+.PHONY: verify build test lint chaos perf-smoke baseline explain clean
 
 # Tier-1 gate (build + tests) plus the clippy lint wall and a fixed-seed
 # chaos smoke run (deterministic fault injection with a
@@ -30,6 +30,13 @@ perf-smoke:
 # Refresh the perf baseline after an intentional performance change.
 baseline:
 	$(CARGO) run --release -p bench --bin perf_smoke -- --write-baseline
+
+# Attribute metric movement between two bench documents (BENCH_*.json or
+# baseline.json), e.g. `make explain OLD=results/baseline.json NEW=new.json`.
+OLD ?= results/baseline.json
+NEW ?= results/BENCH_perf_smoke.json
+explain:
+	$(CARGO) run --release -p bench --bin explain -- $(OLD) $(NEW)
 
 clean:
 	$(CARGO) clean

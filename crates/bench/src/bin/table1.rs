@@ -40,12 +40,38 @@ fn main() {
         let rep = &mut rep;
         let mut rtts = |label: &str, f: &mut dyn FnMut(&mut chime::ChimeClient, u64)| {
             let before = c.stats().rtts;
+            let prof0 = c.profile().expect("chime client profiles").clone();
+            let mut lat = obs::LatencyHist::new();
             for s in 0..samples {
+                let t0 = c.clock_ns();
                 f(&mut c, s);
+                lat.record(c.clock_ns() - t0);
             }
             let per_op = (c.stats().rtts - before) as f64 / samples as f64;
             println!("  {label:<22} {per_op:>6.2} RTTs/op");
-            rep.add_custom(&format!("{case}/{label}"), &[("rtts_per_op", per_op)]);
+            // Schema-2 attribution for the RTT table: per-op virtual-latency
+            // percentiles and the per-phase round-trip breakdown this table
+            // exists to explain.
+            let delta = c.profile().unwrap().since(&prof0);
+            let mut metrics = vec![
+                ("rtts_per_op".to_string(), per_op),
+                ("p50_us".to_string(), lat.quantile(0.5) as f64 / 1_000.0),
+                ("p90_us".to_string(), lat.quantile(0.9) as f64 / 1_000.0),
+                ("p99_us".to_string(), lat.quantile(0.99) as f64 / 1_000.0),
+            ];
+            for ph in obs::Phase::ALL {
+                let acc = delta.phase(ph);
+                metrics.push((
+                    format!("phase_rtts_per_op.{}", ph.as_str()),
+                    acc.rtts as f64 / samples as f64,
+                ));
+                metrics.push((
+                    format!("phase_ns_per_op.{}", ph.as_str()),
+                    acc.ns as f64 / samples as f64,
+                ));
+            }
+            let refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            rep.add_custom(&format!("{case}/{label}"), &refs);
         };
         println!("\n## {case}");
         rtts("search (hit)", &mut |c, s| {

@@ -15,8 +15,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dmem::{Bound, ClientStats, Histogram, NetConfig, Pool, RangeIndex, RunAccounting};
-use obs::{HistogramSummary, MetricsSnapshot};
+use obs::{HistogramSummary, LatencyHist, MetricsSnapshot, OpProfile, Phase, RetryCause};
 use ycsb::{KeySpace, Op, OpGen, Workload, WorkloadState};
+
+/// Op-type labels, indexed by the RDWC discriminant (read=0, update=1,
+/// insert=2, scan=3).
+pub const OP_NAMES: [&str; 4] = ["read", "update", "insert", "scan"];
 
 /// Which index implementation a run measures.
 #[derive(Debug, Clone)]
@@ -98,6 +102,8 @@ pub struct BenchResult {
     pub mops: f64,
     /// Median op latency, microseconds (saturation-inflated).
     pub p50_us: f64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: f64,
     /// 99th percentile latency, microseconds.
     pub p99_us: f64,
     /// Mean latency, microseconds.
@@ -280,6 +286,9 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
     let num_cns = dep.cns.len();
     let ops_per_cn = setup.ops / num_cns as u64;
     let mut hist = Histogram::new();
+    // Per-op-type virtual-latency histograms (read/update/insert/scan).
+    let mut op_hists: Vec<LatencyHist> = (0..OP_NAMES.len()).map(|_| LatencyHist::default()).collect();
+    let mut profile_delta = OpProfile::default();
     let mut total_msgs = 0u64;
     let mut total_wire = 0u64;
     let mut total_app = 0u64;
@@ -311,6 +320,8 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             })
             .collect();
         let before: Vec<dmem::ClientStats> = clients.iter().map(|c| c.stats().clone()).collect();
+        let prof_before: Vec<Option<OpProfile>> =
+            clients.iter().map(|c| c.profile().cloned()).collect();
         let mut done = 0u64;
         let mut scan_buf = Vec::new();
         while done < ops_per_cn {
@@ -333,6 +344,7 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
                         // Combined with an in-flight same-key op: the
                         // client pays the same latency, no new traffic.
                         hist.record(lat);
+                        op_hists[disc as usize].record(lat);
                         sum_latency += lat;
                         done += 1;
                         executed += 1;
@@ -357,6 +369,7 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
                 }
                 let lat = c.clock_ns() - t0;
                 hist.record(lat);
+                op_hists[disc as usize].record(lat);
                 sum_latency += lat;
                 if setup.rdwc && disc <= 1 {
                     combined.insert((disc, key), lat);
@@ -372,6 +385,9 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             total_app += d.app_bytes;
             total_rtts += d.rtts;
             stats_delta.merge(&d);
+            if let (Some(p), Some(p0)) = (c.profile(), &prof_before[i]) {
+                profile_delta.merge(&p.since(p0));
+            }
         }
     }
     let net = NetConfig::default();
@@ -441,10 +457,39 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             count: executed,
             mean_ns: sum_latency.checked_div(executed).unwrap_or(0),
             p50_ns: hist.quantile(0.5),
+            p90_ns: hist.quantile(0.9),
             p99_ns: hist.quantile(0.99),
             max_ns: hist.max(),
         },
     );
+    // Per-op-type latency percentiles. All four op types are always
+    // present (zero-count histograms included) so the metric key set is
+    // stable across runs and workloads.
+    for (disc, name) in OP_NAMES.iter().enumerate() {
+        metrics.histogram("op_latency", &[("op", name)], op_hists[disc].summary());
+    }
+    // Phase attribution: exclusive virtual time, verb traffic and episode
+    // latencies per phase, merged over every participating client. Every
+    // phase of the taxonomy is emitted (zeros included) for a stable key
+    // set.
+    for phase in Phase::ALL {
+        let acc = profile_delta.phase(phase);
+        let labels = [("phase", phase.as_str())];
+        metrics.counter("phase_ns_total", &labels, acc.ns);
+        metrics.counter("phase_verbs_total", &labels, acc.verbs);
+        metrics.counter("phase_rtts_total", &labels, acc.rtts);
+        metrics.counter("phase_wire_bytes_total", &labels, acc.wire_bytes);
+        metrics.counter("phase_episodes_total", &labels, acc.episodes);
+        metrics.histogram("phase_latency", &labels, acc.hist.summary());
+    }
+    // Retry root-cause attribution (why ops restarted, not just how often).
+    for cause in RetryCause::ALL {
+        metrics.counter(
+            "retry_cause_total",
+            &[("cause", cause.as_str())],
+            profile_delta.retry_count(cause),
+        );
+    }
     // At saturation, queueing delay dominates and is roughly exponential,
     // so the tail stretches beyond the uniform inflation of the mean.
     let queue = est.inflation - 1.0;
@@ -452,6 +497,7 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
     BenchResult {
         mops: est.mops,
         p50_us: hist.quantile(0.5) as f64 * est.inflation / 1_000.0,
+        p90_us: hist.quantile(0.9) as f64 * est.inflation / 1_000.0,
         p99_us: hist.quantile(0.99) as f64 * est.inflation * tail / 1_000.0,
         avg_us: est.avg_latency_ns / 1_000.0,
         bound: est.bound,

@@ -1,0 +1,288 @@
+//! Bench-regression attribution: diff two bench documents.
+//!
+//! [`explain`] compares two sets of named bench points (an old and a new
+//! run — `BENCH_<name>.json` files or `baseline.json` gate documents) and
+//! produces a plain-text report that does not just *say* a headline metric
+//! moved, but *attributes* the move to the schema-2 breakdown metrics:
+//! per-phase time and round-trips per op, retry root causes, and per-op-type
+//! latency percentiles. The report is a pure function of its inputs —
+//! byte-identical across runs — so it can be asserted in tests and pasted
+//! into CI logs.
+
+use std::fmt::Write as _;
+
+use obs::{direction_of, BenchPoint, Direction, Json};
+
+/// Headline metrics, reported for every point in both documents.
+const HEADLINES: &[&str] = &[
+    "mops",
+    "p50_us",
+    "p90_us",
+    "p99_us",
+    "avg_us",
+    "bytes_per_op",
+    "rtts_per_op",
+    "verbs_per_op",
+];
+
+/// Attribution categories: section title plus the metric prefix whose
+/// entries it ranks.
+const CATEGORIES: &[(&str, &str)] = &[
+    ("phase time (ns/op)", "phase_ns_per_op."),
+    ("phase round-trips (rtt/op)", "phase_rtts_per_op."),
+    ("retry causes (retries/op)", "retries_per_op."),
+    ("op-type latency (us)", "lat."),
+];
+
+/// Entries shown per attribution category.
+const TOP_PER_CATEGORY: usize = 6;
+
+/// A headline regression/improvement below this relative change (percent)
+/// does not trigger attribution output for the point.
+const ATTRIBUTION_THRESHOLD_PCT: f64 = 1.0;
+
+/// Extracts the flat `points` (name + metric map) from a bench document:
+/// either a `BENCH_<name>.json` report or a `baseline.json` gate document
+/// (both carry `points: [{name, metrics}]`).
+pub fn load_points(text: &str) -> Result<Vec<BenchPoint>, String> {
+    let doc = obs::json::parse(text)?;
+    let arr = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("document has no points array")?;
+    let mut out = Vec::new();
+    for p in arr {
+        let name = p
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("point missing name")?
+            .to_string();
+        let mut metrics = std::collections::BTreeMap::new();
+        if let Some(Json::Obj(members)) = p.get("metrics") {
+            for (k, v) in members {
+                if let Some(n) = v.as_f64() {
+                    metrics.insert(k.clone(), n);
+                }
+            }
+        }
+        out.push(BenchPoint { name, metrics });
+    }
+    Ok(out)
+}
+
+fn pct(old: f64, new: f64) -> Option<f64> {
+    if old == 0.0 {
+        None
+    } else {
+        Some((new - old) / old.abs() * 100.0)
+    }
+}
+
+fn fmt_pct(old: f64, new: f64) -> String {
+    match pct(old, new) {
+        Some(p) => format!("{p:+.1}%"),
+        None if new == 0.0 => "=".to_string(),
+        None => "new".to_string(),
+    }
+}
+
+/// One changed attribution metric, ready for ranking.
+struct Delta {
+    name: String,
+    old: f64,
+    new: f64,
+    delta: f64,
+}
+
+fn category_deltas(prefix: &str, old: &BenchPoint, new: &BenchPoint) -> Vec<Delta> {
+    let mut out: Vec<Delta> = new
+        .metrics
+        .iter()
+        .filter(|(k, _)| k.starts_with(prefix))
+        .filter_map(|(k, &nv)| {
+            let ov = old.metrics.get(k).copied()?;
+            ((nv - ov).abs() > 1e-12).then(|| Delta {
+                name: k[prefix.len()..].to_string(),
+                old: ov,
+                new: nv,
+                delta: nv - ov,
+            })
+        })
+        .collect();
+    // Largest movers first; ties break on the name so the output is total
+    // -ordered and byte-stable.
+    out.sort_by(|a, b| {
+        b.delta
+            .abs()
+            .partial_cmp(&a.delta.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+/// Renders the attribution report comparing `old` to `new`.
+///
+/// Points are visited in `old`'s order; points only present on one side are
+/// listed but not diffed. For every shared point the headline metrics are
+/// tabulated, and when any of them moved beyond
+/// [`ATTRIBUTION_THRESHOLD_PCT`] the breakdown metrics are ranked by
+/// absolute delta within each category (phase time, phase round-trips,
+/// retry causes, op-type latencies).
+pub fn explain(old_label: &str, old: &[BenchPoint], new_label: &str, new: &[BenchPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# explain: {old_label} -> {new_label}");
+    for op in old {
+        let Some(np) = new.iter().find(|p| p.name == op.name) else {
+            let _ = writeln!(out, "\n## {} — only in {old_label}", op.name);
+            continue;
+        };
+        let _ = writeln!(out, "\n## {}", op.name);
+        let mut worst: Option<(&str, f64)> = None;
+        let mut moved = false;
+        for &h in HEADLINES {
+            let (Some(&ov), Some(&nv)) = (op.metrics.get(h), np.metrics.get(h)) else {
+                continue;
+            };
+            let _ = writeln!(out, "  {h:<14} {ov:>12.4} -> {nv:>12.4}  ({})", fmt_pct(ov, nv));
+            if let Some(p) = pct(ov, nv) {
+                // Signed so that positive = worse, as in the gate.
+                let worse = match direction_of(h) {
+                    Direction::HigherBetter => -p,
+                    Direction::LowerBetter => p,
+                };
+                if p.abs() > ATTRIBUTION_THRESHOLD_PCT {
+                    moved = true;
+                }
+                if worst.map(|(_, w)| worse > w).unwrap_or(true) {
+                    worst = Some((h, worse));
+                }
+            }
+        }
+        if !moved {
+            let _ = writeln!(out, "  (headline metrics unchanged within {ATTRIBUTION_THRESHOLD_PCT}%)");
+            continue;
+        }
+        if let Some((metric, worse)) = worst {
+            if worse > ATTRIBUTION_THRESHOLD_PCT {
+                let _ = writeln!(out, "  worst headline: {metric} ({worse:+.1}% worse)");
+            }
+        }
+        for &(title, prefix) in CATEGORIES {
+            let deltas = category_deltas(prefix, op, np);
+            if deltas.is_empty() {
+                continue;
+            }
+            let shown = deltas.len().min(TOP_PER_CATEGORY);
+            let _ = writeln!(out, "  {title}:");
+            for d in &deltas[..shown] {
+                let _ = writeln!(
+                    out,
+                    "    {:<22} {:>12.4} -> {:>12.4}  ({:+.4}, {})",
+                    d.name,
+                    d.old,
+                    d.new,
+                    d.delta,
+                    fmt_pct(d.old, d.new)
+                );
+            }
+            if deltas.len() > shown {
+                let _ = writeln!(out, "    ... {} more suppressed", deltas.len() - shown);
+            }
+        }
+    }
+    for np in new {
+        if !old.iter().any(|p| p.name == np.name) {
+            let _ = writeln!(out, "\n## {} — only in {new_label}", np.name);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str, metrics: &[(&str, f64)]) -> BenchPoint {
+        BenchPoint::new(name, metrics)
+    }
+
+    fn old_new() -> (Vec<BenchPoint>, Vec<BenchPoint>) {
+        let old = vec![point(
+            "chime/c/16",
+            &[
+                ("mops", 10.0),
+                ("p99_us", 50.0),
+                ("phase_ns_per_op.lock_acquire", 100.0),
+                ("phase_ns_per_op.leaf_read", 800.0),
+                ("retries_per_op.lock_conflict", 0.01),
+            ],
+        )];
+        let new = vec![point(
+            "chime/c/16",
+            &[
+                ("mops", 8.0),
+                ("p99_us", 65.0),
+                ("phase_ns_per_op.lock_acquire", 400.0),
+                ("phase_ns_per_op.leaf_read", 810.0),
+                ("retries_per_op.lock_conflict", 0.09),
+            ],
+        )];
+        (old, new)
+    }
+
+    #[test]
+    fn attributes_regression_to_largest_mover() {
+        let (old, new) = old_new();
+        let rep = explain("old", &old, "new", &new);
+        assert!(rep.contains("## chime/c/16"), "{rep}");
+        assert!(rep.contains("worst headline: p99_us"), "{rep}");
+        // lock_acquire (+300 ns/op) must rank above leaf_read (+10 ns/op).
+        let la = rep.find("lock_acquire").unwrap();
+        let lr = rep.find("leaf_read").unwrap();
+        assert!(la < lr, "{rep}");
+        assert!(rep.contains("retry causes"), "{rep}");
+    }
+
+    #[test]
+    fn unchanged_points_skip_attribution() {
+        let (old, _) = old_new();
+        let rep = explain("a", &old, "b", &old);
+        assert!(rep.contains("headline metrics unchanged"), "{rep}");
+        assert!(!rep.contains("phase time"), "{rep}");
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let (old, new) = old_new();
+        assert_eq!(
+            explain("old", &old, "new", &new),
+            explain("old", &old, "new", &new)
+        );
+    }
+
+    #[test]
+    fn one_sided_points_are_listed() {
+        let (old, new) = old_new();
+        let mut new2 = new.clone();
+        new2.push(point("fresh/point", &[("mops", 1.0)]));
+        let mut old2 = old.clone();
+        old2.push(point("gone/point", &[("mops", 1.0)]));
+        let rep = explain("old", &old2, "new", &new2);
+        assert!(rep.contains("gone/point — only in old"), "{rep}");
+        assert!(rep.contains("fresh/point — only in new"), "{rep}");
+    }
+
+    #[test]
+    fn load_points_reads_both_document_shapes() {
+        let bench_doc = r#"{"bench": "x", "schema": 2,
+            "points": [{"name": "a", "metrics": {"mops": 1.5}, "snapshot": {}}]}"#;
+        let p = load_points(bench_doc).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].metrics["mops"], 1.5);
+        let gate_doc = r#"{"schema": 2, "tolerance_pct": 10.0, "gated": [],
+            "points": [{"name": "b", "metrics": {"p99_us": 2.0}}]}"#;
+        let p = load_points(gate_doc).unwrap();
+        assert_eq!(p[0].name, "b");
+    }
+}

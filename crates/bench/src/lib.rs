@@ -1,3 +1,4 @@
 //! Experiment harness library (figure runners live in `src/bin`).
 pub mod driver;
+pub mod explain;
 pub mod report;

@@ -9,9 +9,9 @@
 
 use std::path::PathBuf;
 
-use obs::{BenchPoint, Json};
+use obs::{BenchPoint, Json, Phase, RetryCause};
 
-use crate::driver::BenchResult;
+use crate::driver::{BenchResult, OP_NAMES};
 
 /// A machine-readable bench report (one per figure binary).
 #[derive(Debug, Clone)]
@@ -103,9 +103,10 @@ impl Report {
         .iter()
         .map(|n| r.metrics.counter_value(n, &[]))
         .sum();
-        [
+        let mut m: std::collections::BTreeMap<String, f64> = [
             ("mops", r.mops),
             ("p50_us", r.p50_us),
+            ("p90_us", r.p90_us),
             ("p99_us", r.p99_us),
             ("avg_us", r.avg_us),
             ("bytes_per_op", r.bytes_per_op),
@@ -120,14 +121,50 @@ impl Report {
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
-        .collect()
+        .collect();
+        // Per-op-type virtual-latency percentiles (raw, no saturation
+        // inflation). Zero-count op types report 0 so the key set is stable.
+        for op in OP_NAMES {
+            let h = r
+                .metrics
+                .histogram_value("op_latency", &[("op", op)])
+                .unwrap_or_default();
+            m.insert(format!("lat.{op}.p50_us"), h.p50_ns as f64 / 1_000.0);
+            m.insert(format!("lat.{op}.p90_us"), h.p90_ns as f64 / 1_000.0);
+            m.insert(format!("lat.{op}.p99_us"), h.p99_ns as f64 / 1_000.0);
+        }
+        // Per-phase attribution, normalized per op. All phases present.
+        for phase in Phase::ALL {
+            let labels = [("phase", phase.as_str())];
+            let ns = r.metrics.counter_value("phase_ns_total", &labels);
+            let rtts = r.metrics.counter_value("phase_rtts_total", &labels);
+            m.insert(
+                format!("phase_ns_per_op.{}", phase.as_str()),
+                ns as f64 / executed as f64,
+            );
+            m.insert(
+                format!("phase_rtts_per_op.{}", phase.as_str()),
+                rtts as f64 / executed as f64,
+            );
+        }
+        // Retry root causes, normalized per op. All causes present.
+        for cause in RetryCause::ALL {
+            let n = r
+                .metrics
+                .counter_value("retry_cause_total", &[("cause", cause.as_str())]);
+            m.insert(
+                format!("retries_per_op.{}", cause.as_str()),
+                n as f64 / executed as f64,
+            );
+        }
+        m
     }
 
     /// Serializes the report (pretty, deterministic).
     pub fn to_json(&self) -> String {
         Json::Obj(vec![
             ("bench".to_string(), Json::Str(self.name.clone())),
-            ("schema".to_string(), Json::from(1u64)),
+            ("schema".to_string(), Json::from(2u64)),
             ("points".to_string(), Json::Arr(self.details.clone())),
         ])
         .to_pretty()
@@ -197,9 +234,17 @@ mod tests {
         assert_eq!(doc.get("bench").unwrap().as_str(), Some("unit"));
         let points = doc.get("points").unwrap().as_arr().unwrap();
         assert_eq!(points.len(), 1);
+        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(2.0));
         let m = points[0].get("metrics").unwrap();
         assert!(m.get("mops").unwrap().as_f64().unwrap() > 0.0);
         assert!(m.get("verbs_per_op").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("p90_us").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("lat.read.p50_us").unwrap().as_f64().unwrap() > 0.0);
+        // YCSB C never inserts, but the key must still exist (stable set).
+        assert_eq!(m.get("lat.insert.p99_us").unwrap().as_f64(), Some(0.0));
+        assert!(m.get("phase_ns_per_op.traversal").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("phase_rtts_per_op.leaf_read").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("retries_per_op.lock_conflict").unwrap().as_f64().is_some());
         assert!(points[0].get("per_mn").unwrap().as_arr().unwrap().len() == 1);
         assert!(points[0]
             .get("snapshot")

@@ -39,6 +39,35 @@ fn identical_seeded_runs_export_identical_metrics_json() {
         assert!(r1.metrics.counter_sum("client_reads_total") > 0);
         assert_eq!(r1.mn_traffic.len(), 2);
         assert!(r1.mn_traffic.iter().map(|&(msgs, _)| msgs).sum::<u64>() > 0);
+        // Schema-2 attribution: the phase breakdown, per-op-type latency
+        // percentiles and retry root causes ride in the same snapshot.
+        assert!(r1.metrics.counter_value("phase_ns_total", &[("phase", "traversal")]) > 0);
+        assert!(r1.metrics.counter_value("phase_rtts_total", &[("phase", "leaf_read")]) > 0);
+        let read_lat = r1
+            .metrics
+            .histogram_value("op_latency", &[("op", "read")])
+            .expect("per-op-type histogram");
+        assert!(read_lat.count > 0 && read_lat.p50_ns <= read_lat.p90_ns);
+        assert!(read_lat.p90_ns <= read_lat.p99_ns && read_lat.p99_ns <= read_lat.max_ns);
+        // Retry-cause counters exist for the full taxonomy (zeros included).
+        for cause in obs::RetryCause::ALL {
+            let _ = r1
+                .metrics
+                .counter_value("retry_cause_total", &[("cause", cause.as_str())]);
+        }
+        // ClientStats fault/retry/reclaim counters surface in the snapshot.
+        for c in [
+            "client_torn_reads_detected_total",
+            "client_lock_retries_total",
+            "client_op_retries_total",
+            "client_stale_locks_reclaimed_total",
+            "client_faults_injected_total",
+        ] {
+            assert!(
+                r1.metrics.to_json().contains(c),
+                "snapshot must carry {c}"
+            );
+        }
     }
 }
 
@@ -51,6 +80,52 @@ fn identical_seeded_runs_export_identical_bench_reports() {
     rep1.add("chime/b/8", &r1);
     rep2.add("chime/b/8", &r2);
     assert_eq!(rep1.to_json(), rep2.to_json());
+}
+
+/// Hotspot-buffer coverage: a Zipfian read workload drives speculative
+/// reads, whose hit/miss counters and `speculative_read` phase spans are
+/// deterministic — two identical seeded runs export byte-identical trace
+/// JSONL including the phase events.
+#[test]
+fn zipfian_speculative_reads_profile_deterministically() {
+    let run_once = || {
+        let pool = dmem::Pool::with_defaults(1, 256 << 20);
+        let cfg = chime::ChimeConfig {
+            trace_events: 1 << 16,
+            ..Default::default()
+        };
+        assert!(cfg.speculative_read && cfg.hotspot_bytes > 0);
+        let t = chime::Chime::create(&pool, cfg, 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        for seq in 0..2_000u64 {
+            c.insert(ycsb::KeySpace::key(seq), &seq.to_le_bytes()).unwrap();
+        }
+        let state = ycsb::WorkloadState::new(2_000);
+        let mut gen = ycsb::OpGen::new(Workload::C, state, 99);
+        for _ in 0..4_000 {
+            let ycsb::Op::Read(k) = gen.next_op() else {
+                panic!("workload C is read-only")
+            };
+            let _ = c.search(k);
+        }
+        let (attempts, hits) = (c.counters.spec_attempts, c.counters.spec_hits);
+        let episodes = c.profile().unwrap().phase(obs::Phase::SpeculativeRead).episodes;
+        let jsonl = c.take_tracer().unwrap().to_jsonl();
+        (attempts, hits, episodes, jsonl)
+    };
+    let (attempts, hits, episodes, jsonl) = run_once();
+    assert!(attempts > 0, "Zipfian reads must attempt speculative reads");
+    assert!(hits > 0, "hot keys must hit the hotspot buffer");
+    assert!(hits <= attempts);
+    // Every speculative attempt opens exactly one speculative_read episode.
+    assert_eq!(episodes, attempts);
+    assert!(
+        jsonl.contains("\"ev\":\"phase_begin\",\"phase\":\"speculative_read\""),
+        "trace must carry speculative_read phase spans"
+    );
+    let again = run_once();
+    assert_eq!((attempts, hits, episodes, &jsonl), (again.0, again.1, again.2, &again.3));
 }
 
 #[test]

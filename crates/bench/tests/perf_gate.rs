@@ -30,8 +30,8 @@ fn gate_passes_against_own_baseline_and_fails_against_perturbed_one() {
     let current = measure();
     let baseline = Baseline {
         tolerance_pct: 10.0,
-        metric_tolerance_pct: Default::default(),
         points: current.clone(),
+        ..Default::default()
     };
     let report = compare(&current, &baseline);
     assert!(report.passed(), "violations: {:?}", report.violations);
@@ -57,6 +57,25 @@ fn gate_passes_against_own_baseline_and_fails_against_perturbed_one() {
     assert!(!report.passed());
     assert_eq!(report.violations[0].metric, "bytes_per_op");
 
+    // The latency tail is gated: a halved baseline p99 makes the current
+    // tail register as a 2x regression.
+    let mut perturbed = baseline.clone();
+    let p99 = perturbed.points[0].metrics.get_mut("p99_us").unwrap();
+    assert!(*p99 > 0.0);
+    *p99 /= 2.0;
+    let report = compare(&current, &perturbed);
+    assert!(!report.passed(), "p99 rise must fail the gate");
+    assert_eq!(report.violations[0].metric, "p99_us");
+    assert!(report.violations[0].regression_pct > 40.0);
+
+    // A schema-2 gated list narrows enforcement: the same perturbed p99 is
+    // ignored when only mops is gated.
+    let mut narrow = perturbed.clone();
+    narrow.gated = vec!["mops".to_string()];
+    let report = compare(&current, &narrow);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert_eq!(report.compared, 1);
+
     // A missing point fails the gate outright.
     let current_renamed = vec![BenchPoint {
         name: "someone/else".into(),
@@ -76,6 +95,13 @@ fn checked_in_baseline_parses_and_covers_the_matrix() {
     .expect("results/baseline.json must be checked in");
     let baseline = Baseline::from_json(&text).expect("baseline must parse");
     assert!(baseline.tolerance_pct > 0.0);
+    assert_eq!(baseline.schema, 2, "checked-in baseline must be schema 2");
+    for gated in ["mops", "p50_us", "p90_us", "p99_us"] {
+        assert!(
+            baseline.gated.iter().any(|g| g == gated),
+            "schema-2 baseline must gate {gated}"
+        );
+    }
     assert!(
         baseline.points.len() >= 12,
         "expected the full CHIME+Sherman matrix, got {}",
@@ -85,6 +111,14 @@ fn checked_in_baseline_parses_and_covers_the_matrix() {
         assert!(
             p.metrics.contains_key("mops") && p.metrics.contains_key("p99_us"),
             "point {} lacks core metrics",
+            p.name
+        );
+        // Schema-2 attribution context rides along in every point.
+        assert!(
+            p.metrics.contains_key("phase_ns_per_op.traversal")
+                && p.metrics.contains_key("retries_per_op.lock_conflict")
+                && p.metrics.contains_key("lat.read.p90_us"),
+            "point {} lacks attribution metrics",
             p.name
         );
     }

@@ -14,7 +14,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dmem::hash::{fingerprint16, home_entry};
-use dmem::{ChunkAlloc, ClientStats, Endpoint, GlobalAddr, IndexError, Pool, RangeIndex};
+use dmem::{
+    ChunkAlloc, ClientStats, Endpoint, GlobalAddr, IndexError, Phase, Pool, RangeIndex, RetryCause,
+};
 
 use crate::backoff::Backoff;
 use crate::cache::NodeCache;
@@ -122,6 +124,13 @@ pub struct ChimeClient {
     /// Backoff state for whole-operation optimistic retries; the conflict
     /// streak resets at the start of each operation.
     retry_backoff: Backoff,
+}
+
+/// Result of a sibling chase: either the operation finished, or the chase hit
+/// an invalidated node and the whole operation must restart from the root.
+enum ChaseOutcome {
+    Done(Option<Vec<u8>>),
+    Restart,
 }
 
 /// Where a traversal landed: the leaf plus validation context.
@@ -273,18 +282,29 @@ impl ChimeClient {
         table.acquire(addr.raw())
     }
 
-    /// Records a whole-operation optimistic retry (stale route, failed
-    /// validation, lost race) and backs off with seeded jitter before the
-    /// next attempt.
-    fn on_op_conflict(&mut self) {
-        self.ep.note_op_retry();
+    /// Runs `f` with `phase` as the active attribution phase.
+    fn in_phase<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> R) -> R {
+        let fr = self.ep.phase_begin(phase);
+        let r = f(self);
+        self.ep.phase_end(fr);
+        r
+    }
+
+    /// Records a whole-operation optimistic retry attributed to its root
+    /// `cause` and backs off with seeded jitter before the next attempt.
+    fn on_op_conflict(&mut self, cause: RetryCause) {
+        self.ep.note_op_retry(cause);
+        let fr = self.ep.phase_begin(Phase::RetryBackoff);
         self.retry_backoff.wait(&mut self.ep);
+        self.ep.phase_end(fr);
     }
 
     /// Reads the root pointer slot and refreshes the CN-wide hint.
     fn refresh_root(&mut self) -> GlobalAddr {
+        let fr = self.ep.phase_begin(Phase::Traversal);
         let mut b = [0u8; 8];
         self.ep.read(self.shared.root_slot, &mut b);
+        self.ep.phase_end(fr);
         let addr = GlobalAddr::from_raw(u64::from_le_bytes(b));
         *self.cn.root_hint.lock() = addr;
         addr
@@ -301,10 +321,11 @@ impl ChimeClient {
 
     /// Reads an internal node through the CN cache; remote reads populate it.
     fn read_internal_cached(&mut self, addr: GlobalAddr, key: u64) -> (InternalNode, bool) {
-        if let Some(n) = self.cn.cache.lock().get(addr) {
-            if n.covers(key) {
-                return (n, true);
-            }
+        let hit = self.in_phase(Phase::CacheLookup, |me| {
+            me.cn.cache.lock().get(addr).filter(|n| n.covers(key))
+        });
+        if let Some(n) = hit {
+            return (n, true);
         }
         let n = self.shared.internal.read(&mut self.ep, addr);
         if n.valid {
@@ -315,13 +336,20 @@ impl ChimeClient {
 
     /// Traverses internal levels down to the parent of the target leaf.
     fn locate_leaf(&mut self, key: u64) -> LeafLoc {
+        let fr = self.ep.phase_begin(Phase::Traversal);
+        let loc = self.locate_leaf_inner(key);
+        self.ep.phase_end(fr);
+        loc
+    }
+
+    fn locate_leaf_inner(&mut self, key: u64) -> LeafLoc {
         let mut addr = self.root();
         for _ in 0..OP_RETRY_LIMIT {
             let (node, via_cache) = self.read_internal_cached(addr, key);
             if !node.valid {
                 self.cn.cache.lock().invalidate(addr);
                 addr = self.refresh_root();
-                self.on_op_conflict();
+                self.on_op_conflict(RetryCause::StaleRoute);
                 continue;
             }
             if !node.covers(key) {
@@ -330,7 +358,7 @@ impl ChimeClient {
                     addr = node.sibling;
                 } else {
                     addr = self.refresh_root();
-                    self.on_op_conflict();
+                    self.on_op_conflict(RetryCause::StaleRoute);
                 }
                 continue;
             }
@@ -372,12 +400,19 @@ impl ChimeClient {
     /// Like [`Self::locate_leaf`] but returns the parent node itself
     /// (used by scans to batch-read consecutive leaves).
     fn locate_parent(&mut self, key: u64) -> InternalNode {
+        let fr = self.ep.phase_begin(Phase::Traversal);
+        let node = self.locate_parent_inner(key);
+        self.ep.phase_end(fr);
+        node
+    }
+
+    fn locate_parent_inner(&mut self, key: u64) -> InternalNode {
         let mut addr = self.root();
         for _ in 0..OP_RETRY_LIMIT {
             let (node, _) = self.read_internal_cached(addr, key);
             if !node.valid {
                 addr = self.refresh_root();
-                self.on_op_conflict();
+                self.on_op_conflict(RetryCause::StaleRoute);
                 continue;
             }
             if !node.covers(key) {
@@ -385,7 +420,7 @@ impl ChimeClient {
                     addr = node.sibling;
                 } else {
                     addr = self.refresh_root();
-                    self.on_op_conflict();
+                    self.on_op_conflict(RetryCause::StaleRoute);
                 }
                 continue;
             }
@@ -419,23 +454,19 @@ impl ChimeClient {
                     buf.lookup(loc.addr, (0..h).map(|d| ((home + d) % span) as u16), fp)
                 };
                 if let Some(idx) = idx {
-                    self.counters.spec_attempts += 1;
-                    if let Some(v) =
-                        self.leaf()
-                            .spec_read(&mut self.ep, loc.addr, idx as usize, key)
-                    {
-                        self.counters.spec_hits += 1;
-                        self.ep.note_app_bytes(cfg.value_size as u64 + 8);
-                        self.cn.hotspot.lock().on_access(loc.addr, idx, fp);
-                        return Some(self.resolve_value(v));
+                    if let Some(v) = self.try_speculative_read(loc.addr, idx, key, fp) {
+                        return Some(v);
                     }
                 }
             }
-            let r = self.leaf().read_neighborhood(&mut self.ep, loc.addr, key);
+            let r = self
+                .in_phase(Phase::LeafRead, |me| {
+                    me.leaf().read_neighborhood(&mut me.ep, loc.addr, key)
+                });
             if !r.meta.valid {
                 self.cn.cache.lock().invalidate(loc.parent);
                 self.refresh_root();
-                self.on_op_conflict();
+                self.on_op_conflict(RetryCause::StaleRoute);
                 continue;
             }
             // Fence-key validation path (sibling validation disabled).
@@ -443,13 +474,18 @@ impl ChimeClient {
                 if key < lo {
                     self.cn.cache.lock().invalidate(loc.parent);
                     self.refresh_root();
-                    self.on_op_conflict();
+                    self.on_op_conflict(RetryCause::StaleRoute);
                     continue;
                 }
                 if !dmem::hash::in_range(key, lo, hi) {
                     self.counters.chases += 1;
                     self.cn.cache.lock().invalidate(loc.parent);
-                    return self.chase_fences(r.meta.sibling, key);
+                    let out = self
+                        .in_phase(Phase::Validate, |me| me.chase_fences(r.meta.sibling, key));
+                    return match out {
+                        ChaseOutcome::Done(v) => v,
+                        ChaseOutcome::Restart => self.search_impl(key),
+                    };
                 }
             }
             if let Some((idx, v)) = r.found {
@@ -471,35 +507,64 @@ impl ChimeClient {
                         // Cache validation: refresh the parent and retry.
                         self.counters.invalidations += 1;
                         self.cn.cache.lock().invalidate(loc.parent);
-                        self.on_op_conflict();
+                        self.on_op_conflict(RetryCause::StaleSibling);
                         continue;
                     }
                     // Half-split window: chase the sibling chain.
                     self.counters.chases += 1;
-                    return self.chase(loc.addr, key);
+                    let out = self.in_phase(Phase::Validate, |me| me.chase(loc.addr, key));
+                    return match out {
+                        ChaseOutcome::Done(v) => v,
+                        ChaseOutcome::Restart => self.search_impl(key),
+                    };
                 }
             }
         }
         panic!("search retry limit for key {key}");
     }
 
+    /// Reads the hotspot-predicted slot directly (the speculative read),
+    /// returning the value on a hit.
+    fn try_speculative_read(
+        &mut self,
+        addr: GlobalAddr,
+        idx: u16,
+        key: u64,
+        fp: u16,
+    ) -> Option<Vec<u8>> {
+        let fr = self.ep.phase_begin(Phase::SpeculativeRead);
+        self.counters.spec_attempts += 1;
+        let mut out = None;
+        if let Some(v) = self.leaf().spec_read(&mut self.ep, addr, idx as usize, key) {
+            self.counters.spec_hits += 1;
+            self.ep
+                .note_app_bytes(self.shared.cfg.value_size as u64 + 8);
+            self.cn.hotspot.lock().on_access(addr, idx, fp);
+            out = Some(self.resolve_value(v));
+        }
+        self.ep.phase_end(fr);
+        out
+    }
+
     /// Sibling chase with whole-node reads (sibling-validation mode).
-    fn chase(&mut self, mut addr: GlobalAddr, key: u64) -> Option<Vec<u8>> {
+    /// `Restart` tells the caller to re-run the whole operation (outside the
+    /// validate phase, so the restart is attributed to its own phases).
+    fn chase(&mut self, mut addr: GlobalAddr, key: u64) -> ChaseOutcome {
         for _ in 0..OP_RETRY_LIMIT {
             let snap = self.leaf().read_full(&mut self.ep, addr);
             if !snap.meta.valid {
-                return self.search_impl(key);
+                return ChaseOutcome::Restart;
             }
             if let Some((_, v)) = snap.find(key, self.h()) {
                 let v = v.to_vec();
-                return Some(self.resolve_value(v));
+                return ChaseOutcome::Done(Some(self.resolve_value(v)));
             }
             match snap.max_key() {
-                Some(mx) if mx >= key => return None,
+                Some(mx) if mx >= key => return ChaseOutcome::Done(None),
                 _ => {}
             }
             if snap.meta.sibling.is_null() {
-                return None;
+                return ChaseOutcome::Done(None);
             }
             addr = snap.meta.sibling;
         }
@@ -507,24 +572,25 @@ impl ChimeClient {
     }
 
     /// Sibling chase guided by fence keys (fence mode).
-    fn chase_fences(&mut self, mut addr: GlobalAddr, key: u64) -> Option<Vec<u8>> {
+    fn chase_fences(&mut self, mut addr: GlobalAddr, key: u64) -> ChaseOutcome {
         for _ in 0..OP_RETRY_LIMIT {
             if addr.is_null() {
-                return None;
+                return ChaseOutcome::Done(None);
             }
             let r = self.leaf().read_neighborhood(&mut self.ep, addr, key);
             if !r.meta.valid {
-                return self.search_impl(key);
+                return ChaseOutcome::Restart;
             }
             let (lo, hi) = r.meta.fences.expect("fence mode");
             if key < lo {
-                return self.search_impl(key);
+                return ChaseOutcome::Restart;
             }
             if !dmem::hash::in_range(key, lo, hi) {
                 addr = r.meta.sibling;
                 continue;
             }
-            return r.found.map(|(_, v)| v).map(|v| self.resolve_value(v));
+            let v = r.found.map(|(_, v)| v).map(|v| self.resolve_value(v));
+            return ChaseOutcome::Done(v);
         }
         panic!("fence chase retry limit for key {key}");
     }
@@ -600,21 +666,25 @@ impl ChimeClient {
                 // hop range remotely: lock and fetch the entire leaf
                 // (the paper's pre-piggybacking baseline).
                 let _lk = self.local_lock(addr);
-                let word = self.leaf().lock_plain(&mut self.ep, addr);
-                let lr = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                let word = self
+                    .in_phase(Phase::LockAcquire, |me| me.leaf().lock_plain(&mut me.ep, addr));
+                let lr = self
+                    .in_phase(Phase::LeafRead, |me| {
+                        me.leaf().read_full_locked(&mut me.ep, addr, word)
+                    });
                 if !lr.meta.valid {
-                    self.leaf().unlock(&mut self.ep, addr, word);
+                    self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                     self.cn.cache.lock().invalidate(parent);
                     self.refresh_root();
-                    self.on_op_conflict();
+                    self.on_op_conflict(RetryCause::StaleRoute);
                     continue;
                 }
                 if let Some(next) = self.owns_key(key, expected, &lr) {
                     self.counters.chases += 1;
                     let fenced = lr.meta.fences.is_some();
-                    self.leaf().unlock(&mut self.ep, addr, word);
+                    self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                     on_miss(self, next, fenced);
-                    self.on_op_conflict();
+                    self.on_op_conflict(RetryCause::StaleSibling);
                     continue;
                 }
                 match self.insert_into_full_window(addr, word, lr, key, &stored)? {
@@ -623,22 +693,27 @@ impl ChimeClient {
                 }
             }
             let _lk = self.local_lock(addr);
-            let word = self.leaf().lock(&mut self.ep, addr);
-            let Some(mut lr) = self.leaf().read_hop_window(&mut self.ep, addr, home, word) else {
+            let word = self.in_phase(Phase::LockAcquire, |me| me.leaf().lock(&mut me.ep, addr));
+            let Some(mut lr) = self.in_phase(Phase::LeafRead, |me| {
+                me.leaf().read_hop_window(&mut me.ep, addr, home, word)
+            }) else {
                 // Vacancy bitmap shows a full node: read everything & split.
-                let lr = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                let lr = self
+                    .in_phase(Phase::LeafRead, |me| {
+                        me.leaf().read_full_locked(&mut me.ep, addr, word)
+                    });
                 if !lr.meta.valid {
-                    self.leaf().unlock(&mut self.ep, addr, word);
+                    self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                     self.cn.cache.lock().invalidate(parent);
                     self.refresh_root();
-                    self.on_op_conflict();
+                    self.on_op_conflict(RetryCause::StaleRoute);
                     continue;
                 }
                 if let Some(next) = self.owns_key(key, expected, &lr) {
                     let fenced = lr.meta.fences.is_some();
-                    self.leaf().unlock(&mut self.ep, addr, word);
+                    self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                     on_miss(self, next, fenced);
-                    self.on_op_conflict();
+                    self.on_op_conflict(RetryCause::StaleSibling);
                     continue;
                 }
                 self.split_leaf(addr, lr)?;
@@ -646,40 +721,44 @@ impl ChimeClient {
             };
             if !lr.meta.valid {
                 // The leaf was merged away: drop the stale route.
-                self.leaf().unlock(&mut self.ep, addr, word);
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                 self.cn.cache.lock().invalidate(parent);
                 self.refresh_root();
-                self.on_op_conflict();
+                self.on_op_conflict(RetryCause::StaleRoute);
                 continue;
             }
             if let Some(next) = self.owns_key(key, expected, &lr) {
                 self.counters.chases += 1;
                 let fenced = lr.meta.fences.is_some();
-                self.leaf().unlock(&mut self.ep, addr, word);
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                 on_miss(self, next, fenced);
-                self.on_op_conflict();
+                self.on_op_conflict(RetryCause::StaleSibling);
                 continue;
             }
             // Duplicate: update in place.
             if let Some(pos) = lr.w.find_in_neighborhood(key) {
                 lr.w.set_value(pos, stored.clone());
-                let leaf = self.leaf();
-                leaf.write_window_and_unlock(
-                    &mut self.ep,
-                    addr,
-                    &lr.w,
-                    &lr.evs,
-                    lr.nv,
-                    &lr.meta,
-                    word,
-                );
+                self.in_phase(Phase::WriteBack, |me| {
+                    let leaf = me.leaf();
+                    leaf.write_window_and_unlock(
+                        &mut me.ep,
+                        addr,
+                        &lr.w,
+                        &lr.evs,
+                        lr.nv,
+                        &lr.meta,
+                        word,
+                    );
+                });
                 return Ok(());
             }
             // Find the true first empty slot at/after home in the window.
             let Some(empty) = lr.w.first_empty_from(home) else {
                 // The vacant group's empties sat before `home` (conservative
                 // bitmap): fall back to a full-node window.
-                let lr_full = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                let lr_full = self.in_phase(Phase::LeafRead, |me| {
+                    me.leaf().read_full_locked(&mut me.ep, addr, word)
+                });
                 match self.insert_into_full_window(addr, word, lr_full, key, &stored)? {
                     true => return Ok(()),
                     false => continue,
@@ -688,21 +767,25 @@ impl ChimeClient {
             match lr.w.insert(key, stored.clone(), empty) {
                 Ok(pos) => {
                     let new_word = self.word_after_insert(&lr, word, key, pos, empty);
-                    let leaf = self.leaf();
-                    leaf.write_window_and_unlock(
-                        &mut self.ep,
-                        addr,
-                        &lr.w,
-                        &lr.evs,
-                        lr.nv,
-                        &lr.meta,
-                        new_word,
-                    );
+                    self.in_phase(Phase::WriteBack, |me| {
+                        let leaf = me.leaf();
+                        leaf.write_window_and_unlock(
+                            &mut me.ep,
+                            addr,
+                            &lr.w,
+                            &lr.evs,
+                            lr.nv,
+                            &lr.meta,
+                            new_word,
+                        );
+                    });
                     return Ok(());
                 }
                 Err(_) => {
                     // No feasible hopping: split.
-                    let lr_full = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                    let lr_full = self.in_phase(Phase::LeafRead, |me| {
+                    me.leaf().read_full_locked(&mut me.ep, addr, word)
+                });
                     self.split_leaf(addr, lr_full)?;
                     continue;
                 }
@@ -724,8 +807,10 @@ impl ChimeClient {
         let home = home_entry(key, self.span());
         if let Some(pos) = lr.w.find_in_neighborhood(key) {
             lr.w.set_value(pos, stored.to_vec());
-            let leaf = self.leaf();
-            leaf.write_window_and_unlock(&mut self.ep, addr, &lr.w, &lr.evs, lr.nv, &lr.meta, word);
+            self.in_phase(Phase::WriteBack, |me| {
+                let leaf = me.leaf();
+                leaf.write_window_and_unlock(&mut me.ep, addr, &lr.w, &lr.evs, lr.nv, &lr.meta, word);
+            });
             return Ok(true);
         }
         let empty = (0..self.span())
@@ -738,16 +823,18 @@ impl ChimeClient {
         match lr.w.insert(key, stored.to_vec(), empty) {
             Ok(pos) => {
                 let new_word = self.word_after_insert(&lr, word, key, pos, empty);
-                let leaf = self.leaf();
-                leaf.write_window_and_unlock(
-                    &mut self.ep,
-                    addr,
-                    &lr.w,
-                    &lr.evs,
-                    lr.nv,
-                    &lr.meta,
-                    new_word,
-                );
+                self.in_phase(Phase::WriteBack, |me| {
+                    let leaf = me.leaf();
+                    leaf.write_window_and_unlock(
+                        &mut me.ep,
+                        addr,
+                        &lr.w,
+                        &lr.evs,
+                        lr.nv,
+                        &lr.meta,
+                        new_word,
+                    );
+                });
                 Ok(true)
             }
             Err(_) => {
@@ -814,37 +901,43 @@ impl ChimeClient {
                 }
             };
             let _lk = self.local_lock(addr);
-            let word = if self.shared.cfg.vacancy_piggyback {
-                self.leaf().lock(&mut self.ep, addr)
-            } else {
-                self.leaf().lock_plain(&mut self.ep, addr)
-            };
-            let mut lr = self.leaf().read_nbh_window(&mut self.ep, addr, home, word);
+            let word = self.in_phase(Phase::LockAcquire, |me| {
+                if me.shared.cfg.vacancy_piggyback {
+                    me.leaf().lock(&mut me.ep, addr)
+                } else {
+                    me.leaf().lock_plain(&mut me.ep, addr)
+                }
+            });
+            let mut lr = self.in_phase(Phase::LeafRead, |me| {
+                me.leaf().read_nbh_window(&mut me.ep, addr, home, word)
+            });
             if !lr.meta.valid {
                 // The leaf was merged away: drop the stale route.
-                self.leaf().unlock(&mut self.ep, addr, word);
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                 self.cn.cache.lock().invalidate(parent);
                 self.refresh_root();
-                self.on_op_conflict();
+                self.on_op_conflict(RetryCause::StaleRoute);
                 continue;
             }
             if let Some(next) = self.owns_key(key, expected, &lr) {
                 self.counters.chases += 1;
-                self.leaf().unlock(&mut self.ep, addr, word);
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                 if next.is_null() {
                     return Ok(false);
                 }
                 override_addr = Some(next);
-                self.on_op_conflict();
+                self.on_op_conflict(RetryCause::StaleSibling);
                 continue;
             }
             let Some(pos) = lr.w.find_in_neighborhood(key) else {
-                self.leaf().unlock(&mut self.ep, addr, word);
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                 return Ok(false);
             };
             lr.w.set_value(pos, stored);
-            let leaf = self.leaf();
-            leaf.write_window_and_unlock(&mut self.ep, addr, &lr.w, &lr.evs, lr.nv, &lr.meta, word);
+            self.in_phase(Phase::WriteBack, |me| {
+                let leaf = me.leaf();
+                leaf.write_window_and_unlock(&mut me.ep, addr, &lr.w, &lr.evs, lr.nv, &lr.meta, word);
+            });
             return Ok(true);
         }
         panic!("update retry limit for key {key}");
@@ -865,39 +958,45 @@ impl ChimeClient {
                 }
             };
             let _lk = self.local_lock(addr);
-            let word = if self.shared.cfg.vacancy_piggyback {
-                self.leaf().lock(&mut self.ep, addr)
-            } else {
-                self.leaf().lock_plain(&mut self.ep, addr)
-            };
-            let mut lr = self.leaf().read_nbh_window(&mut self.ep, addr, home, word);
+            let word = self.in_phase(Phase::LockAcquire, |me| {
+                if me.shared.cfg.vacancy_piggyback {
+                    me.leaf().lock(&mut me.ep, addr)
+                } else {
+                    me.leaf().lock_plain(&mut me.ep, addr)
+                }
+            });
+            let mut lr = self.in_phase(Phase::LeafRead, |me| {
+                me.leaf().read_nbh_window(&mut me.ep, addr, home, word)
+            });
             if !lr.meta.valid {
                 // The leaf was merged away: drop the stale route.
-                self.leaf().unlock(&mut self.ep, addr, word);
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                 self.cn.cache.lock().invalidate(parent);
                 self.refresh_root();
-                self.on_op_conflict();
+                self.on_op_conflict(RetryCause::StaleRoute);
                 continue;
             }
             if let Some(next) = self.owns_key(key, expected, &lr) {
                 self.counters.chases += 1;
-                self.leaf().unlock(&mut self.ep, addr, word);
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                 if next.is_null() {
                     return Ok(false);
                 }
                 override_addr = Some(next);
-                self.on_op_conflict();
+                self.on_op_conflict(RetryCause::StaleSibling);
                 continue;
             }
             if lr.w.find_in_neighborhood(key).is_none() {
-                self.leaf().unlock(&mut self.ep, addr, word);
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                 return Ok(false);
             }
             // Deleting the maximum key requires recomputing argmax from the
             // whole node.
             let deleting_max = lr.max_key == Some(key);
             if deleting_max {
-                lr = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                lr = self.in_phase(Phase::LeafRead, |me| {
+                    me.leaf().read_full_locked(&mut me.ep, addr, word)
+                });
             }
             let pos = lr
                 .w
@@ -925,16 +1024,18 @@ impl ChimeClient {
             } else {
                 None
             };
-            let leaf = self.leaf();
-            leaf.write_window_and_unlock(
-                &mut self.ep,
-                addr,
-                &lr.w,
-                &lr.evs,
-                lr.nv,
-                &lr.meta,
-                new_word,
-            );
+            self.in_phase(Phase::WriteBack, |me| {
+                let leaf = me.leaf();
+                leaf.write_window_and_unlock(
+                    &mut me.ep,
+                    addr,
+                    &lr.w,
+                    &lr.evs,
+                    lr.nv,
+                    &lr.meta,
+                    new_word,
+                );
+            });
             if underflow {
                 // Best-effort merge; drop the local guard first so the
                 // merge can take locks in parent-first order.
@@ -961,10 +1062,17 @@ impl ChimeClient {
         // Find and lock the (fresh) parent of `addr`.
         let parent_addr = self.locate_parent(probe_key).addr;
         let _pk = self.local_lock(parent_addr);
-        self.shared.internal.lock(&mut self.ep, parent_addr);
-        let mut parent = self.shared.internal.read(&mut self.ep, parent_addr);
+        self.in_phase(Phase::LockAcquire, |me| {
+            me.shared.internal.lock(&mut me.ep, parent_addr)
+        });
+        let mut parent = self
+            .in_phase(Phase::Traversal, |me| {
+                me.shared.internal.read(&mut me.ep, parent_addr)
+            });
         let unlock_parent = |me: &mut Self| {
-            me.shared.internal.unlock(&mut me.ep, parent_addr);
+            me.in_phase(Phase::WriteBack, |m| {
+                m.shared.internal.unlock(&mut m.ep, parent_addr)
+            });
         };
         if !parent.valid {
             return unlock_parent(self);
@@ -976,17 +1084,21 @@ impl ChimeClient {
             return unlock_parent(self); // last child: partner elsewhere
         };
         // Lock and re-validate the left leaf.
-        let xword = self.leaf().lock(&mut self.ep, addr);
-        let xlr = self.leaf().read_full_locked(&mut self.ep, addr, xword);
+        let xword = self.in_phase(Phase::LockAcquire, |me| me.leaf().lock(&mut me.ep, addr));
+        let xlr = self.in_phase(Phase::LeafRead, |me| {
+            me.leaf().read_full_locked(&mut me.ep, addr, xword)
+        });
         let span = cfg.span;
         let xcount = (0..span).filter(|&j| !xlr.w.slot_empty(j)).count();
         if !xlr.meta.valid || xlr.meta.sibling != sib || xcount > span / 4 {
-            self.leaf().unlock(&mut self.ep, addr, xword);
+            self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, xword));
             return unlock_parent(self);
         }
         // Lock the right leaf and check the combined fit.
-        let sword = self.leaf().lock(&mut self.ep, sib);
-        let slr = self.leaf().read_full_locked(&mut self.ep, sib, sword);
+        let sword = self.in_phase(Phase::LockAcquire, |me| me.leaf().lock(&mut me.ep, sib));
+        let slr = self.in_phase(Phase::LeafRead, |me| {
+            me.leaf().read_full_locked(&mut me.ep, sib, sword)
+        });
         let mut items: Vec<(u64, Vec<u8>)> = Vec::new();
         for w in [&xlr.w, &slr.w] {
             for j in 0..span {
@@ -1002,8 +1114,10 @@ impl ChimeClient {
             build_table(span, cfg.neighborhood, &items)
         };
         let Some(merged) = merged else {
-            self.leaf().unlock(&mut self.ep, sib, sword);
-            self.leaf().unlock(&mut self.ep, addr, xword);
+            self.in_phase(Phase::WriteBack, |me| {
+                me.leaf().unlock(&mut me.ep, sib, sword);
+                me.leaf().unlock(&mut me.ep, addr, xword);
+            });
             return unlock_parent(self);
         };
         self.counters.merges += 1;
@@ -1016,19 +1130,25 @@ impl ChimeClient {
             valid: true,
             fences: self.leaf().layout.fences.then_some((old_lo, sib_hi)),
         };
-        self.leaf()
-            .rewrite_and_unlock(&mut self.ep, addr, &merged, xlr.nv, &meta);
+        self.in_phase(Phase::WriteBack, |me| {
+            me.leaf()
+                .rewrite_and_unlock(&mut me.ep, addr, &merged, xlr.nv, &meta)
+        });
         let empty = Window::new(span, cfg.neighborhood, 0, span);
         let dead = LeafMeta {
             sibling: GlobalAddr::NULL,
             valid: false,
             fences: self.leaf().layout.fences.then_some((sib_pivot, sib_pivot)),
         };
-        self.leaf()
-            .rewrite_and_unlock(&mut self.ep, sib, &empty, slr.nv, &dead);
+        self.in_phase(Phase::WriteBack, |me| {
+            me.leaf()
+                .rewrite_and_unlock(&mut me.ep, sib, &empty, slr.nv, &dead)
+        });
         assert!(i + 1 > 0);
         parent.entries.remove(i + 1);
-        self.shared.internal.write_and_unlock(&mut self.ep, &parent);
+        self.in_phase(Phase::WriteBack, |me| {
+            me.shared.internal.write_and_unlock(&mut me.ep, &parent)
+        });
         self.cn.cache.lock().invalidate(parent_addr);
     }
 
@@ -1069,7 +1189,8 @@ impl ChimeClient {
         let node_size = self.leaf().layout.node_size() as u64;
         let mut addrs = vec![addr];
         for _ in 1..chunks.len() {
-            addrs.push(self.alloc.alloc(&mut self.ep, node_size)?);
+            let a = self.in_phase(Phase::WriteBack, |me| me.alloc.alloc(&mut me.ep, node_size));
+            addrs.push(a?);
         }
         let (old_lo, old_hi) = lr.meta.fences.unwrap_or((0, u64::MAX));
         // Write new nodes right-to-left so each points at an already
@@ -1090,16 +1211,20 @@ impl ChimeClient {
                 valid: true,
                 fences: self.leaf().layout.fences.then_some((pivots[i], hi)),
             };
-            self.leaf()
-                .write_new(&mut self.ep, addrs[i], &chunks[i].0, &meta);
+            self.in_phase(Phase::WriteBack, |me| {
+                me.leaf()
+                    .write_new(&mut me.ep, addrs[i], &chunks[i].0, &meta)
+            });
         }
         let meta0 = LeafMeta {
             sibling: addrs[1],
             valid: true,
             fences: self.leaf().layout.fences.then_some((old_lo, pivots[1])),
         };
-        self.leaf()
-            .rewrite_and_unlock(&mut self.ep, addr, &chunks[0].0, lr.nv, &meta0);
+        self.in_phase(Phase::WriteBack, |me| {
+            me.leaf()
+                .rewrite_and_unlock(&mut me.ep, addr, &chunks[0].0, lr.nv, &meta0)
+        });
         // Up-propagate every new pivot.
         for i in 1..chunks.len() {
             self.insert_into_parent(1, pivots[i], addrs[i])?;
@@ -1117,7 +1242,10 @@ impl ChimeClient {
     ) -> Result<(), IndexError> {
         for _ in 0..OP_RETRY_LIMIT {
             let root_addr = self.refresh_root();
-            let mut node = self.shared.internal.read(&mut self.ep, root_addr);
+            let mut node = self
+                .in_phase(Phase::Traversal, |me| {
+                    me.shared.internal.read(&mut me.ep, root_addr)
+                });
             if node.level < level {
                 continue; // racing root growth; re-read the slot
             }
@@ -1126,14 +1254,18 @@ impl ChimeClient {
             while node.level > level {
                 if !node.covers(pivot) {
                     if pivot >= node.fence_high && !node.sibling.is_null() {
-                        node = self.shared.internal.read(&mut self.ep, node.sibling);
+                        let sib = node.sibling;
+                        node = self
+                            .in_phase(Phase::Traversal, |me| {
+                                me.shared.internal.read(&mut me.ep, sib)
+                            });
                         continue;
                     }
                     ok = false;
                     break;
                 }
                 let (c, _) = node.select(pivot);
-                node = self.shared.internal.read(&mut self.ep, c);
+                node = self.in_phase(Phase::Traversal, |me| me.shared.internal.read(&mut me.ep, c));
             }
             if !ok || node.level != level {
                 continue;
@@ -1143,7 +1275,8 @@ impl ChimeClient {
                 if node.sibling.is_null() {
                     break;
                 }
-                node = self.shared.internal.read(&mut self.ep, node.sibling);
+                let sib = node.sibling;
+                node = self.in_phase(Phase::Traversal, |me| me.shared.internal.read(&mut me.ep, sib));
             }
             if !node.valid || !node.covers(pivot) {
                 continue;
@@ -1151,18 +1284,27 @@ impl ChimeClient {
             // Lock and re-read the authoritative copy.
             let addr = node.addr;
             let _lk = self.local_lock(addr);
-            self.shared.internal.lock(&mut self.ep, addr);
-            let mut fresh = self.shared.internal.read(&mut self.ep, addr);
+            self.in_phase(Phase::LockAcquire, |me| {
+                me.shared.internal.lock(&mut me.ep, addr)
+            });
+            let mut fresh = self
+                .in_phase(Phase::Traversal, |me| {
+                    me.shared.internal.read(&mut me.ep, addr)
+                });
             if !fresh.valid || !fresh.covers(pivot) {
-                self.shared.internal.unlock(&mut self.ep, addr);
-                self.on_op_conflict();
+                self.in_phase(Phase::WriteBack, |me| {
+                me.shared.internal.unlock(&mut me.ep, addr)
+            });
+                self.on_op_conflict(RetryCause::StaleRoute);
                 continue;
             }
             match fresh.entries.binary_search_by_key(&pivot, |e| e.0) {
                 Ok(i) => {
                     // Idempotent re-insert of the same pivot.
                     assert_eq!(fresh.entries[i].1, child, "pivot collision");
-                    self.shared.internal.unlock(&mut self.ep, addr);
+                    self.in_phase(Phase::WriteBack, |me| {
+                me.shared.internal.unlock(&mut me.ep, addr)
+            });
                     return Ok(());
                 }
                 Err(i) => {
@@ -1190,9 +1332,10 @@ impl ChimeClient {
         let mid = node.entries.len() / 2;
         let split_key = node.entries[mid].0;
         let upper: Vec<_> = node.entries.split_off(mid);
-        let new_addr = self
-            .alloc
-            .alloc(&mut self.ep, self.shared.internal.layout.node_size() as u64)?;
+        let new_addr = self.in_phase(Phase::WriteBack, |me| {
+            me.alloc
+                .alloc(&mut me.ep, me.shared.internal.layout.node_size() as u64)
+        })?;
         let new_node = InternalNode {
             addr: new_addr,
             level: node.level,
@@ -1203,16 +1346,21 @@ impl ChimeClient {
             entries: upper,
             nv: 0,
         };
-        self.shared.internal.write_new(&mut self.ep, &new_node);
+        self.in_phase(Phase::WriteBack, |me| {
+            me.shared.internal.write_new(&mut me.ep, &new_node)
+        });
         node.fence_high = split_key;
         node.sibling = new_addr;
-        self.shared.internal.write_and_unlock(&mut self.ep, node);
+        self.in_phase(Phase::WriteBack, |me| {
+            me.shared.internal.write_and_unlock(&mut me.ep, node)
+        });
         self.cn.cache.lock().invalidate(node.addr);
         if node.addr == root_addr {
             // Grow a new root.
-            let new_root_addr = self
-                .alloc
-                .alloc(&mut self.ep, self.shared.internal.layout.node_size() as u64)?;
+            let new_root_addr = self.in_phase(Phase::WriteBack, |me| {
+                me.alloc
+                    .alloc(&mut me.ep, me.shared.internal.layout.node_size() as u64)
+            })?;
             let new_root = InternalNode {
                 addr: new_root_addr,
                 level: node.level + 1,
@@ -1223,10 +1371,13 @@ impl ChimeClient {
                 entries: vec![(node.fence_low, node.addr), (split_key, new_addr)],
                 nv: 0,
             };
-            self.shared.internal.write_new(&mut self.ep, &new_root);
-            let old = self
-                .ep
-                .cas(self.shared.root_slot, root_addr.raw(), new_root_addr.raw());
+            self.in_phase(Phase::WriteBack, |me| {
+                me.shared.internal.write_new(&mut me.ep, &new_root)
+            });
+            let old = self.in_phase(Phase::WriteBack, |me| {
+                me.ep
+                    .cas(me.shared.root_slot, root_addr.raw(), new_root_addr.raw())
+            });
             if old == root_addr.raw() {
                 *self.cn.root_hint.lock() = new_root_addr;
                 return Ok(());
@@ -1293,20 +1444,23 @@ impl ChimeClient {
                 (None, am) if am == ARGMAX_NONE => {}
                 (Some(mx), am) if am != ARGMAX_NONE => {
                     // Re-read under the lock (the snapshot may have raced).
-                    let lr = self.leaf().read_full_locked(&mut self.ep, addr, word);
+                    let lr = self
+                    .in_phase(Phase::LeafRead, |me| {
+                        me.leaf().read_full_locked(&mut me.ep, addr, word)
+                    });
                     let locked_max = lr.max_key;
-                    self.leaf().unlock(&mut self.ep, addr, word);
+                    self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                     if locked_max != Some(mx) && locked_max.is_none() {
                         return Err(format!("leaf {addr:?} argmax empty but max {mx}"));
                     }
                 }
                 (mx, am) => {
-                    self.leaf().unlock(&mut self.ep, addr, word);
+                    self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
                     return Err(format!("leaf {addr:?} argmax {am} vs max {mx:?}"));
                 }
             }
             if true_max.is_none() {
-                self.leaf().unlock(&mut self.ep, addr, word);
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
             }
             if let Some(&mx) = keys.iter().max().as_ref() {
                 prev_max = Some(*mx);
@@ -1400,14 +1554,16 @@ impl ChimeClient {
                     .iter()
                     .map(|e| e.1)
                     .collect();
-                let snaps = self.leaf().read_full_batch(&mut self.ep, &addrs);
+                let snaps = self.in_phase(Phase::LeafRead, |me| {
+                    me.leaf().read_full_batch(&mut me.ep, &addrs)
+                });
                 for (i, snap) in snaps.iter().enumerate() {
                     if !snap.meta.valid {
                         // Deprecated leaf: the parent view is stale.
                         self.counters.invalidations += 1;
                         self.cn.cache.lock().invalidate(parent.addr);
                         self.refresh_root();
-                        self.on_op_conflict();
+                        self.on_op_conflict(RetryCause::StaleRoute);
                         continue 'attempt;
                     }
                     // Bridge split-off leaves the parent does not know yet.
@@ -1420,15 +1576,17 @@ impl ChimeClient {
                                 self.counters.invalidations += 1;
                                 self.cn.cache.lock().invalidate(parent.addr);
                                 self.refresh_root();
-                                self.on_op_conflict();
+                                self.on_op_conflict(RetryCause::StaleRoute);
                                 continue 'attempt;
                             }
-                            let gap = &self.leaf().read_full_batch(&mut self.ep, &[c])[0];
+                            let gap = self.in_phase(Phase::ScanChain, |me| {
+                                me.leaf().read_full_batch(&mut me.ep, &[c]).swap_remove(0)
+                            });
                             if !gap.meta.valid {
                                 self.counters.invalidations += 1;
                                 self.cn.cache.lock().invalidate(parent.addr);
                                 self.refresh_root();
-                                self.on_op_conflict();
+                                self.on_op_conflict(RetryCause::StaleRoute);
                                 continue 'attempt;
                             }
                             for (k, v) in gap.items() {
@@ -1462,15 +1620,17 @@ impl ChimeClient {
                                 self.counters.invalidations += 1;
                                 self.cn.cache.lock().invalidate(parent.addr);
                                 self.refresh_root();
-                                self.on_op_conflict();
+                                self.on_op_conflict(RetryCause::StaleRoute);
                                 continue 'attempt;
                             }
-                            let tail = &self.leaf().read_full_batch(&mut self.ep, &[c])[0];
+                            let tail = self.in_phase(Phase::ScanChain, |me| {
+                                me.leaf().read_full_batch(&mut me.ep, &[c]).swap_remove(0)
+                            });
                             if !tail.meta.valid {
                                 self.counters.invalidations += 1;
                                 self.cn.cache.lock().invalidate(parent.addr);
                                 self.refresh_root();
-                                self.on_op_conflict();
+                                self.on_op_conflict(RetryCause::StaleRoute);
                                 continue 'attempt;
                             }
                             for (k, v) in tail.items() {
@@ -1483,12 +1643,16 @@ impl ChimeClient {
                         }
                         break;
                     }
-                    let next = self.shared.internal.read(&mut self.ep, parent.sibling);
+                    let sib = parent.sibling;
+                    let next = self
+                        .in_phase(Phase::Traversal, |me| {
+                            me.shared.internal.read(&mut me.ep, sib)
+                        });
                     if !next.valid {
                         self.counters.invalidations += 1;
                         self.cn.cache.lock().invalidate(parent.addr);
                         self.refresh_root();
-                        self.on_op_conflict();
+                        self.on_op_conflict(RetryCause::StaleRoute);
                         continue 'attempt;
                     }
                     parent = next;
@@ -1520,13 +1684,16 @@ impl ChimeClient {
             return Ok(v);
         }
         let block_len = 16 + cfg.value_size;
-        let addr = self.alloc.alloc(&mut self.ep, block_len as u64)?;
+        let addr = self
+            .in_phase(Phase::WriteBack, |me| {
+                me.alloc.alloc(&mut me.ep, block_len as u64)
+            })?;
         let mut block = Vec::with_capacity(block_len);
         block.extend_from_slice(&key.to_le_bytes());
         block.extend_from_slice(&(value.len() as u64).to_le_bytes());
         block.extend_from_slice(value);
         block.resize(block_len, 0);
-        self.ep.write(addr, &block);
+        self.in_phase(Phase::WriteBack, |me| me.ep.write(addr, &block));
         Ok(addr.raw().to_le_bytes().to_vec())
     }
 
@@ -1540,7 +1707,7 @@ impl ChimeClient {
             stored[..8].try_into().expect("pointer entry"),
         ));
         let mut block = vec![0u8; 16 + cfg.value_size];
-        self.ep.read(addr, &mut block);
+        self.in_phase(Phase::LeafRead, |me| me.ep.read(addr, &mut block));
         let len = u64::from_le_bytes(block[8..16].try_into().unwrap()) as usize;
         block[16..16 + len.min(cfg.value_size)].to_vec()
     }
@@ -1599,6 +1766,10 @@ impl RangeIndex for ChimeClient {
 
     fn stats(&self) -> &ClientStats {
         self.ep.stats()
+    }
+
+    fn profile(&self) -> Option<&dmem::OpProfile> {
+        Some(self.ep.profile())
     }
 
     fn clock_ns(&self) -> u64 {

@@ -63,4 +63,11 @@ pub trait RangeIndex {
     /// Bytes of compute-side cache this client's CN currently uses for the
     /// index (shared structures are counted once per CN).
     fn cache_bytes(&self) -> u64;
+
+    /// This client's phase/retry attribution profile, when the index keeps
+    /// one (every index routing verbs through an [`crate::verbs::Endpoint`]
+    /// does — the default exists only for exotic implementations).
+    fn profile(&self) -> Option<&obs::OpProfile> {
+        None
+    }
 }

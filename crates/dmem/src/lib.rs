@@ -45,6 +45,6 @@ pub use index::{IndexError, RangeIndex};
 pub use locktable::{LocalLockGuard, LocalLockTable};
 pub use net::{Bound, NetConfig, RunAccounting, ThroughputEstimate};
 pub use node::{root_slot, MemoryNode, MnTraffic, Pool};
-pub use obs::Tracer;
+pub use obs::{LatencyHist, OpProfile, Phase, RetryCause, Tracer};
 pub use stats::{ClientStats, Histogram};
-pub use verbs::Endpoint;
+pub use verbs::{Endpoint, PhaseFrame};

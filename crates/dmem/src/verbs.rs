@@ -8,12 +8,25 @@
 
 use std::sync::Arc;
 
-use obs::Tracer;
+use obs::{OpProfile, Phase, RetryCause, Tracer};
 
 use crate::addr::GlobalAddr;
 use crate::fault::{FaultClient, FaultSession, VerbFaults, VerbKind};
 use crate::node::Pool;
 use crate::stats::ClientStats;
+
+/// An open phase attribution frame returned by [`Endpoint::phase_begin`].
+///
+/// Closing it with [`Endpoint::phase_end`] restores the previously active
+/// phase, so phases nest like a stack but tolerate a leaked frame (the next
+/// `phase_end` still restores *its* saved predecessor).
+#[derive(Debug, Clone, Copy)]
+#[must_use = "close the frame with Endpoint::phase_end"]
+pub struct PhaseFrame {
+    phase: Phase,
+    prev: Phase,
+    t0_ns: u64,
+}
 
 /// A client-side verb endpoint with its own virtual clock and counters.
 pub struct Endpoint {
@@ -22,6 +35,11 @@ pub struct Endpoint {
     clock_ns: u64,
     fault: Option<FaultClient>,
     tracer: Option<Box<Tracer>>,
+    prof: Box<OpProfile>,
+    phase: Phase,
+    /// `stats.faults_injected` at the last op-retry attribution, so a retry
+    /// following an injected fault is blamed on the fault engine.
+    fault_mark: u64,
 }
 
 impl Endpoint {
@@ -33,6 +51,9 @@ impl Endpoint {
             clock_ns: 0,
             fault: None,
             tracer: None,
+            prof: Box::default(),
+            phase: Phase::Other,
+            fault_mark: 0,
         }
     }
 
@@ -45,6 +66,9 @@ impl Endpoint {
             clock_ns: 0,
             fault: Some(FaultClient::new(session, client)),
             tracer: None,
+            prof: Box::default(),
+            phase: Phase::Other,
+            fault_mark: 0,
         }
     }
 
@@ -80,6 +104,42 @@ impl Endpoint {
                 t.end_span(span, ok, now);
             }
         }
+    }
+
+    /// Opens a phase: subsequent clock charges are attributed to `phase`
+    /// until the frame is closed (nested phases take over in between).
+    pub fn phase_begin(&mut self, phase: Phase) -> PhaseFrame {
+        let now = self.clock_ns;
+        if let Some(t) = self.tracer.as_mut() {
+            t.phase_begin(now, phase.as_str());
+        }
+        let prev = std::mem::replace(&mut self.phase, phase);
+        PhaseFrame {
+            phase,
+            prev,
+            t0_ns: now,
+        }
+    }
+
+    /// Closes a phase frame: records one episode (inclusive duration) on the
+    /// profile and restores the previously active phase.
+    pub fn phase_end(&mut self, frame: PhaseFrame) {
+        let dur = self.clock_ns - frame.t0_ns;
+        self.prof.episode(frame.phase, dur);
+        if let Some(t) = self.tracer.as_mut() {
+            t.phase_end(self.clock_ns, frame.phase.as_str(), dur);
+        }
+        self.phase = frame.prev;
+    }
+
+    /// The currently active attribution phase.
+    pub fn current_phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The accumulated phase/retry profile.
+    pub fn profile(&self) -> &OpProfile {
+        &self.prof
     }
 
     /// Records a verb event on the tracer (no-op without one).
@@ -128,8 +188,14 @@ impl Endpoint {
                 t.fault(self.clock_ns, action, label.clone());
             }
         }
-        self.clock_ns += faults.delay_ns;
+        self.advance(faults.delay_ns);
         faults
+    }
+
+    /// Advances the virtual clock, attributing the time to the active phase.
+    fn advance(&mut self, dt: u64) {
+        self.clock_ns += dt;
+        self.prof.add_time(self.phase, dt);
     }
 
 
@@ -154,9 +220,11 @@ impl Endpoint {
         self.stats.app_bytes += n;
     }
 
-    /// Records a torn read detected (and retried) by version validation.
+    /// Records a torn read detected (and retried) by version validation —
+    /// a retry whose root cause is a version mismatch.
     pub fn note_torn_read(&mut self) {
         self.stats.torn_reads_detected += 1;
+        self.prof.retry(RetryCause::VersionMismatch);
     }
 
     /// Records a stale lock word reclaimed from a dead holder.
@@ -164,20 +232,32 @@ impl Endpoint {
         self.stats.stale_locks_reclaimed += 1;
     }
 
-    /// Records a lock-acquisition attempt that found the word locked.
+    /// Records a lock-acquisition attempt that found the word locked —
+    /// a retry whose root cause is a lock conflict.
     pub fn note_lock_retry(&mut self) {
         self.stats.lock_retries += 1;
+        self.prof.retry(RetryCause::LockConflict);
     }
 
-    /// Records a whole-operation optimistic retry.
-    pub fn note_op_retry(&mut self) {
+    /// Records a whole-operation optimistic retry attributed to `cause`.
+    ///
+    /// When the fault engine injected a fault since the last op retry, the
+    /// injection — not the symptom the caller observed — is blamed.
+    pub fn note_op_retry(&mut self, cause: RetryCause) {
         self.stats.op_retries += 1;
+        let cause = if self.stats.faults_injected > self.fault_mark {
+            RetryCause::InjectedFault
+        } else {
+            cause
+        };
+        self.fault_mark = self.stats.faults_injected;
+        self.prof.retry(cause);
     }
 
     /// Advances the virtual clock without network traffic (used by backoff:
     /// the client spends time, not round-trips).
     pub fn advance_clock(&mut self, ns: u64) {
-        self.clock_ns += ns;
+        self.advance(ns);
     }
 
     /// Charges client counters and the virtual clock; returns wire bytes.
@@ -187,7 +267,8 @@ impl Endpoint {
         self.stats.msgs += msgs;
         self.stats.rtts += rtts;
         self.stats.wire_bytes += wire;
-        self.clock_ns += net.verb_latency_ns(msgs, wire);
+        self.advance(net.verb_latency_ns(msgs, wire));
+        self.prof.add_verb(self.phase, msgs, rtts, wire);
         wire
     }
 
@@ -413,7 +494,9 @@ impl Endpoint {
         self.stats.msgs += 2;
         self.stats.rtts += 1;
         self.stats.wire_bytes += wire;
-        self.clock_ns += self.pool.net().alloc_rpc_ns;
+        let dt = self.pool.net().alloc_rpc_ns;
+        self.advance(dt);
+        self.prof.add_verb(self.phase, 2, 1, wire);
         self.pool.mn(mn).note_traffic(2, wire);
         self.trace_verb(t0, "alloc", GlobalAddr::new(mn, 0), wire, 2);
         r
@@ -550,6 +633,87 @@ mod tests {
         // The loose read is attributed to span 0.
         let last = t.events().last().unwrap();
         assert_eq!(last.span, 0);
+    }
+
+    #[test]
+    fn phases_attribute_time_verbs_and_retries() {
+        use obs::{Phase, RetryCause};
+        let mut e = ep();
+        e.set_tracer(obs::Tracer::new(0, 1024));
+        let addr = GlobalAddr::new(0, RESERVED_BYTES);
+        let sp = e.span_begin("search", 1);
+
+        let fr = e.phase_begin(Phase::Traversal);
+        let mut buf = [0u8; 8];
+        e.read(addr, &mut buf);
+        // Nested phase takes over attribution.
+        let inner = e.phase_begin(Phase::LeafRead);
+        e.read(addr, &mut buf);
+        e.phase_end(inner);
+        assert_eq!(e.current_phase(), Phase::Traversal);
+        e.phase_end(fr);
+        assert_eq!(e.current_phase(), Phase::Other);
+        e.read(addr, &mut buf); // unattributed
+
+        e.note_lock_retry();
+        e.note_torn_read();
+        e.note_op_retry(RetryCause::StaleSibling);
+        e.span_end(sp, true);
+
+        let p = e.profile();
+        let trav = p.phase(Phase::Traversal);
+        let leaf = p.phase(Phase::LeafRead);
+        let other = p.phase(Phase::Other);
+        assert_eq!(trav.verbs, 1);
+        assert_eq!(leaf.verbs, 1);
+        assert_eq!(other.verbs, 1);
+        assert_eq!(trav.rtts + leaf.rtts + other.rtts, e.stats().rtts);
+        assert_eq!(
+            trav.wire_bytes + leaf.wire_bytes + other.wire_bytes,
+            e.stats().wire_bytes
+        );
+        // Exclusive time sums to the clock; episodes are inclusive.
+        assert_eq!(trav.ns + leaf.ns + other.ns, e.clock_ns());
+        assert_eq!(trav.episodes, 1);
+        assert_eq!(trav.hist.count(), 1);
+        assert!(trav.hist.sum() >= trav.ns + leaf.ns, "inclusive episode");
+        assert_eq!(p.retry_count(RetryCause::LockConflict), 1);
+        assert_eq!(p.retry_count(RetryCause::VersionMismatch), 1);
+        assert_eq!(p.retry_count(RetryCause::StaleSibling), 1);
+        // The tracer saw typed phase sub-spans inside the op span.
+        let spans = e.tracer().unwrap().spans();
+        assert_eq!(spans[0].phase_ns.len(), 2);
+        assert_eq!(spans[0].phase_ns[0].0, "leaf_read");
+        assert_eq!(spans[0].phase_ns[1].0, "traversal");
+    }
+
+    #[test]
+    fn op_retry_blames_injected_fault_over_symptom() {
+        use crate::fault::{FaultAction, FaultPlan, FaultRule, FaultSession, VerbKind};
+        use obs::RetryCause;
+        let mut plan = FaultPlan::seeded(9);
+        plan.rules.push(FaultRule {
+            label: "one-delay".into(),
+            verb: Some(VerbKind::Read),
+            client: None,
+            probability: 1.0,
+            after_seq: 0,
+            max_fires: 1,
+            action: FaultAction::Delay { ns: 10 },
+        });
+        let session = Arc::new(FaultSession::new(plan));
+        let pool = Pool::with_defaults(1, 1 << 20);
+        let mut e = Endpoint::with_faults(pool, session, 0);
+        let addr = GlobalAddr::new(0, RESERVED_BYTES);
+        let mut buf = [0u8; 8];
+        e.read(addr, &mut buf); // fault fires here
+        e.note_op_retry(RetryCause::StaleRoute);
+        assert_eq!(e.profile().retry_count(RetryCause::InjectedFault), 1);
+        assert_eq!(e.profile().retry_count(RetryCause::StaleRoute), 0);
+        // No new fault since the mark: the symptom is blamed.
+        e.read(addr, &mut buf);
+        e.note_op_retry(RetryCause::StaleRoute);
+        assert_eq!(e.profile().retry_count(RetryCause::StaleRoute), 1);
     }
 
     #[test]

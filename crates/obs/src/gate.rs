@@ -34,13 +34,27 @@ impl BenchPoint {
     }
 }
 
+/// The baseline document schema this code writes.
+pub const BASELINE_SCHEMA: u64 = 2;
+
 /// A set of reference points plus tolerances.
+///
+/// Since schema 2 a baseline may carry far more metrics per point than it
+/// *gates* on: `gated` names the metrics [`compare`] enforces, while the
+/// rest (phase breakdowns, retry causes) ride along as attribution context
+/// for the `explain` tool. An empty `gated` list gates every metric — the
+/// schema-1 behaviour.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Baseline {
+    /// Document schema version (1 = flat metrics only, 2 = adds `gated`
+    /// plus attribution metrics).
+    pub schema: u64,
     /// Default relative tolerance, percent (e.g. `10.0`).
     pub tolerance_pct: f64,
     /// Per-metric tolerance overrides, percent.
     pub metric_tolerance_pct: BTreeMap<String, f64>,
+    /// Metrics the gate enforces; empty means every baseline metric.
+    pub gated: Vec<String>,
     /// The reference points.
     pub points: Vec<BenchPoint>,
 }
@@ -48,8 +62,10 @@ pub struct Baseline {
 impl Default for Baseline {
     fn default() -> Self {
         Baseline {
+            schema: BASELINE_SCHEMA,
             tolerance_pct: 10.0,
             metric_tolerance_pct: BTreeMap::new(),
+            gated: Vec::new(),
             points: Vec::new(),
         }
     }
@@ -148,6 +164,9 @@ pub fn compare(current: &[BenchPoint], baseline: &Baseline) -> GateReport {
             continue;
         };
         for (metric, &base_v) in &bp.metrics {
+            if !baseline.gated.is_empty() && !baseline.gated.iter().any(|g| g == metric) {
+                continue;
+            }
             let tol = baseline
                 .metric_tolerance_pct
                 .get(metric)
@@ -263,16 +282,23 @@ impl Baseline {
             .map(|(k, v)| (k.clone(), Json::Num(*v)))
             .collect();
         Json::Obj(vec![
+            ("schema".to_string(), Json::from(self.schema)),
             ("tolerance_pct".to_string(), Json::Num(self.tolerance_pct)),
             ("metric_tolerance_pct".to_string(), Json::Obj(tols)),
+            (
+                "gated".to_string(),
+                Json::Arr(self.gated.iter().map(|g| Json::Str(g.clone())).collect()),
+            ),
             ("points".to_string(), points_to_json(&self.points)),
         ])
         .to_pretty()
     }
 
-    /// Parses a baseline document.
+    /// Parses a baseline document (schema 1 documents — no `schema` /
+    /// `gated` members — still parse, gating every metric).
     pub fn from_json(s: &str) -> Result<Baseline, String> {
         let v = parse(s)?;
+        let schema = v.get("schema").and_then(Json::as_f64).unwrap_or(1.0) as u64;
         let tolerance_pct = v
             .get("tolerance_pct")
             .and_then(Json::as_f64)
@@ -284,10 +310,18 @@ impl Baseline {
                     .insert(k.clone(), t.as_f64().ok_or("tolerance not numeric")?);
             }
         }
+        let mut gated = Vec::new();
+        if let Some(arr) = v.get("gated").and_then(Json::as_arr) {
+            for g in arr {
+                gated.push(g.as_str().ok_or("gated entry not a string")?.to_string());
+            }
+        }
         let points = points_from_json(v.get("points").ok_or("missing points")?)?;
         Ok(Baseline {
+            schema,
             tolerance_pct,
             metric_tolerance_pct,
+            gated,
             points,
         })
     }
@@ -305,11 +339,11 @@ mod tests {
     fn base() -> Baseline {
         Baseline {
             tolerance_pct: 10.0,
-            metric_tolerance_pct: BTreeMap::new(),
             points: vec![BenchPoint::new(
                 "chime/c",
                 &[("mops", 10.0), ("p99_us", 50.0), ("bytes_per_op", 400.0)],
             )],
+            ..Default::default()
         }
     }
 
@@ -393,6 +427,38 @@ mod tests {
         assert_eq!(back, b);
         // Deterministic output.
         assert_eq!(s, back.to_json());
+    }
+
+    #[test]
+    fn gated_list_restricts_enforcement() {
+        let mut b = base();
+        b.gated = vec!["mops".to_string(), "p99_us".to_string()];
+        // bytes_per_op doubles, but it is not gated.
+        let cur = vec![BenchPoint::new(
+            "chime/c",
+            &[("mops", 10.0), ("p99_us", 50.0), ("bytes_per_op", 800.0)],
+        )];
+        let r = compare(&cur, &b);
+        assert!(r.passed(), "{:?}", r.violations);
+        assert_eq!(r.compared, 2);
+        // A gated metric still fails.
+        let cur = vec![BenchPoint::new(
+            "chime/c",
+            &[("mops", 5.0), ("p99_us", 50.0), ("bytes_per_op", 400.0)],
+        )];
+        assert!(!compare(&cur, &b).passed());
+    }
+
+    #[test]
+    fn schema1_document_parses_without_gated() {
+        let doc = r#"{"tolerance_pct": 10.0, "metric_tolerance_pct": {},
+                      "points": [{"name": "a", "metrics": {"mops": 1.0}}]}"#;
+        let b = Baseline::from_json(doc).unwrap();
+        assert_eq!(b.schema, 1);
+        assert!(b.gated.is_empty());
+        // Re-serialized, it becomes an explicit document that roundtrips.
+        let back = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(back, b);
     }
 
     #[test]

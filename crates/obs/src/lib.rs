@@ -11,6 +11,11 @@
 //! * [`metrics`] — the unified [`metrics::MetricsSnapshot`] registry
 //!   (labeled counters / gauges / histogram summaries) with Prometheus-text
 //!   and JSON exporters;
+//! * [`phase`] — the phase-attribution layer: a fixed [`phase::Phase`]
+//!   taxonomy, retry root-cause tagging ([`phase::RetryCause`]), the
+//!   deterministic fixed-bucket [`phase::LatencyHist`] and the per-client
+//!   [`phase::OpProfile`] that attributes every charged nanosecond, verb
+//!   and wire byte to a phase;
 //! * [`gate`] — the CI perf gate comparing bench points against a
 //!   checked-in baseline with direction-aware relative tolerances;
 //! * [`json`] — the dependency-free, deterministic JSON writer/parser the
@@ -24,9 +29,11 @@
 pub mod gate;
 pub mod json;
 pub mod metrics;
+pub mod phase;
 pub mod trace;
 
-pub use gate::{compare, Baseline, BenchPoint, GateReport, Violation};
+pub use gate::{compare, direction_of, Baseline, BenchPoint, Direction, GateReport, Violation};
 pub use json::Json;
 pub use metrics::{HistogramSummary, MetricsSnapshot};
+pub use phase::{LatencyHist, OpProfile, Phase, PhaseAcc, RetryCause};
 pub use trace::{Event, EventKind, SpanSummary, Tracer};

@@ -47,7 +47,7 @@ impl MetricKey {
     }
 }
 
-/// A five-number summary of a latency histogram.
+/// A six-number summary of a latency histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HistogramSummary {
     /// Recorded samples.
@@ -56,6 +56,8 @@ pub struct HistogramSummary {
     pub mean_ns: u64,
     /// Median, ns.
     pub p50_ns: u64,
+    /// 90th percentile, ns.
+    pub p90_ns: u64,
     /// 99th percentile, ns.
     pub p99_ns: u64,
     /// Maximum, ns.
@@ -104,6 +106,11 @@ impl MetricsSnapshot {
         self.gauges.get(&MetricKey::new(name, labels)).copied()
     }
 
+    /// Reads a histogram summary back.
+    pub fn histogram_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSummary> {
+        self.histograms.get(&MetricKey::new(name, labels)).copied()
+    }
+
     /// Sums a counter over every label set it appears with.
     pub fn counter_sum(&self, name: &str) -> u64 {
         self.counters
@@ -147,6 +154,7 @@ impl MetricsSnapshot {
                 ("_count", h.count),
                 ("_mean_ns", h.mean_ns),
                 ("_p50_ns", h.p50_ns),
+                ("_p90_ns", h.p90_ns),
                 ("_p99_ns", h.p99_ns),
                 ("_max_ns", h.max_ns),
             ] {
@@ -179,6 +187,7 @@ impl MetricsSnapshot {
                         ("count", Json::from(h.count)),
                         ("mean_ns", Json::from(h.mean_ns)),
                         ("p50_ns", Json::from(h.p50_ns)),
+                        ("p90_ns", Json::from(h.p90_ns)),
                         ("p99_ns", Json::from(h.p99_ns)),
                         ("max_ns", Json::from(h.max_ns)),
                     ]),
@@ -215,6 +224,7 @@ mod tests {
                 count: 100,
                 mean_ns: 3_000,
                 p50_ns: 2_500,
+                p90_ns: 7_000,
                 p99_ns: 9_000,
                 max_ns: 12_000,
             },

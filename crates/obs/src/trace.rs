@@ -51,6 +51,18 @@ pub enum EventKind {
         /// Label of the rule that fired.
         label: String,
     },
+    /// A typed phase sub-span opened inside the current span.
+    PhaseBegin {
+        /// Phase name (`traversal`, `lock_acquire`, ...).
+        phase: &'static str,
+    },
+    /// A typed phase sub-span closed.
+    PhaseEnd {
+        /// Phase name (`traversal`, `lock_acquire`, ...).
+        phase: &'static str,
+        /// Inclusive episode duration, virtual ns.
+        dur_ns: u64,
+    },
 }
 
 /// One recorded event.
@@ -104,6 +116,15 @@ impl Event {
                 pairs.push(("ev", Json::from("fault")));
                 pairs.push(("action", Json::from(*action)));
                 pairs.push(("label", Json::from(label.as_str())));
+            }
+            EventKind::PhaseBegin { phase } => {
+                pairs.push(("ev", Json::from("phase_begin")));
+                pairs.push(("phase", Json::from(*phase)));
+            }
+            EventKind::PhaseEnd { phase, dur_ns } => {
+                pairs.push(("ev", Json::from("phase_end")));
+                pairs.push(("phase", Json::from(*phase)));
+                pairs.push(("dur_ns", Json::from(*dur_ns)));
             }
         }
         Json::obj(pairs)
@@ -227,6 +248,19 @@ impl Tracer {
         self.push(span, t_ns, EventKind::Fault { action, label });
     }
 
+    /// Records a phase sub-span opening inside the innermost open span.
+    pub fn phase_begin(&mut self, t_ns: u64, phase: &'static str) {
+        let span = self.current_span();
+        self.push(span, t_ns, EventKind::PhaseBegin { phase });
+    }
+
+    /// Records a phase sub-span closing (duration carried on the event, so
+    /// aggregation survives a dropped `PhaseBegin`).
+    pub fn phase_end(&mut self, t_ns: u64, phase: &'static str, dur_ns: u64) {
+        let span = self.current_span();
+        self.push(span, t_ns, EventKind::PhaseEnd { phase, dur_ns });
+    }
+
     /// Returns the buffered events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &Event> {
         self.events.iter()
@@ -265,6 +299,7 @@ impl Tracer {
                         verbs: Vec::new(),
                         faults: 0,
                         wire_bytes: 0,
+                        phase_ns: Vec::new(),
                     });
                 }
                 EventKind::SpanEnd { ok } => {
@@ -298,7 +333,21 @@ impl Tracer {
                         spans[i].faults += 1;
                     }
                 }
+                EventKind::PhaseBegin { .. } => {}
+                EventKind::PhaseEnd { phase, dur_ns } => {
+                    if let Some(&i) = index.get(&ev.span) {
+                        let s = &mut spans[i];
+                        s.end_ns = s.end_ns.max(ev.t_ns);
+                        match s.phase_ns.iter_mut().find(|(p, _)| p == phase) {
+                            Some((_, ns)) => *ns += dur_ns,
+                            None => s.phase_ns.push((phase, *dur_ns)),
+                        }
+                    }
+                }
             }
+        }
+        for s in &mut spans {
+            s.phase_ns.sort_unstable_by_key(|(p, _)| *p);
         }
         spans
     }
@@ -340,6 +389,8 @@ pub struct SpanSummary {
     pub faults: u64,
     /// Total wire bytes of the span's verbs.
     pub wire_bytes: u64,
+    /// Inclusive nanoseconds per phase sub-span, sorted by phase name.
+    pub phase_ns: Vec<(&'static str, u64)>,
 }
 
 impl SpanSummary {
@@ -424,6 +475,33 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].verbs.len(), 2, "outer gets read + cas");
         assert_eq!(spans[1].verbs.len(), 1, "inner gets write");
+    }
+
+    #[test]
+    fn phase_subspans_aggregate_per_span() {
+        let mut t = Tracer::new(0, 64);
+        let s = t.begin_span("search", 3, 0);
+        t.phase_begin(0, "traversal");
+        t.verb(0, 2_000, "read", 0, 1, 64, 1);
+        t.phase_end(2_000, "traversal", 2_000);
+        t.phase_begin(2_000, "leaf_read");
+        t.verb(2_000, 1_000, "read", 0, 2, 64, 1);
+        t.phase_end(3_000, "leaf_read", 1_000);
+        t.phase_begin(3_000, "traversal");
+        t.phase_end(3_500, "traversal", 500);
+        t.end_span(s, true, 3_500);
+
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].phase_ns,
+            vec![("leaf_read", 1_000), ("traversal", 2_500)]
+        );
+        // JSONL carries the typed events.
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.contains("\"ev\":\"phase_begin\""));
+        assert!(jsonl.contains("\"ev\":\"phase_end\""));
+        assert!(jsonl.contains("\"phase\":\"leaf_read\""));
     }
 
     #[test]

@@ -387,6 +387,10 @@ impl RangeIndex for ChimeLearnedClient {
         self.ep.stats()
     }
 
+    fn profile(&self) -> Option<&dmem::OpProfile> {
+        Some(self.ep.profile())
+    }
+
     fn clock_ns(&self) -> u64 {
         self.ep.clock_ns()
     }

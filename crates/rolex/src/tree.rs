@@ -474,6 +474,10 @@ impl RangeIndex for RolexClient {
         self.ep.stats()
     }
 
+    fn profile(&self) -> Option<&dmem::OpProfile> {
+        Some(self.ep.profile())
+    }
+
     fn clock_ns(&self) -> u64 {
         self.ep.clock_ns()
     }

@@ -656,6 +656,10 @@ impl RangeIndex for SmartClient {
         self.ep.stats()
     }
 
+    fn profile(&self) -> Option<&dmem::OpProfile> {
+        Some(self.ep.profile())
+    }
+
     fn clock_ns(&self) -> u64 {
         self.ep.clock_ns()
     }

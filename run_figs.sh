@@ -9,6 +9,11 @@ cd "$(dirname "$0")"
 B=./target/release
 OUT=results
 mkdir -p "$OUT"
+# Drop stale outputs first: a figure removed from this script must not leave
+# a ghost BENCH_*.json (or .txt) behind for the gate or explain to trip on.
+# baseline.json is the perf gate's reference and is refreshed by
+# `make baseline`, not here.
+rm -f "$OUT"/BENCH_*.json "$OUT"/*.txt
 export BENCH_OUT_DIR="$OUT"
 
 run() {
