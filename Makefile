@@ -2,12 +2,12 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint chaos perf-smoke baseline explain clean
+.PHONY: verify build test lint lint-chime chaos perf-smoke baseline explain clean
 
-# Tier-1 gate (build + tests) plus the clippy lint wall and a fixed-seed
-# chaos smoke run (deterministic fault injection with a
-# crash-while-holding-a-leaf-lock scenario).
-verify: build test lint chaos
+# Tier-1 gate (build + tests) plus the clippy lint wall, the protocol-aware
+# chime-lint pass, and a fixed-seed chaos smoke run (deterministic fault
+# injection with a crash-while-holding-a-leaf-lock scenario).
+verify: build test lint lint-chime chaos
 
 build:
 	$(CARGO) build --release
@@ -17,6 +17,11 @@ test:
 
 lint:
 	$(CARGO) clippy --all-targets -- -D warnings
+
+# Protocol-aware static analysis (lock-word layout, masked-CAS discipline,
+# phase balance, determinism); writes the machine-readable report too.
+lint-chime:
+	$(CARGO) run --release -q -p analyzer --bin chime-lint -- --root . --json results/lint.json
 
 chaos:
 	$(CARGO) test -p chime --test chaos -q

@@ -1,0 +1,486 @@
+//! A comment- and string-aware Rust lexer.
+//!
+//! The analyzer does not need a full parser: every rule it enforces is
+//! expressible over a token stream with brace structure, as long as the
+//! stream never confuses code with the contents of comments, string
+//! literals, or char literals. This lexer produces exactly that: a vector
+//! of *code* tokens (identifiers, punctuation, literals) and a separate
+//! vector of comments, each tagged with its 1-based source line.
+//!
+//! Handled Rust syntax that naive scanners get wrong:
+//!
+//! * nested block comments (`/* /* */ */`);
+//! * raw strings with arbitrary hash counts (`r#"..."#`, `br##"..."##`);
+//! * byte strings and byte chars (`b"..."`, `b'x'`);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escaped chars;
+//! * numeric literals with underscores, radix prefixes and type suffixes.
+
+/// The kind of a code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `masked_cas`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `{`, `?`, ...).
+    Punct,
+    /// Integer or float literal, verbatim (`0x3FF`, `10_000u64`, `1.5`).
+    Num,
+    /// String, raw-string or byte-string literal (contents opaque).
+    Str,
+    /// Char or byte-char literal (contents opaque).
+    Char,
+    /// A lifetime (`'a`, `'static`), label included.
+    Lifetime,
+}
+
+/// One code token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Verbatim text for `Ident`/`Num`/`Punct`; empty for opaque literals.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One comment (line or block, doc or plain).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including its delimiters.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based line of the comment's last character.
+    pub end_line: u32,
+    /// Whether the comment is the first non-whitespace on its line.
+    pub owns_line: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order, comments stripped.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into code tokens and comments. Unterminated constructs are
+/// tolerated (consumed to end of input) so the linter never panics on
+/// malformed input.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // True until a non-whitespace byte is seen on the current line.
+    let mut at_line_start = true;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                at_line_start = true;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    end_line: line,
+                    owns_line: at_line_start,
+                });
+                at_line_start = false;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let owns = at_line_start;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i.min(src.len())].to_string(),
+                    line: start_line,
+                    end_line: line,
+                    owns_line: owns,
+                });
+                at_line_start = false;
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                at_line_start = false;
+            }
+            b'r' | b'b' if starts_string_prefix(b, i) => {
+                let tok_line = line;
+                let (end, kind) = skip_prefixed_literal(b, i, &mut line);
+                i = end;
+                out.toks.push(Tok {
+                    kind,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                at_line_start = false;
+            }
+            b'\'' => {
+                let tok_line = line;
+                if let Some(end) = char_literal_end(b, i) {
+                    i = end;
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                } else {
+                    // Lifetime or loop label: 'ident
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line: tok_line,
+                    });
+                }
+                at_line_start = false;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let tok_line = line;
+                i = skip_number(b, i);
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                });
+                at_line_start = false;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let tok_line = line;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                });
+                at_line_start = false;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                at_line_start = false;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts a raw/byte string or byte-char prefix
+/// (`r"`, `r#`, `b"`, `b'`, `br"`, `br#`).
+fn starts_string_prefix(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a plain string literal starting at the opening quote; returns the
+/// index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` or `b'x'` starting at
+/// the prefix; returns (end index, token kind).
+fn skip_prefixed_literal(b: &[u8], mut i: usize, line: &mut u32) -> (usize, TokKind) {
+    let mut raw = false;
+    if b[i] == b'b' {
+        i += 1;
+        if i < b.len() && b[i] == b'\'' {
+            // Byte char: b'x' or b'\n'
+            i += 1;
+            if i < b.len() && b[i] == b'\\' {
+                i += 2;
+            } else {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'\'' {
+                i += 1;
+            }
+            return (i, TokKind::Char);
+        }
+    }
+    if i < b.len() && b[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while i < b.len() && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'"' {
+            i += 1;
+            // Scan for `"` followed by `hashes` hash characters.
+            while i < b.len() {
+                if b[i] == b'\n' {
+                    *line += 1;
+                    i += 1;
+                } else if b[i] == b'"' && b[i + 1..].len() >= hashes
+                    && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+                {
+                    return (i + 1 + hashes, TokKind::Str);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        (i, TokKind::Str)
+    } else {
+        (skip_string(b, i, line), TokKind::Str)
+    }
+}
+
+/// Returns the end index of a char literal starting at `'`, or `None` if
+/// this is a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let next = *b.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: '\n', '\u{...}', '\''
+        let mut j = i + 2;
+        if b.get(j) == Some(&b'u') && b.get(j + 1) == Some(&b'{') {
+            j += 2;
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'\'') {
+            return Some(j + 1);
+        }
+        return None;
+    }
+    // 'x' is a char literal; 'x (no closing quote right after one scalar)
+    // is a lifetime. Handle multi-byte UTF-8 scalars.
+    let width = utf8_width(next);
+    if b.get(i + 1 + width) == Some(&b'\'') {
+        // 'a' — but only if the content is not itself a quote ('' is not
+        // a char literal).
+        if next != b'\'' {
+            return Some(i + 1 + width + 1);
+        }
+    }
+    None
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+         0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Skips a numeric literal (int or float, any radix, suffixes allowed).
+fn skip_number(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        let c = b[i];
+        let continues = c.is_ascii_alphanumeric()
+            || c == b'_'
+            || (c == b'.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()))
+            || ((c == b'+' || c == b'-')
+                && matches!(b.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E')));
+        if !continues {
+            break;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses an integer literal token (`0x3FF`, `0b11`, `10_000u64`, `45`)
+/// into its value. Returns `None` for floats or malformed literals.
+pub fn int_value(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let t = t
+        .trim_end_matches("usize")
+        .trim_end_matches("isize")
+        .trim_end_matches("u128")
+        .trim_end_matches("i128")
+        .trim_end_matches("u64")
+        .trim_end_matches("i64")
+        .trim_end_matches("u32")
+        .trim_end_matches("i32")
+        .trim_end_matches("u16")
+        .trim_end_matches("i16")
+        .trim_end_matches("u8")
+        .trim_end_matches("i8");
+    if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).ok()
+    } else if let Some(o) = t.strip_prefix("0o") {
+        u64::from_str_radix(o, 8).ok()
+    } else if let Some(bits) = t.strip_prefix("0b") {
+        u64::from_str_radix(bits, 2).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let l = lex("let x = \"Instant::now()\"; // thread_rng here\n/* HashMap */ y");
+        assert_eq!(idents("let x = \"Instant::now()\";"), vec!["let", "x"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("thread_rng"));
+        assert!(!l.toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(l.toks.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex("let s = r#\"a \" quote Instant::now \"# ; next");
+        assert!(!l.toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(l.toks.iter().any(|t| t.is_ident("next")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let l = lex("let b = b\"bytes\"; let c = b'\\''; let d = b'x'; after");
+        assert!(l.toks.iter().any(|t| t.is_ident("after")));
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ code"), vec!["code"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let l = lex("a\nb\n  c // tail\nd");
+        let lines: Vec<u32> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2, 3, 4]);
+        assert_eq!(l.comments[0].line, 3);
+        assert!(!l.comments[0].owns_line);
+    }
+
+    #[test]
+    fn int_values_parse() {
+        assert_eq!(int_value("0x3FF"), Some(0x3FF));
+        assert_eq!(int_value("0b11"), Some(3));
+        assert_eq!(int_value("10_000u64"), Some(10_000));
+        assert_eq!(int_value("45"), Some(45));
+        assert_eq!(int_value("1"), Some(1));
+        assert_eq!(int_value("1.5"), None);
+    }
+
+    #[test]
+    fn numeric_literals_with_suffix_then_method() {
+        let l = lex("0u64.to_le_bytes()");
+        assert_eq!(l.toks[0].text, "0u64");
+        assert!(l.toks.iter().any(|t| t.is_ident("to_le_bytes")));
+    }
+}

@@ -1,0 +1,78 @@
+//! The `chime-lint` binary.
+//!
+//! ```text
+//! chime-lint [--root DIR] [--json PATH] [--quiet]
+//! ```
+//!
+//! Lints the workspace's production sources (`crates/*/src/**/*.rs`),
+//! prints the sorted human-readable report to stdout and, with
+//! `--json`, writes the byte-deterministic machine-readable report.
+//! Exit code 0 when clean, 1 when findings survive suppression, 2 on
+//! usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--quiet" => quiet = true,
+            "--rules" => {
+                for r in analyzer::rules::RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match analyzer::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chime-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &json_out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("chime-lint: cannot create {}: {e}", parent.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("chime-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet || !report.findings.is_empty() {
+        print!("{}", report.to_text());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("chime-lint: {err}\nusage: chime-lint [--root DIR] [--json PATH] [--quiet] [--rules]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,156 @@
+//! Findings, deterministic ordering, and the text/JSON renderings.
+//!
+//! Output determinism is part of the contract (the JSON report is diffed
+//! byte-for-byte in CI): findings are sorted by `(file, line, rule,
+//! message)`, object keys are emitted in a fixed order, and nothing
+//! time- or environment-dependent is ever included.
+
+use obs::json::Json;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`determinism`, `lock-discipline`, ...).
+    pub rule: &'static str,
+    /// File path relative to the lint root, forward slashes.
+    pub file: String,
+    /// 1-based line the finding anchors to.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings (suppressed ones are dropped before they land
+    /// here), sorted.
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+    /// Number of suppression comments that matched a finding.
+    pub suppressions_honored: usize,
+}
+
+impl Report {
+    /// Sorts findings into the canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule, a.message.as_str())
+                .cmp(&(b.file.as_str(), b.line, b.rule, b.message.as_str()))
+        });
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "chime-lint: {} finding(s), {} file(s) scanned, {} suppression(s) honored\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.suppressions_honored
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report (pretty JSON, byte-identical
+    /// for identical inputs).
+    pub fn to_json(&self) -> String {
+        let findings: Vec<Json> = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("rule", Json::from(f.rule)),
+                    ("file", Json::from(f.file.as_str())),
+                    ("line", Json::from(f.line as u64)),
+                    ("message", Json::from(f.message.as_str())),
+                ])
+            })
+            .collect();
+        // Per-rule counts, sorted by rule id.
+        let mut counts: Vec<(&'static str, u64)> = Vec::new();
+        for f in &self.findings {
+            match counts.iter_mut().find(|(r, _)| *r == f.rule) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((f.rule, 1)),
+            }
+        }
+        counts.sort();
+        let counts_json: Vec<Json> = counts
+            .iter()
+            .map(|(r, n)| Json::obj(vec![("rule", Json::from(*r)), ("count", Json::from(*n))]))
+            .collect();
+        Json::obj(vec![
+            ("tool", Json::from("chime-lint")),
+            ("schema", Json::from(1u64)),
+            ("files_scanned", Json::from(self.files_scanned as u64)),
+            (
+                "suppressions_honored",
+                Json::from(self.suppressions_honored as u64),
+            ),
+            ("counts", Json::Arr(counts_json)),
+            ("findings", Json::Arr(findings)),
+        ])
+        .to_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn sorted_text_and_counts() {
+        let mut r = Report {
+            findings: vec![
+                f("b-rule", "z.rs", 1, "zzz"),
+                f("a-rule", "a.rs", 9, "x"),
+                f("a-rule", "a.rs", 3, "y"),
+            ],
+            files_scanned: 2,
+            suppressions_honored: 1,
+        };
+        r.sort();
+        let text = r.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("a.rs:3"));
+        assert!(lines[1].starts_with("a.rs:9"));
+        assert!(lines[2].starts_with("z.rs:1"));
+        assert!(lines[3].contains("3 finding(s)"));
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        let parsed = obs::json::parse(&json).unwrap();
+        assert_eq!(parsed.get("findings").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(parsed.get("counts").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let mk = || {
+            let mut r = Report {
+                findings: vec![f("r", "x.rs", 2, "m"), f("r", "x.rs", 1, "m")],
+                files_scanned: 1,
+                suppressions_honored: 0,
+            };
+            r.sort();
+            r.to_json()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,229 @@
+//! R1 `determinism` — no wall clocks, ambient RNGs, sleeps, or
+//! order-sensitive hash-map iteration in production code.
+//!
+//! The repo's headline guarantee (byte-identical traces, metrics and
+//! BENCH JSON for identical seeds) dies silently the first time a
+//! wall-clock read or a `HashMap` iteration order leaks into an export.
+//! Production library code must use the simulator's virtual clock and
+//! seeded RNGs, and must iterate only ordered containers (or sort first).
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+use super::is_call;
+
+/// `A::b` call chains that read ambient nondeterminism.
+const FORBIDDEN_PATHS: &[(&str, &str, &str)] = &[
+    (
+        "Instant",
+        "now",
+        "`Instant::now` reads the wall clock; use the endpoint's virtual clock",
+    ),
+    (
+        "SystemTime",
+        "now",
+        "`SystemTime::now` reads the wall clock; use the endpoint's virtual clock",
+    ),
+    (
+        "thread",
+        "sleep",
+        "`thread::sleep` stalls on wall time; charge the virtual clock (e.g. seeded backoff) instead",
+    ),
+];
+
+/// Methods whose results depend on `HashMap`/`HashSet` iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Runs the rule.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !file.is_production(i) {
+            continue;
+        }
+        // Path calls: `Instant :: now (`
+        for &(head, tail, msg) in FORBIDDEN_PATHS {
+            if toks[i].is_ident(head)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident(tail))
+            {
+                out.push(Finding {
+                    rule: "determinism",
+                    file: file.rel_path.clone(),
+                    line: toks[i].line,
+                    message: msg.to_string(),
+                });
+            }
+        }
+        // Bare ambient-RNG constructors.
+        if is_call(toks, i, "thread_rng") || is_call(toks, i, "random") {
+            out.push(Finding {
+                rule: "determinism",
+                file: file.rel_path.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "`{}` draws from an ambient RNG; use a seeded `SmallRng`",
+                    toks[i].text
+                ),
+            });
+        }
+    }
+
+    // Order-sensitive iteration over values declared with a hash-map type.
+    let tracked = tracked_hash_names(file);
+    if tracked.is_empty() {
+        return;
+    }
+    for i in 0..toks.len() {
+        if !file.is_production(i) {
+            continue;
+        }
+        // `name . iter_method (`
+        if toks[i].kind == crate::lexer::TokKind::Ident
+            && tracked.iter().any(|(n, _)| n == &toks[i].text)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| ITER_METHODS.iter().any(|m| t.is_ident(m)))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            let ty = tracked
+                .iter()
+                .find(|(n, _)| n == &toks[i].text)
+                .map(|(_, t)| t.as_str())
+                .unwrap_or("HashMap");
+            out.push(Finding {
+                rule: "determinism",
+                file: file.rel_path.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "`.{}()` on `{}`-typed `{}` iterates in nondeterministic order; sort first or use an ordered container",
+                    toks[i + 2].text, ty, toks[i].text
+                ),
+            });
+        }
+    }
+    // `for pat in <expr mentioning a tracked name> { ... }`
+    for lp in &file.loops {
+        if !toks[lp.toks.0].is_ident("for") || !file.is_production(lp.toks.0) {
+            continue;
+        }
+        let Some(in_idx) = (lp.toks.0..lp.toks.1).find(|&j| toks[j].is_ident("in")) else {
+            continue;
+        };
+        let Some(open) = (in_idx..lp.toks.1).find(|&j| toks[j].is_punct('{')) else {
+            continue;
+        };
+        for j in in_idx + 1..open {
+            if let Some((name, ty)) = tracked.iter().find(|(n, _)| toks[j].is_ident(n)) {
+                // `map.len()`-style calls in range expressions are fine;
+                // only flag when the tracked value itself is iterated
+                // (not followed by a field/method access that was already
+                // handled or is order-insensitive).
+                if toks.get(j + 1).is_some_and(|t| t.is_punct('.')) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "determinism",
+                    file: file.rel_path.clone(),
+                    line: toks[lp.toks.0].line,
+                    message: format!(
+                        "`for` over `{ty}`-typed `{name}` iterates in nondeterministic order; sort first or use an ordered container"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Collects names declared with a `HashMap`/`HashSet` type, from type
+/// annotations (`name: HashMap<...>`, struct fields, params) and from
+/// `let name = HashMap::new()`-style initializers.
+fn tracked_hash_names(file: &SourceFile) -> Vec<(String, String)> {
+    let toks = &file.toks;
+    let mut tracked: Vec<(String, String)> = Vec::new();
+    let mut add = |name: &str, ty: &str| {
+        if !tracked.iter().any(|(n, _)| n == name) {
+            tracked.push((name.to_string(), ty.to_string()));
+        }
+    };
+    for i in 0..toks.len() {
+        // `name : ... HashMap < ...` — scan the annotation until a
+        // top-level terminator, tracking angle-bracket depth so generic
+        // arguments don't end the type early.
+        if toks[i].kind == crate::lexer::TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && !(i > 0 && toks[i - 1].is_punct(':'))
+        {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if depth == 0
+                    && (t.is_punct(',')
+                        || t.is_punct(';')
+                        || t.is_punct('=')
+                        || t.is_punct(')')
+                        || t.is_punct('{')
+                        || t.is_punct('}'))
+                {
+                    break;
+                } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                    add(&toks[i].text, &t.text);
+                }
+                j += 1;
+            }
+        }
+        // `let [mut] name = ... HashMap ... ;`
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name_tok) = toks.get(j) else { continue };
+            if name_tok.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            if !toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                continue; // annotated lets are covered by the `:` pattern
+            }
+            let mut k = j + 2;
+            let mut depth = 0i32;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                    add(&name_tok.text, &t.text);
+                }
+                k += 1;
+            }
+        }
+    }
+    tracked
+}

@@ -1,0 +1,223 @@
+//! R5 `lockword-layout` — the packed lock-word bit fields must be
+//! disjoint, in-range, and in their documented positions.
+//!
+//! CHIME packs four fields into the node's 8-byte lock word (Fig. 8–9):
+//! the lock bit (bit 0), `argmax_keys` (bits 1..=10), the 45-bit vacancy
+//! bitmap (bits 11..=55) and the lease epoch (bits 56..=63). The whole
+//! synchronization protocol — masked-CAS acquisition with `cmask = 0x1`,
+//! vacancy piggybacking in the returned old value, full-word reclaim CAS
+//! — silently corrupts neighbours if any `*_SHIFT`/`*_MASK` constant
+//! drifts. This rule parses the constants out of `lockword.rs` and
+//! re-derives the layout.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{int_value, TokKind};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// The constants the layout is derived from.
+const REQUIRED: &[&str] = &[
+    "LOCK_BIT",
+    "ARGMAX_SHIFT",
+    "ARGMAX_MASK",
+    "VACANCY_SHIFT",
+    "VACANCY_BITS",
+    "EPOCH_SHIFT",
+    "EPOCH_MASK",
+];
+
+/// One derived bit field.
+struct Field {
+    name: &'static str,
+    /// Field mask within the 64-bit word.
+    mask: u64,
+    /// Line of the constant the field is anchored to (for findings).
+    line: u32,
+    /// The documented mask this field must equal.
+    expected: u64,
+}
+
+/// Runs the rule (applies only to files named `lockword.rs`).
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file
+        .rel_path
+        .rsplit('/')
+        .next()
+        .is_none_or(|f| f != "lockword.rs")
+    {
+        return;
+    }
+    let consts = parse_consts(file);
+    let mut missing = false;
+    for name in REQUIRED {
+        if !consts.contains_key(*name) {
+            missing = true;
+            out.push(Finding {
+                rule: "lockword-layout",
+                file: file.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "lock-word constant `{name}` not found; the layout cannot be verified"
+                ),
+            });
+        }
+    }
+    if missing {
+        return;
+    }
+    let get = |n: &str| consts[n];
+
+    // Derive the four field masks. `checked_shl`/multiply guards catch
+    // fields pushed past bit 63.
+    let mut fields: Vec<Field> = Vec::new();
+    let mut push_field = |name: &'static str,
+                          mask: u64,
+                          shift: u64,
+                          anchor: (u64, u32),
+                          expected: u64,
+                          out: &mut Vec<Finding>| {
+        if shift >= 64 || (mask != 0 && mask.leading_zeros() < shift as u32) {
+            out.push(Finding {
+                rule: "lockword-layout",
+                file: file.rel_path.clone(),
+                line: anchor.1,
+                message: format!(
+                    "`{name}` field (mask {mask:#x} << {shift}) does not fit in the 64-bit lock word"
+                ),
+            });
+        } else {
+            fields.push(Field {
+                name,
+                mask: mask << shift,
+                line: anchor.1,
+                expected,
+            });
+        }
+    };
+
+    push_field("lock", get("LOCK_BIT").0, 0, get("LOCK_BIT"), 0x1, out);
+    push_field(
+        "argmax",
+        get("ARGMAX_MASK").0,
+        get("ARGMAX_SHIFT").0,
+        get("ARGMAX_SHIFT"),
+        0x3FF << 1,
+        out,
+    );
+    let vac_bits = get("VACANCY_BITS").0;
+    let vac_mask = if vac_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << vac_bits) - 1
+    };
+    push_field(
+        "vacancy",
+        vac_mask,
+        get("VACANCY_SHIFT").0,
+        get("VACANCY_SHIFT"),
+        ((1u64 << 45) - 1) << 11,
+        out,
+    );
+    push_field(
+        "epoch",
+        get("EPOCH_MASK").0,
+        get("EPOCH_SHIFT").0,
+        get("EPOCH_SHIFT"),
+        0xFFu64 << 56,
+        out,
+    );
+
+    // Pairwise disjointness, anchored at the later field's constant.
+    for a in 0..fields.len() {
+        for b in a + 1..fields.len() {
+            let overlap = fields[a].mask & fields[b].mask;
+            if overlap != 0 {
+                out.push(Finding {
+                    rule: "lockword-layout",
+                    file: file.rel_path.clone(),
+                    line: fields[b].line,
+                    message: format!(
+                        "lock-word fields `{}` and `{}` overlap on bits {:#x}; packed fields must be disjoint",
+                        fields[a].name, fields[b].name, overlap
+                    ),
+                });
+            }
+        }
+    }
+
+    // Documented positions (Fig. 8–9: bit 0 / 1..=10 / 11..=55 / 56..=63).
+    for f in &fields {
+        if f.mask != f.expected {
+            out.push(Finding {
+                rule: "lockword-layout",
+                file: file.rel_path.clone(),
+                line: f.line,
+                message: format!(
+                    "`{}` field occupies {} but the documented layout is {}",
+                    f.name,
+                    bit_range(f.mask),
+                    bit_range(f.expected)
+                ),
+            });
+        }
+    }
+}
+
+/// Human description of a mask's bit positions.
+fn bit_range(mask: u64) -> String {
+    if mask == 0 {
+        return "no bits".to_string();
+    }
+    let lo = mask.trailing_zeros();
+    let hi = 63 - mask.leading_zeros();
+    // Note a non-contiguous mask explicitly.
+    let contiguous = mask == ((1u128 << (hi + 1)) - (1u128 << lo)) as u64;
+    if contiguous {
+        if lo == hi {
+            format!("bit {lo}")
+        } else {
+            format!("bits {lo}..={hi}")
+        }
+    } else {
+        format!("non-contiguous bits within {lo}..={hi} (mask {mask:#x})")
+    }
+}
+
+/// Parses `const NAME: <ty> = <int literal>;` items, returning
+/// `name -> (value, line)`.
+fn parse_consts(file: &SourceFile) -> BTreeMap<String, (u64, u32)> {
+    let toks = &file.toks;
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("const") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i + 1].line;
+            // Find `=` then the value tokens up to `;`.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('=') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct('=')) {
+                let mut vals = Vec::new();
+                let mut k = j + 1;
+                while k < toks.len() && !toks[k].is_punct(';') {
+                    vals.push(k);
+                    k += 1;
+                }
+                // Only single-literal constants participate; derived
+                // constants (e.g. the const assertions) are ignored.
+                if vals.len() == 1 && toks[vals[0]].kind == TokKind::Num {
+                    if let Some(v) = int_value(&toks[vals[0]].text) {
+                        out.insert(name, (v, line));
+                    }
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,111 @@
+//! R3 `lock-discipline` — lock acquisitions must be released and retry
+//! loops must back off.
+//!
+//! Two clauses, both scoped to the masked-CAS lock-acquire verb
+//! (`masked_cas(addr, 0, 1, 1, 1)`, the Fig. 8 protocol):
+//!
+//! 1. **release** — a function that acquires the lock must also release
+//!    or reclaim it on some path (an `unlock`-family call, or a WRITE
+//!    whose target names the lock address). Protocol helpers whose name
+//!    declares the contract (`lock`, `acquire`, `unlock`, `reclaim`)
+//!    hand the obligation to their caller and are exempt.
+//! 2. **backoff** — a retry loop that issues masked-CAS verbs must
+//!    invoke the seeded backoff inside the loop; bare spinning turns one
+//!    conflict into a convoy and (worse) makes retry timing depend on
+//!    host scheduling.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+use super::{is_call, masked_cas_calls};
+
+/// Identifiers whose presence in a function counts as release/reclaim
+/// evidence.
+const RELEASE_IDENTS: &[&str] = &[
+    "unlock",
+    "unlock_writes",
+    "write_and_unlock",
+    "release",
+    "reclaim",
+    "reclaimed",
+];
+
+/// Name fragments that mark a function as a locking-protocol helper.
+const HELPER_FRAGMENTS: &[&str] = &["lock", "acquire", "reclaim"];
+
+/// Runs the rule.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+
+    // Clause 1: acquire implies release, per function.
+    for f in &file.fns {
+        if f.body.1 <= f.body.0 || !file.is_production(f.toks.0) {
+            continue;
+        }
+        if HELPER_FRAGMENTS.iter().any(|h| f.name.contains(h)) {
+            continue;
+        }
+        let acquires = masked_cas_calls(toks, f.body)
+            .into_iter()
+            .any(|c| c.is_acquire_shape(toks));
+        if !acquires {
+            continue;
+        }
+        let released = (f.body.0..f.body.1).any(|i| {
+            RELEASE_IDENTS.iter().any(|r| toks[i].is_ident(r))
+                || ((is_call(toks, i, "write") || is_call(toks, i, "write_batch"))
+                    && write_targets_lock(file, i))
+        });
+        if !released {
+            out.push(Finding {
+                rule: "lock-discipline",
+                file: file.rel_path.clone(),
+                line: f.line,
+                message: format!(
+                    "`{}` acquires the lock word with a masked-CAS but never releases or reclaims it; every exit path must unlock",
+                    f.name
+                ),
+            });
+        }
+    }
+
+    // Clause 2: masked-CAS retry loops must invoke the seeded backoff.
+    // Only the innermost loop containing each call is held responsible.
+    let mut flagged: Vec<u32> = Vec::new();
+    for c in masked_cas_calls(toks, (0, toks.len())) {
+        if !file.is_production(c.idx) {
+            continue;
+        }
+        let innermost = file
+            .loops
+            .iter()
+            .filter(|l| l.toks.0 <= c.idx && c.idx < l.toks.1)
+            .min_by_key(|l| l.toks.1 - l.toks.0);
+        let Some(lp) = innermost else { continue };
+        let has_backoff =
+            (lp.toks.0..lp.toks.1).any(|i| toks[i].text.to_ascii_lowercase().contains("backoff"));
+        if !has_backoff && !flagged.contains(&lp.line) {
+            flagged.push(lp.line);
+            out.push(Finding {
+                rule: "lock-discipline",
+                file: file.rel_path.clone(),
+                line: lp.line,
+                message: "retry loop issues a masked-CAS without invoking the seeded backoff; bare spinning convoys under contention".to_string(),
+            });
+        }
+    }
+}
+
+/// Whether the `write`/`write_batch` call at `i` mentions a lock-ish
+/// address in its arguments (e.g. `lock_addr`).
+fn write_targets_lock(file: &SourceFile, i: usize) -> bool {
+    let toks = &file.toks;
+    match crate::source::call_args(toks, i + 1) {
+        Some(args) => args.iter().any(|&(s, e)| {
+            toks[s..e]
+                .iter()
+                .any(|t| t.kind == crate::lexer::TokKind::Ident && t.text.contains("lock"))
+        }),
+        None => false,
+    }
+}

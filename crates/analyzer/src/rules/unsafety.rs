@@ -1,0 +1,39 @@
+//! R4 `unsafe-comment` — every `unsafe` block, impl or fn carries an
+//! adjacent justification.
+//!
+//! `dmem::region` is the only crate allowed to contain `unsafe` at all
+//! (the rest carry `#![forbid(unsafe_code)]`), and there every use must
+//! state *why* it is sound: a `// SAFETY:` comment (or a `# Safety` doc
+//! section for unsafe fns) within the few lines above the keyword.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// How many lines above the `unsafe` keyword the justification may end.
+const ADJACENCY_LINES: u32 = 6;
+
+/// Runs the rule.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("unsafe") || !file.is_production(i) {
+            continue;
+        }
+        let what = match toks.get(i + 1) {
+            Some(t) if t.is_ident("impl") => "unsafe impl",
+            Some(t) if t.is_ident("fn") => "unsafe fn",
+            Some(t) if t.is_ident("trait") => "unsafe trait",
+            _ => "unsafe block",
+        };
+        if !file.has_safety_comment_near(toks[i].line, ADJACENCY_LINES) {
+            out.push(Finding {
+                rule: "unsafe-comment",
+                file: file.rel_path.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "{what} without an adjacent `// SAFETY:` comment; state the invariant that makes it sound"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! R6 `verb-protocol` — masked-CAS call sites must use the documented
+//! mask shapes.
+//!
+//! The lock word supports exactly two masked-CAS protocols (Fig. 8–9):
+//!
+//! * **acquire** — `compare = 0, cmask = 0x1, swap = 1, smask = 0x1`:
+//!   only the lock bit participates, so the unknown vacancy/epoch bits
+//!   never fail the compare and ride back in the returned old value;
+//! * **full-word** — `cmask = smask = u64::MAX`: the reclaim takeover,
+//!   which must observe the *entire* stale word to be race-free.
+//!
+//! Anything in between compares or swaps a partial word and silently
+//! corrupts a neighbouring field when the layout shifts. Calls whose
+//! masks are not compile-time literals are outside this rule's reach
+//! (the simulator's property tests cover those).
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+use super::{group_int, masked_cas_calls};
+
+/// Runs the rule.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for c in masked_cas_calls(toks, (0, toks.len())) {
+        if !file.is_production(c.idx) || c.args.len() != 5 {
+            continue;
+        }
+        let compare = group_int(toks, c.args[1]);
+        let cmask = group_int(toks, c.args[2]);
+        let swap = group_int(toks, c.args[3]);
+        let smask = group_int(toks, c.args[4]);
+        let (Some(compare), Some(cmask), Some(swap), Some(smask)) = (compare, cmask, swap, smask)
+        else {
+            continue; // non-literal masks: not statically checkable
+        };
+        let acquire = compare == 0 && cmask == 1 && swap == 1 && smask == 1;
+        let full_word = cmask == u64::MAX && smask == u64::MAX;
+        if !acquire && !full_word {
+            out.push(Finding {
+                rule: "verb-protocol",
+                file: file.rel_path.clone(),
+                line: c.line,
+                message: format!(
+                    "masked-CAS masks (compare={compare:#x}, cmask={cmask:#x}, swap={swap:#x}, smask={smask:#x}) match neither the acquire protocol (compare=0, cmask=smask=0x1) nor the full-word reclaim protocol"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Per-file source model shared by all rules.
+//!
+//! Wraps the lexed token stream with the structure rules need:
+//!
+//! * **test regions** — `#[cfg(test)]` / `#[test]` items are exempt from
+//!   every rule (tests may sleep, spin, and iterate hash maps freely);
+//! * **function spans** — `fn` items with their body token ranges, for the
+//!   function-scoped protocol rules (phase balance, lock discipline);
+//! * **loop spans** — `loop`/`while`/`for` constructs including their
+//!   condition, for the retry-backoff rule;
+//! * **suppressions** — `// chime-lint: allow(rule, ...): reason` comments,
+//!   with the mandatory-reason grammar enforced here.
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+
+/// A half-open token range `[start, end)` into [`SourceFile::toks`].
+pub type TokRange = (usize, usize);
+
+/// A `fn` item and its body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the whole item (from `fn` to the closing brace).
+    pub toks: TokRange,
+    /// Token range of the body block, braces included. Empty for
+    /// body-less declarations (trait methods, extern fns).
+    pub body: TokRange,
+}
+
+/// A loop construct (`loop`, `while`, `for`), condition included.
+#[derive(Debug, Clone)]
+pub struct LoopSpan {
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+    /// Token range from the loop keyword through the body's closing brace.
+    pub toks: TokRange,
+}
+
+/// One parsed `chime-lint: allow(...)` suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules this comment suppresses.
+    pub rules: Vec<String>,
+    /// The line whose findings are suppressed.
+    pub target_line: u32,
+    /// Line of the comment itself (for diagnostics).
+    pub comment_line: u32,
+}
+
+/// A malformed suppression comment (missing reason or bad syntax).
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub why: String,
+}
+
+/// The analyzed form of one source file.
+pub struct SourceFile {
+    /// Path relative to the lint root, with forward slashes.
+    pub rel_path: String,
+    /// Code tokens.
+    pub toks: Vec<Tok>,
+    /// Comments.
+    pub comments: Vec<Comment>,
+    /// Whether the entire file is test/bench/example code.
+    pub all_test: bool,
+    /// Per-token flag: token belongs to a `#[cfg(test)]`/`#[test]` item.
+    pub test_tok: Vec<bool>,
+    /// Extracted functions, in source order.
+    pub fns: Vec<FnSpan>,
+    /// Extracted loops, in source order.
+    pub loops: Vec<LoopSpan>,
+    /// Valid suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed suppressions (reported by the engine).
+    pub bad_suppressions: Vec<BadSuppression>,
+}
+
+impl SourceFile {
+    /// Builds the model from file contents.
+    pub fn new(rel_path: String, src: &str) -> Self {
+        let Lexed { toks, comments } = lex(src);
+        let all_test = path_is_test(&rel_path);
+        let test_tok = mark_test_tokens(&toks, all_test);
+        let fns = extract_fns(&toks);
+        let loops = extract_loops(&toks);
+        let (suppressions, bad_suppressions) = parse_suppressions(&comments, &toks);
+        SourceFile {
+            rel_path,
+            toks,
+            comments,
+            all_test,
+            test_tok,
+            fns,
+            loops,
+            suppressions,
+            bad_suppressions,
+        }
+    }
+
+    /// Whether the token at `idx` is production (non-test) code.
+    pub fn is_production(&self, idx: usize) -> bool {
+        !self.all_test && !self.test_tok[idx]
+    }
+
+    /// Whether a `SAFETY:`/`# Safety` comment sits within `window` lines
+    /// at or above `line` (adjacency requirement of the unsafe rule).
+    pub fn has_safety_comment_near(&self, line: u32, window: u32) -> bool {
+        self.comments.iter().any(|c| {
+            (c.text.contains("SAFETY:") || c.text.contains("# Safety"))
+                && c.end_line <= line
+                && c.end_line + window >= line
+        })
+    }
+}
+
+/// Whole-file exemption: integration tests, benches, examples and build
+/// scripts are not production code.
+fn path_is_test(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.ends_with("build.rs")
+}
+
+/// Marks every token inside a `#[cfg(test)]` or `#[test]` item.
+fn mark_test_tokens(toks: &[Tok], all_test: bool) -> Vec<bool> {
+    let mut flags = vec![all_test; toks.len()];
+    if all_test {
+        return flags;
+    }
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && is_test_attr(toks, i) {
+            // Find the end of the attribute, then the item's brace block
+            // (or trailing `;` for item-less forms).
+            let attr_end = match skip_attr(toks, i) {
+                Some(e) => e,
+                None => break,
+            };
+            let mut j = attr_end;
+            let mut depth = 0i32;
+            let mut started = false;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                    started = true;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if started && depth == 0 {
+                        break;
+                    }
+                } else if toks[j].is_punct(';') && !started {
+                    break;
+                }
+                j += 1;
+            }
+            for f in flags.iter_mut().take((j + 1).min(toks.len())).skip(i) {
+                *f = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// Whether the attribute starting at `#` (index `i`) is `#[cfg(test)]`,
+/// `#[test]`, `#[tokio::test]`-like, or `#[cfg(any(test, ...))]`.
+fn is_test_attr(toks: &[Tok], i: usize) -> bool {
+    if !toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+        return false;
+    }
+    let end = match skip_attr(toks, i) {
+        Some(e) => e,
+        None => return false,
+    };
+    let inner = &toks[i + 2..end.saturating_sub(1)];
+    let mut has_test = false;
+    let mut has_cfg = false;
+    for t in inner {
+        if t.is_ident("test") {
+            has_test = true;
+        }
+        if t.is_ident("cfg") {
+            has_cfg = true;
+        }
+    }
+    has_test && (has_cfg || inner.first().is_some_and(|t| t.is_ident("test")))
+}
+
+/// Returns the index just past a `#[...]` attribute starting at `#`.
+fn skip_attr(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(i + 1) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts `fn` items with their body ranges.
+fn extract_fns(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            // `fn` in a function-pointer type (`fn(u64) -> u64`) has no
+            // name identifier after it.
+            let Some(name_tok) = toks.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            let line = toks[i].line;
+            // Scan forward for the body `{` (at zero paren/bracket depth)
+            // or a `;` meaning a body-less declaration.
+            let mut j = i + 2;
+            let mut pdepth = 0i32;
+            let mut body = (0usize, 0usize);
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    pdepth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    pdepth -= 1;
+                } else if t.is_punct(';') && pdepth == 0 {
+                    break;
+                } else if t.is_punct('{') && pdepth == 0 {
+                    let end = match_brace(toks, j);
+                    body = (j, end);
+                    j = end;
+                    break;
+                }
+                j += 1;
+            }
+            out.push(FnSpan {
+                name,
+                line,
+                toks: (i, j.min(toks.len())),
+                body,
+            });
+            // Continue scanning *inside* the function too (nested fns are
+            // rare but legal); step past the header only.
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Extracts loop constructs. `for` is only a loop when an `in` keyword
+/// appears before the body brace (distinguishes `impl T for U`).
+fn extract_loops(toks: &[Tok]) -> Vec<LoopSpan> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let is_loop_kw = t.is_ident("loop") || t.is_ident("while") || t.is_ident("for");
+        if !is_loop_kw {
+            continue;
+        }
+        // `while let` / closures in conditions: find the body `{` at zero
+        // paren depth.
+        let mut j = i + 1;
+        let mut pdepth = 0i32;
+        let mut saw_in = false;
+        let mut body_open = None;
+        while j < toks.len() {
+            let u = &toks[j];
+            if u.is_punct('(') || u.is_punct('[') {
+                pdepth += 1;
+            } else if u.is_punct(')') || u.is_punct(']') {
+                pdepth -= 1;
+            } else if u.is_ident("in") && pdepth == 0 {
+                saw_in = true;
+            } else if u.is_punct('{') && pdepth == 0 {
+                body_open = Some(j);
+                break;
+            } else if u.is_punct(';') && pdepth == 0 {
+                break; // `loop` used as an identifier? bail out
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else { continue };
+        if t.is_ident("for") && !saw_in {
+            continue; // `impl Trait for Type { ... }`
+        }
+        // `loop` must immediately precede its brace to be the keyword.
+        if t.is_ident("loop") && open != i + 1 {
+            continue;
+        }
+        let end = match_brace(toks, open);
+        out.push(LoopSpan {
+            line: t.line,
+            toks: (i, end),
+        });
+    }
+    out
+}
+
+/// Returns the index just past the brace block opening at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Parses `chime-lint:` suppression comments.
+///
+/// Grammar: `chime-lint: allow(rule[, rule]*): <non-empty reason>`.
+/// A comment that owns its line targets the next code line; a trailing
+/// comment targets its own line.
+fn parse_suppressions(
+    comments: &[Comment],
+    toks: &[Tok],
+) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let Some(body) = directive_text(&c.text) else {
+            continue;
+        };
+        let rest = body.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            bad.push(BadSuppression {
+                line: c.line,
+                why: "expected `chime-lint: allow(<rule>): <reason>`".into(),
+            });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad.push(BadSuppression {
+                line: c.line,
+                why: "unclosed `allow(` in suppression".into(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = args[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad.push(BadSuppression {
+                line: c.line,
+                why: "suppression names no rule".into(),
+            });
+            continue;
+        }
+        let after = args[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad.push(BadSuppression {
+                line: c.line,
+                why: "suppression reason is mandatory: `chime-lint: allow(<rule>): <reason>`"
+                    .into(),
+            });
+            continue;
+        }
+        let target_line = if c.owns_line {
+            // Next code line after the comment.
+            toks.iter()
+                .find(|t| t.line > c.end_line)
+                .map(|t| t.line)
+                .unwrap_or(c.line)
+        } else {
+            c.line
+        };
+        ok.push(Suppression {
+            rules,
+            target_line,
+            comment_line: c.line,
+        });
+    }
+    (ok, bad)
+}
+
+/// Returns the directive body when `text` is a *directive comment*: a
+/// plain (non-doc) comment whose content starts with `chime-lint:`. Doc
+/// comments and prose that merely mention the marker are not directives.
+fn directive_text(text: &str) -> Option<&str> {
+    let content = if let Some(rest) = text.strip_prefix("//") {
+        // `///` and `//!` are doc comments, never directives.
+        if rest.starts_with('/') || rest.starts_with('!') {
+            return None;
+        }
+        rest
+    } else if let Some(rest) = text.strip_prefix("/*") {
+        if rest.starts_with('*') || rest.starts_with('!') {
+            return None;
+        }
+        rest
+    } else {
+        return None;
+    };
+    content.trim_start().strip_prefix("chime-lint:")
+}
+
+/// Splits the argument tokens of a call whose `(` is at `open` into
+/// top-level comma-separated groups. Returns `None` when `open` is not an
+/// opening parenthesis.
+pub fn call_args(toks: &[Tok], open: usize) -> Option<Vec<TokRange>> {
+    if !toks.get(open)?.is_punct('(') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut groups = Vec::new();
+    let mut start = open + 1;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                if j > start {
+                    groups.push((start, j));
+                }
+                return Some(groups);
+            }
+        } else if t.is_punct(',') && depth == 1 {
+            groups.push((start, j));
+            start = j + 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs".into(), src)
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let f = sf("fn prod() { a(); }\n#[cfg(test)]\nmod tests {\n fn t() { b(); } }\nfn prod2() {}");
+        let a = f.toks.iter().position(|t| t.is_ident("a")).unwrap();
+        let b = f.toks.iter().position(|t| t.is_ident("b")).unwrap();
+        let p2 = f.toks.iter().position(|t| t.is_ident("prod2")).unwrap();
+        assert!(f.is_production(a));
+        assert!(!f.is_production(b));
+        assert!(f.is_production(p2));
+    }
+
+    #[test]
+    fn test_attr_fn_is_marked() {
+        let f = sf("#[test]\nfn check() { x(); }\nfn prod() { y(); }");
+        let x = f.toks.iter().position(|t| t.is_ident("x")).unwrap();
+        let y = f.toks.iter().position(|t| t.is_ident("y")).unwrap();
+        assert!(!f.is_production(x));
+        assert!(f.is_production(y));
+    }
+
+    #[test]
+    fn tests_dir_is_all_test() {
+        let f = SourceFile::new("crates/x/tests/props.rs".into(), "fn a() {}");
+        assert!(f.all_test);
+        assert!(!f.is_production(0));
+    }
+
+    #[test]
+    fn fn_extraction_with_bodies() {
+        let f = sf("fn a(x: u64) -> u64 { x }\ntrait T { fn b(&self); }\nfn c() { if y { } }");
+        let names: Vec<&str> = f.fns.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(f.fns[0].body.1 > f.fns[0].body.0);
+        assert_eq!(f.fns[1].body, (0, 0));
+        // c's body spans through the nested if block.
+        let (s, e) = f.fns[2].body;
+        assert!(f.toks[s..e].iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn loop_extraction_kinds() {
+        let f = sf(
+            "impl T for U { fn m(&self) { loop { a(); } while x { b(); } for i in 0..3 { c(); } } }",
+        );
+        assert_eq!(f.loops.len(), 3);
+    }
+
+    #[test]
+    fn while_condition_is_inside_loop_span() {
+        let f = sf("fn m() { while ep.cas(a, 0, 1) != 0 { spin(); } }");
+        let (s, e) = f.loops[0].toks;
+        assert!(f.toks[s..e].iter().any(|t| t.is_ident("cas")));
+    }
+
+    #[test]
+    fn suppression_grammar() {
+        let f = sf(
+            "// chime-lint: allow(determinism): test-only clock\nlet a = 1;\nlet b = 2; // chime-lint: allow(x, y): two rules\n// chime-lint: allow(determinism)\nlet c = 3;\n",
+        );
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rules, vec!["determinism"]);
+        assert_eq!(f.suppressions[0].target_line, 2);
+        assert_eq!(f.suppressions[1].rules, vec!["x", "y"]);
+        assert_eq!(f.suppressions[1].target_line, 3);
+        assert_eq!(f.bad_suppressions.len(), 1, "missing reason is malformed");
+    }
+
+    #[test]
+    fn call_args_split() {
+        let f = sf("ep.masked_cas(lock_addr, 0, 1, f(a, b), 0x3FF);");
+        let open = f.toks.iter().position(|t| t.is_punct('(')).unwrap();
+        let args = call_args(&f.toks, open).unwrap();
+        assert_eq!(args.len(), 5);
+        let last = &f.toks[args[4].0..args[4].1];
+        assert_eq!(last[0].text, "0x3FF");
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: every class of determinism violation R1 catches.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall_clock_epoch() -> u64 {
+    std::time::SystemTime::now().elapsed().unwrap().as_secs()
+}
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn export_counts(counts: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in counts.keys() {
+        out.push(k.clone());
+    }
+    out
+}
+
+pub fn drain_set(pending: HashSet<u64>) -> u64 {
+    let mut sum = 0;
+    for v in pending {
+        sum += v;
+    }
+    sum
+}

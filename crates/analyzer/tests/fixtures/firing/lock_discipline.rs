@@ -1,0 +1,10 @@
+//! Fixture: both lock-discipline clauses for R3 — an acquire with no
+//! release path, and a bare masked-CAS retry loop with no backoff.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+pub fn update(ep: &mut Endpoint, lock_addr: GlobalAddr) {
+    while ep.masked_cas(lock_addr, 0, 1, 1, 1) & 1 != 0 {
+        spin();
+    }
+    mutate(ep);
+}

@@ -1,0 +1,12 @@
+//! Fixture for R5: the file must be named `lockword.rs` for the rule to
+//! apply. `ARGMAX_MASK` is widened to 11 bits, so the argmax field both
+//! leaves its documented position and overlaps the vacancy bitmap.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+const LOCK_BIT: u64 = 1;
+const ARGMAX_SHIFT: u32 = 1;
+const ARGMAX_MASK: u64 = 0x7FF;
+const VACANCY_SHIFT: u32 = 11;
+pub const VACANCY_BITS: usize = 45;
+const EPOCH_SHIFT: u32 = 56;
+const EPOCH_MASK: u64 = 0xFF;

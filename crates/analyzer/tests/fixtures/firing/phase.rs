@@ -1,0 +1,20 @@
+//! Fixture: unbalanced and leaky phase frames for R2.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+pub fn unbalanced(ep: &mut Endpoint) {
+    ep.phase_begin("read");
+    work(ep);
+}
+
+pub fn leaky(ep: &mut Endpoint) -> Option<u64> {
+    ep.phase_begin("lookup");
+    let v = probe(ep)?;
+    ep.phase_end();
+    Some(v)
+}
+
+pub fn balanced(ep: &mut Endpoint) {
+    ep.phase_begin("write");
+    work(ep);
+    ep.phase_end();
+}

@@ -1,0 +1,12 @@
+//! Fixture: malformed suppression directives — each is itself a finding,
+//! and none of them can be suppressed.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+// chime-lint: allow(determinism)
+pub fn missing_reason() {}
+
+// chime-lint: allow(): forgot to name the rule
+pub fn missing_rule() {}
+
+// chime-lint: deny(determinism): wrong verb
+pub fn wrong_verb() {}

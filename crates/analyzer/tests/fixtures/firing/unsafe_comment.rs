@@ -1,0 +1,11 @@
+//! Fixture: an `unsafe` block with no adjacent justification for R4.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+pub fn peek_justified(p: *const u64) -> u64 {
+    // SAFETY: fixture; caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}

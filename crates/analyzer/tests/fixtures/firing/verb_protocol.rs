@@ -1,0 +1,17 @@
+//! Fixture: a masked-CAS whose masks match neither the acquire protocol
+//! nor the full-word reclaim protocol, for R6.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+pub fn partial_word_cas(ep: &mut Endpoint, addr: GlobalAddr) -> u64 {
+    ep.masked_cas(addr, 0, 0xFF, 1, 0xFF)
+}
+
+pub fn acquire_ok(ep: &mut Endpoint, addr: GlobalAddr) -> u64 {
+    let word = ep.masked_cas(addr, 0, 1, 1, 1);
+    ep.write(addr, &0u64.to_le_bytes());
+    word
+}
+
+pub fn reclaim_ok(ep: &mut Endpoint, addr: GlobalAddr, old: u64, next: u64) -> u64 {
+    ep.masked_cas(addr, old, u64::MAX, next, !0)
+}

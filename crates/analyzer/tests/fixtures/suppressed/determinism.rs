@@ -1,0 +1,30 @@
+//! Fixture: the same determinism violations, each suppressed with a
+//! reasoned `chime-lint` directive. Must lint clean.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // chime-lint: allow(determinism): fixture exercises the suppression path.
+    Instant::now()
+}
+
+pub fn nap() {
+    // chime-lint: allow(determinism): fixture exercises the suppression path.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn roll() -> u64 {
+    // chime-lint: allow(determinism): fixture exercises the suppression path.
+    let rng = thread_rng();
+    rng.gen()
+}
+
+pub fn export_counts(counts: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    // chime-lint: allow(determinism): fixture; caller sorts the result.
+    for k in counts.keys() {
+        out.push(k.clone());
+    }
+    out
+}

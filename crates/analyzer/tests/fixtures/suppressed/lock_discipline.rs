@@ -1,0 +1,10 @@
+//! Fixture: lock-discipline violations suppressed with reasons.
+
+// chime-lint: allow(lock-discipline): fixture; the caller unlocks through the recovery path.
+pub fn update(ep: &mut Endpoint, lock_addr: GlobalAddr) {
+    // chime-lint: allow(lock-discipline): fixture reproduces a baseline's bare spin loop.
+    while ep.masked_cas(lock_addr, 0, 1, 1, 1) & 1 != 0 {
+        spin();
+    }
+    mutate(ep);
+}

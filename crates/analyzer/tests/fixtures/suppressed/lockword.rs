@@ -1,0 +1,10 @@
+//! Fixture for R5 suppression: the same widened `ARGMAX_MASK` with
+//! reasoned directives on the anchor lines of both findings.
+
+const LOCK_BIT: u64 = 1;
+const ARGMAX_SHIFT: u32 = 1; // chime-lint: allow(lockword-layout): fixture keeps the widened mask deliberately.
+const ARGMAX_MASK: u64 = 0x7FF;
+const VACANCY_SHIFT: u32 = 11; // chime-lint: allow(lockword-layout): fixture; overlap is the point of the test.
+pub const VACANCY_BITS: usize = 45;
+const EPOCH_SHIFT: u32 = 56;
+const EPOCH_MASK: u64 = 0xFF;

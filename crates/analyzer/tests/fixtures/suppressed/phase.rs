@@ -1,0 +1,15 @@
+//! Fixture: phase-balance violations suppressed with reasons.
+
+// chime-lint: allow(phase-balance): fixture; the frame is closed by the paired finish() helper.
+pub fn unbalanced(ep: &mut Endpoint) {
+    ep.phase_begin("read");
+    work(ep);
+}
+
+// chime-lint: allow(phase-balance): fixture; probe() is infallible here so the `?` never fires.
+pub fn leaky(ep: &mut Endpoint) -> Option<u64> {
+    ep.phase_begin("lookup");
+    let v = probe(ep)?;
+    ep.phase_end();
+    Some(v)
+}

@@ -1,0 +1,6 @@
+//! Fixture: an unjustified `unsafe` block, suppressed with a reason.
+
+pub fn peek(p: *const u64) -> u64 {
+    // chime-lint: allow(unsafe-comment): fixture; soundness argued in the module header.
+    unsafe { *p }
+}

@@ -1,4 +1,6 @@
 //! Experiment harness library (figure runners live in `src/bin`).
+
+#![forbid(unsafe_code)]
 pub mod driver;
 pub mod explain;
 pub mod report;

@@ -10,6 +10,7 @@
 use dmem::versioned::{bump, pack_ver, Fetched};
 use dmem::{Endpoint, GlobalAddr};
 
+use crate::backoff::Backoff;
 use crate::layout::{internal_field as f, InternalLayout};
 
 /// A parsed internal node.
@@ -144,21 +145,22 @@ impl InternalOps {
         }
     }
 
-    /// Acquires the node's lock (plain CAS on bit 0), spinning remotely.
+    /// Acquires the node's lock (plain CAS on bit 0), retrying with the
+    /// same seeded exponential backoff the leaf path uses so contended
+    /// internal locks neither hammer the NIC nor depend on host timing.
     pub fn lock(&self, ep: &mut Endpoint, addr: GlobalAddr) {
         let lock_addr = addr.add(self.layout.lock_off() as u64);
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new(ep.client_id() as u64 ^ lock_addr.raw());
         loop {
             if ep.masked_cas(lock_addr, 0, 1, 1, 1) & 1 == 0 {
                 return;
             }
-            spins += 1;
-            if spins.is_multiple_of(64) {
-                // On an oversubscribed host the lock holder may be
-                // descheduled; yield so spins stay realistic.
-                std::thread::yield_now();
-            }
-            assert!(spins < 1_000_000, "internal lock livelock at {addr:?}");
+            ep.note_lock_retry();
+            backoff.wait(ep);
+            assert!(
+                backoff.attempts() < 1_000_000,
+                "internal lock livelock at {addr:?}"
+            );
         }
     }
 

@@ -781,7 +781,7 @@ impl LeafOps {
         evs: &[u8],
         nv: u8,
         meta: &LeafMeta,
-        dirty: &std::collections::HashSet<usize>,
+        dirty_set: &std::collections::HashSet<usize>,
         s: usize,
         t: usize,
         addr: GlobalAddr,
@@ -795,7 +795,7 @@ impl LeafOps {
             let off = self.layout.entry_off(i);
             let (key, value, bitmap) = w.slot(i);
             let rel = w.rel(i).unwrap();
-            let e = if dirty.contains(&i) {
+            let e = if dirty_set.contains(&i) {
                 bump(evs[rel])
             } else {
                 evs[rel]

@@ -20,6 +20,7 @@
 //!   ([`lockword`]) so survivors can reclaim a dead client's leaf lock
 //!   (opt-in via [`config::ChimeConfig::lock_lease_spins`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backoff;

@@ -35,6 +35,29 @@ const VACANCY_SHIFT: u32 = 11;
 const EPOCH_SHIFT: u32 = 56;
 const EPOCH_MASK: u64 = 0xFF;
 
+// Compile-time mirror of the `lockword-layout` lint: the four fields must
+// sit exactly at their documented positions (lock bit 0, argmax 1..=10,
+// vacancy 11..=55, epoch 56..=63) and never overlap. Editing a constant
+// above without keeping the layout coherent fails the build here before
+// `chime-lint` even runs.
+const LOCK_FIELD: u64 = LOCK_BIT;
+const ARGMAX_FIELD: u64 = ARGMAX_MASK << ARGMAX_SHIFT;
+const VACANCY_FIELD: u64 = ((1u64 << VACANCY_BITS) - 1) << VACANCY_SHIFT;
+const EPOCH_FIELD: u64 = EPOCH_MASK << EPOCH_SHIFT;
+const _: () = {
+    assert!(LOCK_FIELD == 0x1);
+    assert!(ARGMAX_FIELD == 0x3FF << 1);
+    assert!(VACANCY_FIELD == ((1u64 << 45) - 1) << 11);
+    assert!(EPOCH_FIELD == 0xFF << 56);
+    assert!(LOCK_FIELD & ARGMAX_FIELD == 0);
+    assert!(LOCK_FIELD & VACANCY_FIELD == 0);
+    assert!(LOCK_FIELD & EPOCH_FIELD == 0);
+    assert!(ARGMAX_FIELD & VACANCY_FIELD == 0);
+    assert!(ARGMAX_FIELD & EPOCH_FIELD == 0);
+    assert!(VACANCY_FIELD & EPOCH_FIELD == 0);
+    assert!(LOCK_FIELD | ARGMAX_FIELD | VACANCY_FIELD | EPOCH_FIELD == u64::MAX);
+};
+
 /// A decoded lock word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LockWord(pub u64);

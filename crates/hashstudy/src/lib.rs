@@ -12,6 +12,7 @@
 //! * **FaRM** — chained associative hopscotch with the chain disabled:
 //!   an item lives in bucket `h` or `h+1` (amp = `2b`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::SmallRng;

@@ -1,1 +1,3 @@
 //! Integration test anchor crate; tests live in /tests.
+
+#![forbid(unsafe_code)]

@@ -24,6 +24,7 @@
 //! Everything here is pure data handling: no wall clocks, no randomness, no
 //! hash-map iteration orders in any exported byte.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gate;

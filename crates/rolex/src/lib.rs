@@ -8,6 +8,7 @@
 //! amplification factor of 2x span) in one doorbell batch; overflow inserts
 //! chain synonym leaves off the owner leaf.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod learned_hop;

@@ -222,6 +222,7 @@ impl ShermanLeafOps {
     pub fn lock(&self, ep: &mut Endpoint, addr: GlobalAddr) {
         let lock_addr = addr.add(self.layout.lock_off() as u64);
         let mut spins = 0u32;
+        // chime-lint: allow(lock-discipline): Sherman baseline reproduces the paper's bare spin loop (no backoff).
         loop {
             if ep.masked_cas(lock_addr, 0, 1, 1, 1) & 1 == 0 {
                 return;

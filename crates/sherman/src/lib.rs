@@ -9,6 +9,7 @@
 //! the `chime` crate — CHIME is built on Sherman's internal-node design, so
 //! they are identical by construction.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod leaf;

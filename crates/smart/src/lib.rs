@@ -13,6 +13,7 @@
 //! back to the root); 8-byte values are updated in place with a single
 //! atomic-width WRITE.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod node;

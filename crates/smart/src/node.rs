@@ -255,6 +255,7 @@ impl ArtOps {
         }
         let lock_addr = addr.add(l.lock_offset() as u64);
         let mut spins = 0u32;
+        // chime-lint: allow(lock-discipline): SMART baseline reproduces the paper's bare spin loop (no backoff).
         while ep.masked_cas(lock_addr, 0, 1, 1, 1) & 1 != 0 {
             spins += 1;
             if spins.is_multiple_of(64) {
@@ -379,7 +380,9 @@ impl ArtOps {
     pub fn lock_node(&self, ep: &mut Endpoint, addr: GlobalAddr, ty: NodeType) -> bool {
         let lock_addr = addr.add(ty.lock_off() as u64);
         let mut spins = 0u32;
+        // chime-lint: allow(lock-discipline): SMART baseline reproduces the paper's bare spin loop (no backoff).
         loop {
+            // chime-lint: allow(verb-protocol): SMART's lock word packs lock (bit 0) and obsolete (bit 1); the 2-bit cmask is its documented protocol.
             let old = ep.masked_cas(lock_addr, 0, 0b11, 1, 1);
             if old & 0b10 != 0 {
                 return false;

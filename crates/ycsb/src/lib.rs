@@ -4,6 +4,7 @@
 //! scrambled Zipfian, latest, uniform) and the six workloads the paper
 //! evaluates (A/B/C/D/E/LOAD) over a deterministic hashed key space.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
