@@ -5,9 +5,10 @@ CARGO ?= cargo
 .PHONY: verify build test lint lint-chime chaos perf-smoke baseline explain clean
 
 # Tier-1 gate (build + tests) plus the clippy lint wall, the protocol-aware
-# chime-lint pass, and a fixed-seed chaos smoke run (deterministic fault
-# injection with a crash-while-holding-a-leaf-lock scenario).
-verify: build test lint lint-chime chaos
+# chime-lint pass, a fixed-seed chaos smoke run (deterministic fault
+# injection with a crash-while-holding-a-leaf-lock scenario, serial and
+# pipelined), and the perf gate (including the K=4 coroutine points).
+verify: build test lint lint-chime chaos perf-smoke
 
 build:
 	$(CARGO) build --release
@@ -24,17 +25,17 @@ lint-chime:
 	$(CARGO) run --release -q -p analyzer --bin chime-lint -- --root . --json results/lint.json
 
 chaos:
-	$(CARGO) test -p chime --test chaos -q
+	$(CARGO) test -p chime --test chaos --test chaos_pipelined -q
 
 # Fixed-seed micro-benchmark matrix compared against results/baseline.json;
 # fails on any tolerance-exceeding regression. The simulator's virtual clock
 # makes the numbers machine-independent.
 perf-smoke:
-	$(CARGO) run --release -p bench --bin perf_smoke
+	BENCH_OUT_DIR=results $(CARGO) run --release -p bench --bin perf_smoke
 
 # Refresh the perf baseline after an intentional performance change.
 baseline:
-	$(CARGO) run --release -p bench --bin perf_smoke -- --write-baseline
+	BENCH_OUT_DIR=results $(CARGO) run --release -p bench --bin perf_smoke -- --write-baseline
 
 # Attribute metric movement between two bench documents (BENCH_*.json or
 # baseline.json), e.g. `make explain OLD=results/baseline.json NEW=new.json`.

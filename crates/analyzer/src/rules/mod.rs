@@ -8,6 +8,7 @@ use crate::lexer::{int_value, Tok, TokKind};
 use crate::report::Finding;
 use crate::source::{call_args, SourceFile, TokRange};
 
+pub mod cq;
 pub mod determinism;
 pub mod layout;
 pub mod lockdiscipline;
@@ -24,6 +25,7 @@ pub const RULES: &[&str] = &[
     "unsafe-comment",
     "lockword-layout",
     "verb-protocol",
+    "cq-discipline",
     "suppression",
 ];
 
@@ -35,6 +37,7 @@ pub fn run_all(file: &SourceFile, out: &mut Vec<Finding>) {
     unsafety::check(file, out);
     layout::check(file, out);
     verbproto::check(file, out);
+    cq::check(file, out);
 }
 
 /// Whether the token at `i` is a *call* of the named function: an

@@ -1,0 +1,20 @@
+//! Fixture: leaked and abandoned WQE tickets for R7.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+pub fn leaked(qp: &mut Qp, now: u64) {
+    let _t = qp.post_wqe(now, 0, 1, 64);
+    other_work(qp);
+}
+
+pub fn abandoned(qp: &mut Qp, now: u64) -> Option<u64> {
+    let t = qp.post_wqe(now, 0, 1, 64);
+    let v = probe(qp)?;
+    let out = qp.poll_wqe(t);
+    Some(v + out.completion_ns)
+}
+
+pub fn disciplined(qp: &mut Qp, now: u64) -> u64 {
+    let t = qp.post_wqe(now, 0, 1, 64);
+    let out = qp.poll_wqe(t);
+    out.completion_ns
+}

@@ -1,0 +1,15 @@
+//! Fixture: cq-discipline violations suppressed with reasons.
+
+// chime-lint: allow(cq-discipline): fixture; the ticket is reaped by the caller's drain loop.
+pub fn leaked(qp: &mut Qp, now: u64) {
+    let _t = qp.post_wqe(now, 0, 1, 64);
+    other_work(qp);
+}
+
+// chime-lint: allow(cq-discipline): fixture; probe() is infallible here so the `?` never fires.
+pub fn abandoned(qp: &mut Qp, now: u64) -> Option<u64> {
+    let t = qp.post_wqe(now, 0, 1, 64);
+    let v = probe(qp)?;
+    let out = qp.poll_wqe(t);
+    Some(v + out.completion_ns)
+}

@@ -97,6 +97,14 @@ fn verb_protocol_fires_and_suppresses() {
 }
 
 #[test]
+fn cq_discipline_fires_and_suppresses() {
+    let r = assert_fires("firing/cq.rs", "cq-discipline", 2);
+    assert!(r.findings[0].message.contains("posts 1 WQE(s) but polls 0"));
+    assert!(r.findings[1].message.contains("abandons the outstanding completion"));
+    assert_suppressed("suppressed/cq.rs", 2);
+}
+
+#[test]
 fn malformed_suppressions_are_findings() {
     let r = assert_fires("firing/suppression.rs", "suppression", 3);
     assert_eq!(r.suppressions_honored, 0);

@@ -90,6 +90,7 @@ fn stream(pool: &std::sync::Arc<Pool>, base: GlobalAddr, reads: &[u64], ops: u64
         total_msgs: s.msgs,
         total_wire_bytes: s.wire_bytes,
         sum_latency_ns: ep.clock_ns() - t0,
+        sum_busy_ns: 0,
     };
     let est = NetConfig::default().model(&acc);
     (est.mops, est.bytes_per_op)

@@ -1,0 +1,72 @@
+//! Coroutine sweep: modeled throughput vs lanes per client (K).
+//!
+//! CHIME (§6.1) runs its clients as threads + coroutines so independent
+//! operations overlap their RDMA round trips. This figure sweeps the
+//! engine's lane count K over uniform YCSB-C with 64 clients and reports
+//! the modeled throughput gain, the doorbell-batching profile, and the
+//! completion-queue depth the pipelining produces. K=1 goes through the
+//! ordinary serial path and anchors the baseline.
+//!
+//! Usage: `fig_coroutines [--preload N] [--ops N] [--clients N] [--coroutines K]`
+//! (`--coroutines 0`, the default, sweeps K = 1, 2, 4, 8).
+
+use bench::driver::{deploy, run_deployed, Args, BenchSetup, IndexKind};
+use bench::report::Report;
+use ycsb::Workload;
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let args = Args::parse();
+    let preload: u64 = args.get("preload", 100_000);
+    let ops: u64 = args.get("ops", 40_000);
+    let clients: usize = args.get("clients", 64);
+    let fixed_k: usize = args.get("coroutines", 0);
+    let ks: Vec<usize> = if fixed_k == 0 {
+        SWEEP.to_vec()
+    } else {
+        vec![fixed_k]
+    };
+
+    let mut rep = Report::new("fig_coroutines");
+    println!("# Coroutine sweep: uniform YCSB-C, {clients} clients, 2 CNs");
+    println!(
+        "{:<6} {:>10} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "K", "Mops", "gain", "p50 (us)", "doorbell/op", "batch mean", "cq p99"
+    );
+
+    let mut base_mops = 0.0f64;
+    for &k in &ks {
+        let setup = BenchSetup {
+            kind: IndexKind::Chime(chime::ChimeConfig::default()),
+            num_cns: 2,
+            clients,
+            coroutines: k,
+            preload,
+            ops,
+            mn_capacity: 512 << 20,
+            workload: Workload::C,
+            theta: 0.01, // uniform-ish: zipfian requires theta in (0,1)
+            ..Default::default()
+        };
+        // Fresh deployment per K: every point preloads identically, so the
+        // sweep isolates the pipelining effect (no warm-cache carry-over).
+        let mut dep = deploy(&setup);
+        let r = run_deployed(&setup, &mut dep);
+        if base_mops == 0.0 {
+            base_mops = r.mops;
+        }
+        let m = Report::flat_metrics(&r);
+        println!(
+            "{k:<6} {:>10.3} {:>7.2}x {:>10.2} {:>12.3} {:>12.2} {:>12.0}",
+            r.mops,
+            r.mops / base_mops,
+            r.p50_us,
+            m["qp.doorbells_per_op"],
+            m["doorbell.batch_mean"],
+            m["cq.depth_p99"],
+        );
+        rep.add(&format!("chime/c/{clients}/k{k}"), &r);
+    }
+    rep.finish();
+}

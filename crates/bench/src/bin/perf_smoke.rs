@@ -67,6 +67,22 @@ fn matrix() -> Vec<(String, BenchSetup)> {
             }
         }
     }
+    // Pipelined configuration: 4 coroutine lanes per client. Gates the
+    // engine's modeled overlap (throughput) and the cq_wait-inflated tail
+    // alongside the serial points.
+    for w in [Workload::C, Workload::A] {
+        let name = format!("chime/{}/64/k4", w.name().to_lowercase());
+        points.push((
+            name,
+            BenchSetup {
+                kind: IndexKind::Chime(chime::ChimeConfig::default()),
+                workload: w,
+                clients: 64,
+                coroutines: 4,
+                ..base.clone()
+            },
+        ));
+    }
     points
 }
 

@@ -12,10 +12,14 @@
 //! same-key reads/updates execute once and share the result.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use dmem::{Bound, ClientStats, Histogram, NetConfig, Pool, RangeIndex, RunAccounting};
+use dmem::{
+    Bound, ClientStats, CountHist, Histogram, NetConfig, Pool, QpConfig, QpStats, RangeIndex,
+    RunAccounting,
+};
 use obs::{HistogramSummary, LatencyHist, MetricsSnapshot, OpProfile, Phase, RetryCause};
+use sched::{Engine, EngineConfig, LaneBody};
 use ycsb::{KeySpace, Op, OpGen, Workload, WorkloadState};
 
 /// Op-type labels, indexed by the RDWC discriminant (read=0, update=1,
@@ -72,6 +76,11 @@ pub struct BenchSetup {
     pub value_size: usize,
     /// Model RDWC combining (on for every index, as in the paper).
     pub rdwc: bool,
+    /// Coroutine lanes per client (K). 1 runs clients strictly serially on
+    /// their virtual clocks; K > 1 multiplexes K pipelined lanes per client
+    /// through the deterministic coroutine engine, overlapping round trips
+    /// and doorbell-batching same-quantum verbs.
+    pub coroutines: usize,
     /// RNG seed base.
     pub seed: u64,
 }
@@ -90,6 +99,7 @@ impl Default for BenchSetup {
             theta: ycsb::ZIPFIAN_CONSTANT,
             value_size: 8,
             rdwc: true,
+            coroutines: 1,
             seed: 42,
         }
     }
@@ -150,7 +160,8 @@ pub struct Deployment {
 /// Creates the index and preloads `setup.preload` keys.
 pub fn deploy(setup: &BenchSetup) -> Deployment {
     let pool = Pool::with_defaults(setup.num_mns, setup.mn_capacity);
-    let per_cn = setup.clients.div_ceil(setup.num_cns);
+    // Pipelined runs need one handle per lane: K per logical client.
+    let per_cn = setup.clients.div_ceil(setup.num_cns) * setup.coroutines.max(1);
     let value = vec![0xABu8; setup.value_size];
     match &setup.kind {
         IndexKind::Chime(cfg) => {
@@ -281,6 +292,9 @@ pub fn run(setup: &BenchSetup) -> BenchResult {
 
 /// Runs the measured phase on an existing deployment.
 pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
+    if setup.coroutines > 1 {
+        return run_pipelined(setup, dep);
+    }
     let state = WorkloadState::new(setup.preload);
     let value = vec![0xCDu8; setup.value_size];
     let num_cns = dep.cns.len();
@@ -390,6 +404,287 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             }
         }
     }
+    assemble(
+        setup,
+        dep,
+        Agg {
+            hist,
+            op_hists,
+            profile_delta,
+            total_msgs,
+            total_wire,
+            total_app,
+            total_rtts,
+            sum_latency,
+            executed,
+            stats_delta,
+            sum_busy: 0,
+            qp: None,
+            lanes: Vec::new(),
+            mn_before,
+            cache_before,
+            hotspot_before,
+        },
+    )
+}
+
+/// Per-lane-index aggregates, merged over every client's lane of that
+/// index: lets `explain` tell lock contention amplified by pipelining
+/// (retries + backoff) apart from network-bound stalls (CQ wait).
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneAgg {
+    ops: u64,
+    op_retries: u64,
+    lock_retries: u64,
+    backoff_ns: u64,
+    cq_wait_ns: u64,
+}
+
+/// Everything a measured loop (serial or pipelined) hands to [`assemble`].
+struct Agg {
+    hist: Histogram,
+    op_hists: Vec<LatencyHist>,
+    profile_delta: OpProfile,
+    total_msgs: u64,
+    total_wire: u64,
+    total_app: u64,
+    total_rtts: u64,
+    sum_latency: u64,
+    executed: u64,
+    stats_delta: ClientStats,
+    /// Σ per-client busy virtual time (max over the client's lanes); 0 in
+    /// serial mode (busy time equals the latency sum).
+    sum_busy: u64,
+    /// Merged queue-pair statistics (pipelined runs only).
+    qp: Option<QpStats>,
+    /// Per-lane-index aggregates (pipelined runs only).
+    lanes: Vec<LaneAgg>,
+    mn_before: Vec<dmem::MnTraffic>,
+    cache_before: Vec<(u64, u64)>,
+    hotspot_before: (u64, u64),
+}
+
+/// Runs the measured phase with K coroutine lanes per client on the
+/// deterministic scheduler: each lane executes unmodified synchronous ops,
+/// parking at every verb; the engine resumes the lane with the earliest
+/// completion, and same-quantum verbs to one MN share a doorbell.
+fn run_pipelined(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
+    let k = setup.coroutines;
+    let state = WorkloadState::new(setup.preload);
+    let value = vec![0xCDu8; setup.value_size];
+    let num_cns = dep.cns.len();
+    let ops_per_cn = setup.ops / num_cns as u64;
+    let mut hist = Histogram::new();
+    let mut op_hists: Vec<LatencyHist> =
+        (0..OP_NAMES.len()).map(|_| LatencyHist::default()).collect();
+    let mut profile_delta = OpProfile::default();
+    let mut total_msgs = 0u64;
+    let mut total_wire = 0u64;
+    let mut total_app = 0u64;
+    let mut total_rtts = 0u64;
+    let mut sum_latency = 0u64;
+    let mut sum_busy = 0u64;
+    let mut executed = 0u64;
+    let mut stats_delta = ClientStats::default();
+    let mut qp_total = QpStats::default();
+    let mut lanes_agg: Vec<LaneAgg> = vec![LaneAgg::default(); k];
+    let mn_before = dep.pool.traffic();
+    let cache_before: Vec<(u64, u64)> = dep.cache_probe.iter().map(|p| p()).collect();
+    let hotspot_before = probe_hotspot(dep);
+    let net = *dep.pool.net();
+    let engine = Engine::new(EngineConfig {
+        lanes: k,
+        qp: QpConfig::default(),
+    });
+    let active_per_cn = setup.clients.div_ceil(num_cns);
+    for (cn_id, all_clients) in dep.cns.iter_mut().enumerate() {
+        let n_clients = active_per_cn.min(all_clients.len() / k);
+        // Lane bodies run on parked coroutine threads, so the active
+        // handles move out of the deployment and back in afterwards.
+        let mut slots: Vec<Option<Box<dyn RangeIndex + Send>>> =
+            std::mem::take(all_clients).into_iter().map(Some).collect();
+        for ci in 0..n_clients {
+            let client_ops = ops_per_cn / n_clients as u64
+                + u64::from((ci as u64) < ops_per_cn % n_clients as u64);
+            let stats_before: Vec<ClientStats> = (0..k)
+                .map(|l| slots[ci * k + l].as_ref().unwrap().stats().clone())
+                .collect();
+            let prof_before: Vec<Option<OpProfile>> = (0..k)
+                .map(|l| slots[ci * k + l].as_ref().unwrap().profile().cloned())
+                .collect();
+            // RDWC across the client's lanes: a same-key read/update issued
+            // while a lane's identical op is still in flight shares its
+            // result (and latency) instead of issuing verbs.
+            type Combined = Arc<Mutex<HashMap<(u8, u64), (u64, u64)>>>;
+            // What a lane hands back: its client handle, the (op, latency)
+            // samples it measured, and its busy time.
+            type LaneReturn = (Box<dyn RangeIndex + Send>, Vec<(u8, u64)>, u64);
+            let combined: Combined = Arc::new(Mutex::new(HashMap::new()));
+            let mut bodies: Vec<LaneBody<LaneReturn>> = Vec::with_capacity(k);
+            for l in 0..k {
+                let mut handle = slots[ci * k + l].take().unwrap();
+                let lane_ops =
+                    client_ops / k as u64 + u64::from((l as u64) < client_ops % k as u64);
+                let mut gen = OpGen::with_theta(
+                    setup.workload,
+                    Arc::clone(&state),
+                    setup.seed ^ ((cn_id as u64) << 32) ^ (ci * k + l) as u64,
+                    setup.theta,
+                );
+                let value = value.clone();
+                let combined = Arc::clone(&combined);
+                let rdwc = setup.rdwc;
+                bodies.push(Box::new(move || {
+                    let t_start = handle.clock_ns();
+                    let mut lats: Vec<(u8, u64)> = Vec::with_capacity(lane_ops as usize);
+                    let mut scan_buf = Vec::new();
+                    for _ in 0..lane_ops {
+                        let op = gen.next_op();
+                        let disc = match &op {
+                            Op::Read(_) => 0u8,
+                            Op::Update(_) => 1,
+                            Op::Insert(_) => 2,
+                            Op::Scan(..) => 3,
+                        };
+                        let key = op.key();
+                        if rdwc && disc <= 1 {
+                            let now = handle.clock_ns();
+                            let hit = combined
+                                .lock()
+                                .unwrap()
+                                .get(&(disc, key))
+                                .and_then(|&(done_at, lat)| (done_at > now).then_some(lat));
+                            if let Some(lat) = hit {
+                                lats.push((disc, lat));
+                                continue;
+                            }
+                        }
+                        let t0 = handle.clock_ns();
+                        match op {
+                            Op::Read(kk) => {
+                                let _ = handle.search(kk);
+                            }
+                            Op::Update(kk) => {
+                                let _ = handle.update(kk, &value).expect("update");
+                            }
+                            Op::Insert(kk) => {
+                                handle.insert(kk, &value).expect("insert");
+                            }
+                            Op::Scan(kk, n) => {
+                                scan_buf.clear();
+                                handle.scan(kk, n, &mut scan_buf);
+                            }
+                        }
+                        let lat = handle.clock_ns() - t0;
+                        if rdwc && disc <= 1 {
+                            combined
+                                .lock()
+                                .unwrap()
+                                .insert((disc, key), (handle.clock_ns(), lat));
+                        }
+                        lats.push((disc, lat));
+                    }
+                    let busy = handle.clock_ns() - t_start;
+                    (handle, lats, busy)
+                }));
+            }
+            let run = engine.run_client(net, setup.num_mns, bodies);
+            qp_total.merge(&run.qp);
+            let mut client_busy = 0u64;
+            for (l, res) in run.lanes.into_iter().enumerate() {
+                let (handle, lats, busy) = match res {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                };
+                client_busy = client_busy.max(busy);
+                for &(disc, lat) in &lats {
+                    hist.record(lat);
+                    op_hists[disc as usize].record(lat);
+                    sum_latency += lat;
+                    executed += 1;
+                }
+                let d = handle.stats().since(&stats_before[l]);
+                total_msgs += d.msgs;
+                total_wire += d.wire_bytes;
+                total_app += d.app_bytes;
+                total_rtts += d.rtts;
+                lanes_agg[l].ops += lats.len() as u64;
+                lanes_agg[l].op_retries += d.op_retries;
+                lanes_agg[l].lock_retries += d.lock_retries;
+                stats_delta.merge(&d);
+                if let (Some(p), Some(p0)) = (handle.profile(), &prof_before[l]) {
+                    let dp = p.since(p0);
+                    lanes_agg[l].backoff_ns += dp.phase(Phase::RetryBackoff).ns;
+                    lanes_agg[l].cq_wait_ns += dp.phase(Phase::CqWait).ns;
+                    profile_delta.merge(&dp);
+                }
+                slots[ci * k + l] = Some(handle);
+            }
+            sum_busy += client_busy;
+        }
+        *all_clients = slots
+            .into_iter()
+            .map(|s| s.expect("lane handle returned"))
+            .collect();
+    }
+    assemble(
+        setup,
+        dep,
+        Agg {
+            hist,
+            op_hists,
+            profile_delta,
+            total_msgs,
+            total_wire,
+            total_app,
+            total_rtts,
+            sum_latency,
+            executed,
+            stats_delta,
+            sum_busy,
+            qp: Some(qp_total),
+            lanes: lanes_agg,
+            mn_before,
+            cache_before,
+            hotspot_before,
+        },
+    )
+}
+
+/// Integer histogram → metrics summary (values are counts, not ns; the
+/// `*_ns` field names are reused for the quantile slots).
+fn count_summary(h: &CountHist) -> HistogramSummary {
+    HistogramSummary {
+        count: h.count(),
+        mean_ns: h.mean().round() as u64,
+        p50_ns: h.quantile(0.5),
+        p90_ns: h.quantile(0.9),
+        p99_ns: h.quantile(0.99),
+        max_ns: h.max(),
+    }
+}
+
+/// Converts the collected counts into the modeled [`BenchResult`], shared
+/// by the serial and pipelined measured loops.
+fn assemble(setup: &BenchSetup, dep: &mut Deployment, agg: Agg) -> BenchResult {
+    let Agg {
+        hist,
+        op_hists,
+        profile_delta,
+        total_msgs,
+        total_wire,
+        total_app,
+        total_rtts,
+        sum_latency,
+        executed,
+        stats_delta,
+        sum_busy,
+        qp,
+        lanes,
+        mn_before,
+        cache_before,
+        hotspot_before,
+    } = agg;
     let net = NetConfig::default();
     let acc = RunAccounting {
         ops: executed,
@@ -398,6 +693,7 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
         total_msgs,
         total_wire_bytes: total_wire,
         sum_latency_ns: sum_latency,
+        sum_busy_ns: sum_busy,
     };
     let est = net.model(&acc);
     let cache_bytes = dep
@@ -489,6 +785,31 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             &[("cause", cause.as_str())],
             profile_delta.retry_count(cause),
         );
+    }
+    // Queue-pair model: doorbell batching and CQ depth (pipelined runs).
+    if let Some(qp) = &qp {
+        metrics.counter("qp_wqes_posted_total", &[], qp.posted);
+        metrics.counter("qp_doorbells_total", &[], qp.doorbells);
+        metrics.counter("qp_batched_wqes_total", &[], qp.batched_wqes);
+        metrics.gauge("doorbell_batch_mean", &[], qp.batch_hist.mean());
+        metrics.gauge(
+            "doorbell_batched_frac",
+            &[],
+            ratio(qp.batched_wqes, qp.posted),
+        );
+        metrics.histogram("doorbell_batch_size", &[], count_summary(&qp.batch_hist));
+        metrics.histogram("cq_depth", &[], count_summary(&qp.depth_hist));
+    }
+    // Per-lane-index contention attribution: lock retries + backoff say
+    // "pipelining amplified contention", CQ wait says "network-bound".
+    for (l, lane) in lanes.iter().enumerate() {
+        let id = l.to_string();
+        let labels = [("lane", id.as_str())];
+        metrics.counter("lane_ops_total", &labels, lane.ops);
+        metrics.counter("lane_op_retries_total", &labels, lane.op_retries);
+        metrics.counter("lane_lock_retries_total", &labels, lane.lock_retries);
+        metrics.counter("lane_backoff_ns_total", &labels, lane.backoff_ns);
+        metrics.counter("lane_cq_wait_ns_total", &labels, lane.cq_wait_ns);
     }
     // At saturation, queueing delay dominates and is roughly exponential,
     // so the tail stretches beyond the uniform inflation of the mean.
@@ -678,6 +999,46 @@ mod tests {
         let r8 = run(&mk(8));
         let r64 = run(&mk(64));
         assert!(r64.mops > r8.mops * 2.0, "{} vs {}", r64.mops, r8.mops);
+    }
+
+    #[test]
+    fn pipelined_lanes_raise_modeled_throughput() {
+        let mk = |k: usize| BenchSetup {
+            coroutines: k,
+            clients: 16,
+            theta: 0.01, // near-uniform: pipelining gain, not contention
+            ..tiny(IndexKind::Chime(chime::ChimeConfig::default()), Workload::C)
+        };
+        let r1 = run(&mk(1));
+        let r4 = run(&mk(4));
+        assert!(
+            r4.mops > r1.mops * 1.5,
+            "K=4 {} Mops vs K=1 {} Mops",
+            r4.mops,
+            r1.mops
+        );
+        // The QP model keys only light up in pipelined runs.
+        assert!(r4.metrics.counter_value("qp_doorbells_total", &[]) > 0);
+        assert!(r4.metrics.counter_value("lane_ops_total", &[("lane", "3")]) > 0);
+        assert_eq!(r1.metrics.counter_value("qp_doorbells_total", &[]), 0);
+        // Pipelined lanes wait on the CQ; serial clients never do.
+        let cq = [("phase", "cq_wait")];
+        assert!(r4.metrics.counter_value("phase_ns_total", &cq) > 0);
+        assert_eq!(r1.metrics.counter_value("phase_ns_total", &cq), 0);
+    }
+
+    #[test]
+    fn pipelined_runs_are_deterministic() {
+        let mk = || BenchSetup {
+            coroutines: 4,
+            clients: 8,
+            ops: 2_000,
+            ..tiny(IndexKind::Chime(chime::ChimeConfig::default()), Workload::A)
+        };
+        let a = run(&mk());
+        let b = run(&mk());
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        assert_eq!(a.mops, b.mops);
     }
 
     #[test]

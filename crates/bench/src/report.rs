@@ -147,6 +147,29 @@ impl Report {
                 rtts as f64 / executed as f64,
             );
         }
+        // Queue-pair model keys: identically zero for serial runs so the
+        // key set stays stable across coroutine counts.
+        m.insert(
+            "doorbell.batch_mean".to_string(),
+            r.metrics.gauge_value("doorbell_batch_mean", &[]).unwrap_or(0.0),
+        );
+        m.insert(
+            "doorbell.batched_frac".to_string(),
+            r.metrics
+                .gauge_value("doorbell_batched_frac", &[])
+                .unwrap_or(0.0),
+        );
+        m.insert(
+            "cq.depth_p99".to_string(),
+            r.metrics
+                .histogram_value("cq_depth", &[])
+                .map(|h| h.p99_ns as f64)
+                .unwrap_or(0.0),
+        );
+        m.insert(
+            "qp.doorbells_per_op".to_string(),
+            r.metrics.counter_value("qp_doorbells_total", &[]) as f64 / executed as f64,
+        );
         // Retry root causes, normalized per op. All causes present.
         for cause in RetryCause::ALL {
             let n = r

@@ -7,11 +7,12 @@ use bench::report::Report;
 use obs::{compare, Baseline, BenchPoint};
 use ycsb::Workload;
 
-fn measure() -> Vec<BenchPoint> {
+fn measure_k(coroutines: usize) -> Vec<BenchPoint> {
     let setup = BenchSetup {
         kind: IndexKind::Chime(chime::ChimeConfig::default()),
         num_cns: 2,
         clients: 8,
+        coroutines,
         preload: 3_000,
         ops: 2_000,
         mn_capacity: 256 << 20,
@@ -19,10 +20,19 @@ fn measure() -> Vec<BenchPoint> {
         ..Default::default()
     };
     let r = run(&setup);
+    let name = if coroutines == 1 {
+        "chime/c/8".to_string()
+    } else {
+        format!("chime/c/8/k{coroutines}")
+    };
     vec![BenchPoint {
-        name: "chime/c/8".into(),
+        name,
         metrics: Report::flat_metrics(&r),
     }]
+}
+
+fn measure() -> Vec<BenchPoint> {
+    measure_k(1)
 }
 
 #[test]
@@ -86,6 +96,34 @@ fn gate_passes_against_own_baseline_and_fails_against_perturbed_one() {
     assert_eq!(report.missing_points, vec!["chime/c/8".to_string()]);
 }
 
+/// The gate catches regressions in the pipelined (K=4) configuration too:
+/// a baseline claiming higher overlapped throughput or fewer doorbells per
+/// op than the current run fails the comparison.
+#[test]
+fn gate_catches_regressions_at_k4() {
+    let current = measure_k(4);
+    let qp_doorbells = current[0].metrics["qp.doorbells_per_op"];
+    assert!(
+        qp_doorbells > 0.0,
+        "a K=4 point must carry QP model metrics"
+    );
+    let baseline = Baseline {
+        tolerance_pct: 10.0,
+        points: current.clone(),
+        ..Default::default()
+    };
+    assert!(compare(&current, &baseline).passed());
+
+    // A baseline twice as fast: the pipelined run registers as a ~50%
+    // throughput regression.
+    let mut perturbed = baseline.clone();
+    *perturbed.points[0].metrics.get_mut("mops").unwrap() *= 2.0;
+    let report = compare(&current, &perturbed);
+    assert!(!report.passed(), "perturbed K=4 baseline must fail the gate");
+    assert_eq!(report.violations[0].metric, "mops");
+    assert!(report.violations[0].regression_pct > 40.0);
+}
+
 #[test]
 fn checked_in_baseline_parses_and_covers_the_matrix() {
     let text = std::fs::read_to_string(concat!(
@@ -103,9 +141,13 @@ fn checked_in_baseline_parses_and_covers_the_matrix() {
         );
     }
     assert!(
-        baseline.points.len() >= 12,
-        "expected the full CHIME+Sherman matrix, got {}",
+        baseline.points.len() >= 14,
+        "expected the full CHIME+Sherman matrix plus K=4 points, got {}",
         baseline.points.len()
+    );
+    assert!(
+        baseline.points.iter().any(|p| p.name.ends_with("/k4")),
+        "baseline must cover the pipelined (K=4) configuration"
     );
     for p in &baseline.points {
         assert!(

@@ -277,9 +277,9 @@ impl ChimeClient {
     /// Queues locally for a remote node lock (Sherman's local lock table):
     /// contending clients of one CN hand the lock over locally instead of
     /// hammering the MN with CAS retries.
-    fn local_lock(&self, addr: GlobalAddr) -> dmem::LocalLockGuard {
+    fn local_lock(&mut self, addr: GlobalAddr) -> dmem::LocalLockGuard {
         let table = Arc::clone(&self.cn.lock_table);
-        table.acquire(addr.raw())
+        table.acquire_with(addr.raw(), &mut self.ep)
     }
 
     /// Runs `f` with `phase` as the active attribution phase.

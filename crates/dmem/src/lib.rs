@@ -31,6 +31,7 @@ pub mod index;
 pub mod locktable;
 pub mod net;
 pub mod node;
+pub mod qp;
 pub mod region;
 pub mod stats;
 pub mod verbs;
@@ -45,6 +46,10 @@ pub use index::{IndexError, RangeIndex};
 pub use locktable::{LocalLockGuard, LocalLockTable};
 pub use net::{Bound, NetConfig, RunAccounting, ThroughputEstimate};
 pub use node::{root_slot, MemoryNode, MnTraffic, Pool};
+pub use qp::{
+    install_lane_hook, lane_active, uninstall_lane_hook, CountHist, LaneHook, Qp, QpConfig,
+    QpStats, WqeOutcome, WqeTicket,
+};
 pub use obs::{LatencyHist, OpProfile, Phase, RetryCause, Tracer};
 pub use stats::{ClientStats, Histogram};
 pub use verbs::{Endpoint, PhaseFrame};

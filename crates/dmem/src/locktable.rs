@@ -13,7 +13,13 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::verbs::Endpoint;
+
 const SHARDS: usize = 64;
+
+/// Virtual-time poll interval while a coroutine lane waits for a local
+/// slot held by a parked sibling lane.
+const LANE_POLL_NS: u64 = 200;
 
 struct Shard {
     held: Mutex<HashSet<u64>>,
@@ -60,6 +66,39 @@ impl LocalLockTable {
         LocalLockGuard {
             table: Arc::clone(self),
             raw,
+        }
+    }
+
+    /// Takes the local slot for `raw` if it is free, without blocking.
+    pub fn try_acquire(self: &Arc<Self>, raw: u64) -> Option<LocalLockGuard> {
+        let shard = self.shard(raw);
+        let mut held = shard.held.lock();
+        if held.contains(&raw) {
+            return None;
+        }
+        held.insert(raw);
+        Some(LocalLockGuard {
+            table: Arc::clone(self),
+            raw,
+        })
+    }
+
+    /// Coroutine-safe [`acquire`](Self::acquire): on a scheduler lane
+    /// ([`crate::lane_active`]) the wait happens in **virtual time** — the
+    /// lane parks on a timer and its siblings run — instead of on the
+    /// condvar. A lane blocked on the condvar would deadlock the whole
+    /// client, because the slot holder is itself parked waiting for the
+    /// scheduler to resume it. Off-lane callers fall through to the plain
+    /// blocking path.
+    pub fn acquire_with(self: &Arc<Self>, raw: u64, ep: &mut Endpoint) -> LocalLockGuard {
+        if !crate::qp::lane_active() {
+            return self.acquire(raw);
+        }
+        loop {
+            if let Some(g) = self.try_acquire(raw) {
+                return g;
+            }
+            ep.advance(LANE_POLL_NS);
         }
     }
 

@@ -56,7 +56,17 @@ impl NetConfig {
         let avg_lat = acc.sum_latency_ns as f64 / acc.ops as f64;
         let msgs_per_op = acc.total_msgs as f64 / acc.ops as f64;
         let bytes_per_op = acc.total_wire_bytes as f64 / acc.ops as f64;
-        let t_clients = acc.clients as f64 / (avg_lat / 1e9);
+        // Client-side offered load: each client finishes its share of ops in
+        // `sum_busy_ns / clients` of virtual wall time. For serial clients
+        // busy time equals summed op latency and this reduces to the classic
+        // `clients / avg_latency`; pipelined clients overlap round trips, so
+        // their busy time is below the latency sum and offered load rises.
+        let busy_ns = if acc.sum_busy_ns > 0 {
+            acc.sum_busy_ns
+        } else {
+            acc.sum_latency_ns
+        };
+        let t_clients = acc.ops as f64 * acc.clients as f64 / (busy_ns as f64 / 1e9);
         let cap = acc.mns as f64;
         let t_iops = self.iops * cap / msgs_per_op;
         let t_bw = self.bandwidth_bps * cap / bytes_per_op;
@@ -110,6 +120,12 @@ pub struct RunAccounting {
     pub total_wire_bytes: u64,
     /// Sum of per-operation base (uncongested) latencies, ns.
     pub sum_latency_ns: u64,
+    /// Sum over clients of elapsed busy virtual time, ns. For serial
+    /// clients this equals `sum_latency_ns`; for pipelined clients it is
+    /// the per-client makespan (max over the client's lanes), which is
+    /// smaller because lanes overlap their round trips. Zero means
+    /// "serial": [`NetConfig::model`] falls back to `sum_latency_ns`.
+    pub sum_busy_ns: u64,
 }
 
 /// Output of the throughput model.
@@ -141,6 +157,7 @@ mod tests {
             total_msgs: ops * msgs_per_op,
             total_wire_bytes: ops * bytes_per_op,
             sum_latency_ns: ops * lat,
+            sum_busy_ns: 0,
         }
     }
 
@@ -183,6 +200,29 @@ mod tests {
         // 10 MNs lift the IOPS cap to 800 Mops; 1000 clients at 2.5 us can
         // only offer 400 Mops, so they bind.
         assert_eq!(e.bound, Bound::Latency);
+    }
+
+    #[test]
+    fn zero_busy_time_falls_back_to_latency_sum() {
+        let n = NetConfig::default();
+        let mut a = acc(1000, 4, 2, 300, 5_000);
+        let serial = n.model(&a);
+        a.sum_busy_ns = a.sum_latency_ns;
+        let explicit = n.model(&a);
+        assert_eq!(serial.mops, explicit.mops);
+        assert_eq!(serial.bound, explicit.bound);
+    }
+
+    #[test]
+    fn overlapped_busy_time_raises_offered_load() {
+        let n = NetConfig::default();
+        let mut a = acc(1000, 4, 2, 300, 5_000);
+        // 4 lanes per client overlap perfectly: busy time is a quarter of
+        // the latency sum, so offered load quadruples.
+        a.sum_busy_ns = a.sum_latency_ns / 4;
+        let e = n.model(&a);
+        assert_eq!(e.bound, Bound::Latency);
+        assert!((e.mops - 3.2).abs() < 0.05, "{}", e.mops);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use obs::{OpProfile, Phase, RetryCause, Tracer};
 use crate::addr::GlobalAddr;
 use crate::fault::{FaultClient, FaultSession, VerbFaults, VerbKind};
 use crate::node::Pool;
+use crate::qp;
 use crate::stats::ClientStats;
 
 /// An open phase attribution frame returned by [`Endpoint::phase_begin`].
@@ -193,7 +194,15 @@ impl Endpoint {
     }
 
     /// Advances the virtual clock, attributing the time to the active phase.
-    fn advance(&mut self, dt: u64) {
+    ///
+    /// When a coroutine lane hook is installed on this thread, the advance
+    /// first parks at the scheduler as a timer event so verb-free waits
+    /// (backoff, injected delays, allocation RPCs) interleave with other
+    /// lanes' completions in deterministic global order.
+    pub(crate) fn advance(&mut self, dt: u64) {
+        if dt > 0 {
+            qp::hook_timer(self.clock_ns, dt);
+        }
         self.clock_ns += dt;
         self.prof.add_time(self.phase, dt);
     }
@@ -261,14 +270,30 @@ impl Endpoint {
     }
 
     /// Charges client counters and the virtual clock; returns wire bytes.
-    fn charge(&mut self, msgs: u64, payload: u64, rtts: u64) -> u64 {
+    ///
+    /// Serial clients (no lane hook) complete each verb inline at exactly
+    /// [`crate::net::NetConfig::verb_latency_ns`]. When a coroutine lane
+    /// hook is installed on this thread, the verb is instead posted as a
+    /// WQE to the client's shared queue pair: the lane parks until the
+    /// scheduler delivers its completion, round trips reflect doorbell
+    /// batching, and wait time beyond the uncontended service time is
+    /// attributed to the `cq_wait` phase.
+    fn charge(&mut self, mn: u16, msgs: u64, payload: u64, rtts: u64) -> u64 {
         let net = self.pool.net();
         let wire = payload + msgs * net.msg_overhead;
         self.stats.msgs += msgs;
-        self.stats.rtts += rtts;
         self.stats.wire_bytes += wire;
-        self.advance(net.verb_latency_ns(msgs, wire));
-        self.prof.add_verb(self.phase, msgs, rtts, wire);
+        if let Some(out) = qp::hook_post(self.clock_ns, mn, msgs, wire) {
+            self.stats.rtts += out.rtts;
+            self.clock_ns = out.completion_ns;
+            self.prof.add_time(self.phase, out.service_ns);
+            self.prof.add_time(Phase::CqWait, out.cq_wait_ns);
+            self.prof.add_verb(self.phase, msgs, out.rtts, wire);
+        } else {
+            self.stats.rtts += rtts;
+            self.advance(net.verb_latency_ns(msgs, wire));
+            self.prof.add_verb(self.phase, msgs, rtts, wire);
+        }
         wire
     }
 
@@ -281,7 +306,7 @@ impl Endpoint {
             .region()
             .read(addr.offset() as usize, dst);
         self.stats.reads += 1;
-        let wire = self.charge(1, dst.len() as u64, 1);
+        let wire = self.charge(addr.mn(), 1, dst.len() as u64, 1);
         self.pool.mn(addr.mn()).note_traffic(1, wire);
         self.trace_verb(t0, "read", addr, wire, 1);
     }
@@ -306,7 +331,7 @@ impl Endpoint {
             self.stats.reads += 1;
         }
         let msgs = reqs.len() as u64;
-        let wire = self.charge(msgs, payload, 1);
+        let wire = self.charge(reqs[0].0.mn(), msgs, payload, 1);
         self.trace_verb(t0, "read", reqs[0].0, wire, msgs);
     }
 
@@ -323,7 +348,7 @@ impl Endpoint {
                 .write(addr.offset() as usize, src);
         }
         self.stats.writes += 1;
-        let wire = self.charge(1, src.len() as u64, 1);
+        let wire = self.charge(addr.mn(), 1, src.len() as u64, 1);
         self.pool.mn(addr.mn()).note_traffic(1, wire);
         self.trace_verb(t0, "write", addr, wire, 1);
     }
@@ -354,7 +379,7 @@ impl Endpoint {
             self.stats.writes += 1;
         }
         let msgs = reqs.len() as u64;
-        let wire = self.charge(msgs, payload, 1);
+        let wire = self.charge(reqs[0].0.mn(), msgs, payload, 1);
         self.trace_verb(t0, "write", reqs[0].0, wire, msgs);
     }
 
@@ -394,7 +419,7 @@ impl Endpoint {
         let t0 = self.clock_ns;
         let f = self.fault_enter(VerbKind::Cas, addr.raw());
         self.stats.atomics += 1;
-        let wire = self.charge(1, 16, 1);
+        let wire = self.charge(addr.mn(), 1, 16, 1);
         self.pool.mn(addr.mn()).note_traffic(1, wire);
         self.trace_verb(t0, "cas", addr, wire, 1);
         let region = self.pool.mn(addr.mn()).region();
@@ -431,7 +456,7 @@ impl Endpoint {
         let t0 = self.clock_ns;
         let f = self.fault_enter(VerbKind::MaskedCas, addr.raw());
         self.stats.atomics += 1;
-        let wire = self.charge(1, 32, 1);
+        let wire = self.charge(addr.mn(), 1, 32, 1);
         self.pool.mn(addr.mn()).note_traffic(1, wire);
         self.trace_verb(t0, "masked_cas", addr, wire, 1);
         let region = self.pool.mn(addr.mn()).region();
@@ -468,7 +493,7 @@ impl Endpoint {
         let t0 = self.clock_ns;
         let f = self.fault_enter(VerbKind::Faa, addr.raw());
         self.stats.atomics += 1;
-        let wire = self.charge(1, 16, 1);
+        let wire = self.charge(addr.mn(), 1, 16, 1);
         self.pool.mn(addr.mn()).note_traffic(1, wire);
         self.trace_verb(t0, "faa", addr, wire, 1);
         let region = self.pool.mn(addr.mn()).region();

@@ -99,6 +99,7 @@ proptest! {
             total_msgs: 1000 * msgs_per_op,
             total_wire_bytes: 1000 * bytes_per_op,
             sum_latency_ns: 1000 * lat,
+            sum_busy_ns: 0,
         };
         let e = n.model(&acc);
         let cap = mns as f64;

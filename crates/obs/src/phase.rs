@@ -43,10 +43,14 @@ pub enum Phase {
     RetryBackoff,
     /// Scan-specific chain walking: bridging leaves missing from the parent.
     ScanChain,
+    /// Waiting on a completion queue beyond a verb's uncontended service
+    /// time: doorbell-batch chaining and in-order QP delivery delay under
+    /// pipelined (multi-coroutine) clients.
+    CqWait,
 }
 
 /// Number of phases (length of [`Phase::ALL`]).
-pub const NUM_PHASES: usize = 10;
+pub const NUM_PHASES: usize = 11;
 
 impl Phase {
     /// Every phase, in stable display order.
@@ -61,6 +65,7 @@ impl Phase {
         Phase::Validate,
         Phase::RetryBackoff,
         Phase::ScanChain,
+        Phase::CqWait,
     ];
 
     /// Stable `snake_case` name used in metric labels and trace events.
@@ -76,6 +81,7 @@ impl Phase {
             Phase::Validate => "validate",
             Phase::RetryBackoff => "retry_backoff",
             Phase::ScanChain => "scan_chain",
+            Phase::CqWait => "cq_wait",
         }
     }
 

@@ -1,0 +1,294 @@
+//! `sched` — a deterministic cooperative coroutine engine.
+//!
+//! The CHIME paper runs 64 clients per compute node as threads + coroutines
+//! so independent operations overlap their RDMA round trips. This crate
+//! reproduces that execution model inside the simulator without giving up
+//! byte-for-byte reproducibility:
+//!
+//! * each logical client owns K **lanes** — coroutines running unmodified
+//!   synchronous index code on their own [`dmem::Endpoint`];
+//! * every verb a lane issues becomes a WQE on the client's shared
+//!   [`dmem::Qp`] (via the [`dmem::LaneHook`] seam) and the lane **parks**
+//!   until the scheduler delivers its completion;
+//! * the scheduler is a discrete-event loop: it always resumes the lane
+//!   with the **earliest pending completion timestamp** (lane index breaks
+//!   ties), so exactly one lane executes at any instant and the global
+//!   interleaving is a pure function of the lanes' virtual-time behaviour;
+//! * consecutive WQEs posted to the same memory node within one scheduling
+//!   quantum share a doorbell — one round trip — which is where pipelining's
+//!   modeled throughput gain comes from.
+//!
+//! Lanes are hosted on parked OS threads purely as a coroutine mechanism:
+//! no two lane threads are ever runnable simultaneously, nothing reads a
+//! wall clock, and handoff happens over rendezvous channels, so runs are
+//! deterministic regardless of OS scheduling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc;
+use std::thread;
+
+use dmem::qp::{self, LaneHook, WqeOutcome, WqeTicket};
+use dmem::{NetConfig, Qp, QpConfig, QpStats};
+
+/// How a lane's execution ended.
+pub type LaneResult<T> = Result<T, Box<dyn Any + Send>>;
+
+/// The outcome of driving one client's lanes to completion.
+pub struct ClientRun<T> {
+    /// Per-lane results in lane order. `Err` carries the lane's panic
+    /// payload (e.g. a [`dmem::CrashSignal`] from an injected crash point);
+    /// the engine never re-raises — callers decide what a dead lane means.
+    pub lanes: Vec<LaneResult<T>>,
+    /// The client's queue-pair statistics (doorbells, batch sizes, CQ
+    /// depths) accumulated across all lanes.
+    pub qp: QpStats,
+}
+
+impl<T> ClientRun<T> {
+    /// Unwraps every lane result, panicking (with the first lane's payload
+    /// resurfaced) if any lane died. Convenience for fault-free runs.
+    pub fn into_results(self) -> Vec<T> {
+        self.lanes
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    }
+}
+
+/// Engine knobs: lanes per client and the queue-pair model.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Coroutine lanes multiplexed per client (K). 1 reproduces serial
+    /// execution through the same machinery.
+    pub lanes: usize,
+    /// Doorbell-batching window and batch cap for the shared QP.
+    pub qp: QpConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            lanes: 1,
+            qp: QpConfig::default(),
+        }
+    }
+}
+
+/// A lane body: synchronous client code returning its result. Bodies
+/// create (or capture) their own endpoint; every verb it issues parks the
+/// lane at the scheduler.
+pub type LaneBody<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// What a parked lane is waiting for.
+enum Parked {
+    /// A posted WQE (ticket reaped at delivery).
+    Verb(WqeTicket),
+    /// A verb-free virtual-time advance (backoff, RPC service, fault delay).
+    Timer,
+}
+
+/// Scheduler-to-lane resumption payload.
+enum LaneResume {
+    Verb(WqeOutcome),
+    Timer,
+}
+
+/// Lane-to-scheduler events. Exactly one lane is ever running, so these
+/// arrive strictly ordered.
+enum Event<T> {
+    Post {
+        lane: usize,
+        now_ns: u64,
+        mn: u16,
+        msgs: u64,
+        wire_bytes: u64,
+    },
+    Timer {
+        lane: usize,
+        now_ns: u64,
+        dt_ns: u64,
+    },
+    Finished {
+        lane: usize,
+        result: LaneResult<T>,
+    },
+}
+
+/// The [`LaneHook`] installed on each lane thread: forwards verb and timer
+/// boundaries to the scheduler and blocks until resumed.
+struct EngineHook<T: Send + 'static> {
+    lane: usize,
+    events: Sender<Event<T>>,
+    resume: Receiver<LaneResume>,
+}
+
+impl<T: Send + 'static> LaneHook for EngineHook<T> {
+    fn post(&mut self, now_ns: u64, mn: u16, msgs: u64, wire_bytes: u64) -> WqeOutcome {
+        self.events
+            .send(Event::Post {
+                lane: self.lane,
+                now_ns,
+                mn,
+                msgs,
+                wire_bytes,
+            })
+            .expect("scheduler gone while lane runs");
+        match self.resume.recv().expect("scheduler gone while lane parked") {
+            LaneResume::Verb(out) => out,
+            LaneResume::Timer => unreachable!("timer resume for a posted WQE"),
+        }
+    }
+
+    fn timer(&mut self, now_ns: u64, dt_ns: u64) {
+        self.events
+            .send(Event::Timer {
+                lane: self.lane,
+                now_ns,
+                dt_ns,
+            })
+            .expect("scheduler gone while lane runs");
+        match self.resume.recv().expect("scheduler gone while lane parked") {
+            LaneResume::Timer => {}
+            LaneResume::Verb(_) => unreachable!("verb resume for a timer wait"),
+        }
+    }
+}
+
+/// The deterministic coroutine engine.
+pub struct Engine {
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine { cfg }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Drives one client's lane bodies to completion over a shared QP
+    /// reaching `mns` memory nodes, returning per-lane results and QP
+    /// statistics.
+    ///
+    /// Strict turn-taking: lanes start in index order, each running until
+    /// its first verb/timer park; thereafter the scheduler repeatedly
+    /// delivers the earliest pending completion (ties broken by lane
+    /// index) and waits for the resumed lane to park again or finish. A
+    /// lane that panics (e.g. an injected crash point) simply finishes
+    /// with the payload as its result; the remaining lanes keep running.
+    pub fn run_client<T: Send + 'static>(
+        &self,
+        net: NetConfig,
+        mns: u16,
+        bodies: Vec<LaneBody<T>>,
+    ) -> ClientRun<T> {
+        let lanes = bodies.len();
+        assert!(lanes > 0, "a client needs at least one lane");
+        let mut qp = Qp::new(net, self.cfg.qp, mns);
+        let (event_tx, event_rx) = mpsc::channel::<Event<T>>();
+        let mut resume_txs: Vec<Sender<LaneResume>> = Vec::with_capacity(lanes);
+        let mut joins = Vec::with_capacity(lanes);
+        let mut parked: Vec<Option<Parked>> = Vec::with_capacity(lanes);
+        let mut results: Vec<Option<LaneResult<T>>> = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            parked.push(None);
+            results.push(None);
+        }
+        // Earliest-completion-first event queue; `Reverse` turns the std
+        // max-heap into a min-heap and the lane index breaks timestamp ties
+        // deterministically.
+        let mut ready: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut bodies = bodies.into_iter();
+        let mut spawned = 0usize;
+        // Exactly one lane is running whenever `running` is true; the
+        // scheduler blocks on the event channel until it parks or finishes.
+        let mut running = false;
+        loop {
+            if !running {
+                if let Some(body) = bodies.next() {
+                    // Start the next lane and run it to its first park.
+                    let lane = spawned;
+                    spawned += 1;
+                    let (resume_tx, resume_rx) = mpsc::channel::<LaneResume>();
+                    resume_txs.push(resume_tx);
+                    let events = event_tx.clone();
+                    let hook_events = event_tx.clone();
+                    let handle = thread::Builder::new()
+                        .name(format!("lane-{lane}"))
+                        .spawn(move || {
+                            qp::install_lane_hook(Box::new(EngineHook {
+                                lane,
+                                events: hook_events,
+                                resume: resume_rx,
+                            }));
+                            let result = catch_unwind(AssertUnwindSafe(body));
+                            drop(qp::uninstall_lane_hook());
+                            let _ = events.send(Event::Finished { lane, result });
+                        })
+                        .expect("spawn lane thread");
+                    joins.push(handle);
+                    running = true;
+                } else if let Some(Reverse((_, lane))) = ready.pop() {
+                    // Deliver the earliest completion and resume its lane.
+                    let resume = match parked[lane].take().expect("ready lane not parked") {
+                        Parked::Verb(ticket) => LaneResume::Verb(qp.poll_wqe(ticket)),
+                        Parked::Timer => LaneResume::Timer,
+                    };
+                    resume_txs[lane].send(resume).expect("lane gone");
+                    running = true;
+                } else {
+                    // No runnable lane, nothing pending: all lanes finished.
+                    break;
+                }
+                continue;
+            }
+            // A lane is executing: wait for it to park or finish.
+            match event_rx.recv().expect("running lane vanished") {
+                Event::Post {
+                    lane,
+                    now_ns,
+                    mn,
+                    msgs,
+                    wire_bytes,
+                } => {
+                    let ticket = qp.post_wqe(now_ns, mn, msgs, wire_bytes);
+                    ready.push(Reverse((ticket.completion(), lane)));
+                    parked[lane] = Some(Parked::Verb(ticket));
+                }
+                Event::Timer { lane, now_ns, dt_ns } => {
+                    ready.push(Reverse((now_ns + dt_ns, lane)));
+                    parked[lane] = Some(Parked::Timer);
+                }
+                Event::Finished { lane, result } => {
+                    results[lane] = Some(result);
+                }
+            }
+            running = false;
+        }
+        for handle in joins {
+            handle.join().expect("lane thread poisoned past catch_unwind");
+        }
+        qp.finish();
+        ClientRun {
+            lanes: results
+                .into_iter()
+                .map(|r| r.expect("lane finished without a result"))
+                .collect(),
+            qp: qp.stats().clone(),
+        }
+    }
+}

@@ -170,9 +170,9 @@ impl Sherman {
 
 impl ShermanClient {
     /// Queues locally for a remote node lock (Sherman's local lock table).
-    fn local_lock(&self, addr: GlobalAddr) -> dmem::LocalLockGuard {
+    fn local_lock(&mut self, addr: GlobalAddr) -> dmem::LocalLockGuard {
         let table = Arc::clone(&self.cn.lock_table);
-        table.acquire(addr.raw())
+        table.acquire_with(addr.raw(), &mut self.ep)
     }
 
     fn refresh_root(&mut self) -> GlobalAddr {

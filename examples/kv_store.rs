@@ -87,6 +87,7 @@ fn main() {
         total_msgs: totals.0,
         total_wire_bytes: totals.1,
         sum_latency_ns: totals.2,
+        sum_busy_ns: 0,
     });
     println!("\nYCSB A, {clients} clients on {num_cns} CNs:");
     println!("  modeled throughput : {:.2} Mops ({:?}-bound)", est.mops, est.bound);

@@ -14,6 +14,9 @@ mkdir -p "$OUT"
 # baseline.json is the perf gate's reference and is refreshed by
 # `make baseline`, not here.
 rm -f "$OUT"/BENCH_*.json "$OUT"/*.txt
+# A figure binary run outside this script (no BENCH_OUT_DIR) drops its JSON
+# in the repo root; sweep those strays too so they can't shadow results/.
+rm -f ./BENCH_*.json
 export BENCH_OUT_DIR="$OUT"
 
 run() {
@@ -42,4 +45,5 @@ run fig19 --preload 100000 --ops 40000
 run fig13 --preload 100000 --ops 40000
 run fig18 --preload 100000 --ops 40000
 run fig12 --preload 150000 --ops 50000
+run fig_coroutines --preload 100000 --ops 40000
 echo ALL_FIGURES_DONE
