@@ -2,13 +2,14 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint lint-chime chaos perf-smoke baseline explain clean
+.PHONY: verify build test lint lint-chime chaos serve serve-smoke perf-smoke baseline explain clean
 
 # Tier-1 gate (build + tests) plus the clippy lint wall, the protocol-aware
 # chime-lint pass, a fixed-seed chaos smoke run (deterministic fault
 # injection with a crash-while-holding-a-leaf-lock scenario, serial and
-# pipelined), and the perf gate (including the K=4 coroutine points).
-verify: build test lint lint-chime chaos perf-smoke
+# pipelined), the serving-layer determinism/chaos suite, and the perf gate
+# (including the K=4 coroutine points and the serve point).
+verify: build test lint lint-chime chaos serve perf-smoke
 
 build:
 	$(CARGO) build --release
@@ -26,6 +27,17 @@ lint-chime:
 
 chaos:
 	$(CARGO) test -p chime --test chaos --test chaos_pipelined -q
+
+# Serving-layer gate: byte-identical replay under a fixed seed plus the
+# connection-storm chaos suite (drops mid-pipeline, slow readers,
+# admission exhaustion, composed fault injection).
+serve:
+	$(CARGO) test -p serve --test determinism --test chaos -q
+
+# Real-TCP smoke: boots chime-server on a loopback port, drives the
+# loadgen against it, and asserts every pipelined request is answered.
+serve-smoke:
+	$(CARGO) run --release -q -p serve --bin chime-server -- --smoke
 
 # Fixed-seed micro-benchmark matrix compared against results/baseline.json;
 # fails on any tolerance-exceeding regression. The simulator's virtual clock

@@ -8,6 +8,7 @@ use crate::lexer::{int_value, Tok, TokKind};
 use crate::report::Finding;
 use crate::source::{call_args, SourceFile, TokRange};
 
+pub mod asyncblock;
 pub mod cq;
 pub mod determinism;
 pub mod layout;
@@ -26,6 +27,7 @@ pub const RULES: &[&str] = &[
     "lockword-layout",
     "verb-protocol",
     "cq-discipline",
+    "async-block",
     "suppression",
 ];
 
@@ -38,6 +40,7 @@ pub fn run_all(file: &SourceFile, out: &mut Vec<Finding>) {
     layout::check(file, out);
     verbproto::check(file, out);
     cq::check(file, out);
+    asyncblock::check(file, out);
 }
 
 /// Whether the token at `i` is a *call* of the named function: an

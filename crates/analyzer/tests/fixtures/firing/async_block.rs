@@ -1,0 +1,27 @@
+//! Fixture: blocking synchronization inside lane bodies for R9.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+pub fn spawn_lanes(shared: Arc<Mutex<u64>>, cv: Arc<Condvar>) -> Vec<LaneBody<u64>> {
+    let mut bodies: Vec<LaneBody<u64>> = Vec::new();
+    let s = Arc::clone(&shared);
+    bodies.push(Box::new(move || {
+        let mut guard = s.lock().unwrap();
+        *guard += 1;
+        *guard
+    }));
+    bodies
+}
+
+pub fn wait_for_peer(cv: &Condvar, m: &Mutex<bool>) -> bool {
+    let guard = m.lock().unwrap();
+    let guard = cv.wait(guard).unwrap();
+    *guard
+}
+
+pub fn lane_local_is_fine() -> u64 {
+    let mut acc = 0u64;
+    for i in 0..4 {
+        acc += i;
+    }
+    acc
+}

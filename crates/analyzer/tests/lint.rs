@@ -105,6 +105,15 @@ fn cq_discipline_fires_and_suppresses() {
 }
 
 #[test]
+fn async_block_fires_and_suppresses() {
+    let r = assert_fires("firing/async_block.rs", "async-block", 3);
+    let msgs: Vec<&str> = r.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("blocking `.lock()`")));
+    assert!(msgs.iter().any(|m| m.contains("Condvar::wait")));
+    assert_suppressed("suppressed/async_block.rs", 3);
+}
+
+#[test]
 fn malformed_suppressions_are_findings() {
     let r = assert_fires("firing/suppression.rs", "suppression", 3);
     assert_eq!(r.suppressions_honored, 0);

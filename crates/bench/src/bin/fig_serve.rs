@@ -1,0 +1,87 @@
+//! Serving-layer sweep: open-loop arrival rate vs throughput, tail
+//! latency, and shed rate.
+//!
+//! `chime-serve` fronts the coroutine engine with framed connections,
+//! admission control, and CQ-depth backpressure. This figure drives the
+//! deterministic simulated-socket mode with a Poisson arrival process
+//! and sweeps the mean inter-arrival gap from idle to saturating. As the
+//! offered load crosses the engine's service capacity the CQ watermark
+//! engages: excess requests are answered `-BUSY` instead of queueing,
+//! so served throughput plateaus while p99 stays bounded — the figure's
+//! point.
+//!
+//! Usage: `fig_serve [--conns N] [--workers N] [--requests N] [--seed S]
+//!                   [--gap NS]` (`--gap 0`, the default, sweeps the
+//! built-in gap ladder).
+
+use bench::report::Report;
+use bench::driver::Args;
+use serve::sim::{run_sim, OverloadPolicy, SimConfig};
+
+/// Mean inter-arrival gaps (ns) from idle to well past saturation.
+const SWEEP: [u64; 6] = [16_000, 8_000, 4_000, 2_000, 600, 150];
+
+fn main() {
+    let args = Args::parse();
+    let conns: usize = args.get("conns", 32);
+    let workers: usize = args.get("workers", 2);
+    let requests: usize = args.get("requests", 64);
+    let seed: u64 = args.get("seed", 1);
+    let fixed_gap: u64 = args.get("gap", 0);
+    let gaps: Vec<u64> = if fixed_gap == 0 {
+        SWEEP.to_vec()
+    } else {
+        vec![fixed_gap]
+    };
+
+    let mut rep = Report::new("fig_serve");
+    println!("# Serve sweep: {conns} conns x {requests} reqs, {workers} workers, shed policy");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "gap (ns)", "Mops", "p50 (us)", "p99 (us)", "shed", "shed frac"
+    );
+
+    for &gap in &gaps {
+        let cfg = SimConfig {
+            seed,
+            conns,
+            workers,
+            requests_per_conn: requests,
+            mean_gap_ns: gap,
+            cq_watermark: 12,
+            policy: OverloadPolicy::Shed,
+            ..SimConfig::default()
+        };
+        let r = run_sim(&cfg);
+        let offered = r.served + r.shed;
+        let shed_frac = if offered == 0 {
+            0.0
+        } else {
+            r.shed as f64 / offered as f64
+        };
+        let p50_us = r.hist.quantile(0.50) as f64 / 1e3;
+        let p99_us = r.hist.quantile(0.99) as f64 / 1e3;
+        println!(
+            "{gap:<10} {:>10.3} {:>10.2} {:>10.2} {:>10} {:>10.3}",
+            r.throughput_mops(),
+            p50_us,
+            p99_us,
+            r.shed,
+            shed_frac,
+        );
+        rep.add_custom(
+            &format!("serve/shed/gap{gap}"),
+            &[
+                ("mops", r.throughput_mops()),
+                ("p50_us", p50_us),
+                ("p99_us", p99_us),
+                ("served", r.served as f64),
+                ("shed", r.shed as f64),
+                ("shed_frac", shed_frac),
+                ("deferred", r.deferred as f64),
+                ("frame_errors", r.frame_errors as f64),
+            ],
+        );
+    }
+    rep.finish();
+}

@@ -15,6 +15,7 @@ use bench::driver::{run, Args, BenchSetup, IndexKind};
 use bench::explain::explain;
 use bench::report::Report;
 use obs::{compare, Baseline, BenchPoint};
+use serve::sim::{run_sim, OverloadPolicy, SimConfig};
 use ycsb::Workload;
 
 /// The gate enforces this subset of each point's metrics (the baseline's
@@ -109,6 +110,39 @@ fn main() {
             name,
             metrics: Report::flat_metrics(&r),
         });
+    }
+
+    // Serving front end: one mid-saturation point through chime-serve's
+    // simulated-socket mode. Gates the serve layer's throughput and tail;
+    // shed/defer counters ride along for attribution.
+    {
+        let cfg = SimConfig {
+            seed: 42,
+            conns: 32,
+            workers: 2,
+            requests_per_conn: 64,
+            mean_gap_ns: 2_000,
+            cq_watermark: 12,
+            policy: OverloadPolicy::Shed,
+            ..SimConfig::default()
+        };
+        let r = run_sim(&cfg);
+        let offered = (r.served + r.shed).max(1);
+        let metrics: &[(&str, f64)] = &[
+            ("mops", r.throughput_mops()),
+            ("p50_us", r.hist.quantile(0.50) as f64 / 1e3),
+            ("p99_us", r.hist.quantile(0.99) as f64 / 1e3),
+            ("served", r.served as f64),
+            ("shed_frac", r.shed as f64 / offered as f64),
+            ("deferred", r.deferred as f64),
+        ];
+        let name = "serve/shed/32x64".to_string();
+        println!(
+            "{name:<18} {:>8.3} Mops  p99 {:>8.1} us  shed {:>5.3}",
+            metrics[0].1, metrics[2].1, metrics[4].1
+        );
+        rep.add_custom(&name, metrics);
+        current.push(BenchPoint::new(&name, metrics));
     }
     rep.finish();
 

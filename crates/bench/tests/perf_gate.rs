@@ -149,13 +149,27 @@ fn checked_in_baseline_parses_and_covers_the_matrix() {
         baseline.points.iter().any(|p| p.name.ends_with("/k4")),
         "baseline must cover the pipelined (K=4) configuration"
     );
+    assert!(
+        baseline.points.iter().any(|p| p.name.starts_with("serve/")),
+        "baseline must cover the serving-layer point"
+    );
     for p in &baseline.points {
         assert!(
             p.metrics.contains_key("mops") && p.metrics.contains_key("p99_us"),
             "point {} lacks core metrics",
             p.name
         );
-        // Schema-2 attribution context rides along in every point.
+        if p.name.starts_with("serve/") {
+            // The serve point carries its native admission/backpressure
+            // metrics instead of the index-level attribution set.
+            assert!(
+                p.metrics.contains_key("shed_frac") && p.metrics.contains_key("served"),
+                "point {} lacks serve metrics",
+                p.name
+            );
+            continue;
+        }
+        // Schema-2 attribution context rides along in every index point.
         assert!(
             p.metrics.contains_key("phase_ns_per_op.traversal")
                 && p.metrics.contains_key("retries_per_op.lock_conflict")

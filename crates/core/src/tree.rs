@@ -262,6 +262,17 @@ impl ChimeClient {
         self.ep.take_tracer()
     }
 
+    /// Advances this client's virtual clock by `ns`, attributing the time
+    /// to `phase`. The serve layer charges request decode, admission waits,
+    /// backpressure deferrals and response encoding through this, so those
+    /// costs land in the same phase taxonomy (and, under the coroutine
+    /// engine, park the lane like any other virtual-time advance).
+    pub fn advance_phase(&mut self, phase: Phase, ns: u64) {
+        let frame = self.ep.phase_begin(phase);
+        self.ep.advance_clock(ns);
+        self.ep.phase_end(frame);
+    }
+
     fn leaf(&self) -> LeafOps {
         self.shared.leaf
     }

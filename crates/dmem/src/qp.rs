@@ -358,6 +358,20 @@ impl Qp {
     pub fn stats(&self) -> &QpStats {
         &self.stats
     }
+
+    /// Drops outstanding entries whose completions are at or before
+    /// `now_ns`, so [`Qp::outstanding_len`] reflects the CQ depth *as of*
+    /// that virtual instant rather than as of the last post.
+    pub fn expire_before(&mut self, now_ns: u64) {
+        self.outstanding.retain(|&c| c > now_ns);
+    }
+
+    /// Completions currently pending (posted but neither polled nor expired
+    /// via [`Qp::expire_before`]). The serve layer's backpressure watermark
+    /// reads this as the live CQ depth.
+    pub fn outstanding_len(&self) -> u64 {
+        self.outstanding.len() as u64
+    }
 }
 
 // ---------------------------------------------------------------------------

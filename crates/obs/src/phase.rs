@@ -47,10 +47,19 @@ pub enum Phase {
     /// time: doorbell-batch chaining and in-order QP delivery delay under
     /// pipelined (multi-coroutine) clients.
     CqWait,
+    /// Parsing request frames off a connection's byte stream (serve layer).
+    Decode,
+    /// Waiting for (or being refused) a connection-admission permit.
+    Admission,
+    /// Deferred behind the CQ-depth backpressure watermark before the index
+    /// op was allowed to issue verbs.
+    QueueWait,
+    /// Encoding and writing the response frame back to the connection.
+    Respond,
 }
 
 /// Number of phases (length of [`Phase::ALL`]).
-pub const NUM_PHASES: usize = 11;
+pub const NUM_PHASES: usize = 15;
 
 impl Phase {
     /// Every phase, in stable display order.
@@ -66,6 +75,10 @@ impl Phase {
         Phase::RetryBackoff,
         Phase::ScanChain,
         Phase::CqWait,
+        Phase::Decode,
+        Phase::Admission,
+        Phase::QueueWait,
+        Phase::Respond,
     ];
 
     /// Stable `snake_case` name used in metric labels and trace events.
@@ -82,6 +95,10 @@ impl Phase {
             Phase::RetryBackoff => "retry_backoff",
             Phase::ScanChain => "scan_chain",
             Phase::CqWait => "cq_wait",
+            Phase::Decode => "decode",
+            Phase::Admission => "admission",
+            Phase::QueueWait => "queue_wait",
+            Phase::Respond => "respond",
         }
     }
 

@@ -30,8 +30,10 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
 
 use dmem::qp::{self, LaneHook, WqeOutcome, WqeTicket};
@@ -164,6 +166,38 @@ impl<T: Send + 'static> LaneHook for EngineHook<T> {
     }
 }
 
+/// A scheduler-maintained completion-queue depth gauge.
+///
+/// The engine refreshes the gauge at every scheduling decision: after a
+/// lane posts a WQE (depth includes the new entry) and whenever a parked
+/// lane is resumed (entries whose completions have passed the resumption
+/// instant are expired first). Exactly one lane executes at any instant,
+/// so a lane reading the gauge always sees the depth as of its own virtual
+/// "now" — the load is `Relaxed` yet the value is deterministic.
+///
+/// The serve layer's backpressure watermark reads this to decide whether
+/// to shed or defer an operation before it issues verbs.
+#[derive(Debug, Default)]
+pub struct CqDepthGauge {
+    depth: AtomicU64,
+}
+
+impl CqDepthGauge {
+    /// Creates a gauge reading zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CqDepthGauge::default())
+    }
+
+    /// The CQ depth as of the engine's latest scheduling decision.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    fn publish(&self, depth: u64) {
+        self.depth.store(depth, Ordering::Relaxed);
+    }
+}
+
 /// The deterministic coroutine engine.
 pub struct Engine {
     cfg: EngineConfig,
@@ -195,6 +229,30 @@ impl Engine {
         net: NetConfig,
         mns: u16,
         bodies: Vec<LaneBody<T>>,
+    ) -> ClientRun<T> {
+        self.run_inner(net, mns, bodies, None)
+    }
+
+    /// [`Engine::run_client`] with a live [`CqDepthGauge`]: the engine
+    /// refreshes `gauge` at every scheduling decision so lane bodies can
+    /// read the client's CQ depth (e.g. for serve-layer backpressure)
+    /// without breaking determinism.
+    pub fn run_client_observed<T: Send + 'static>(
+        &self,
+        net: NetConfig,
+        mns: u16,
+        bodies: Vec<LaneBody<T>>,
+        gauge: Arc<CqDepthGauge>,
+    ) -> ClientRun<T> {
+        self.run_inner(net, mns, bodies, Some(gauge))
+    }
+
+    fn run_inner<T: Send + 'static>(
+        &self,
+        net: NetConfig,
+        mns: u16,
+        bodies: Vec<LaneBody<T>>,
+        gauge: Option<Arc<CqDepthGauge>>,
     ) -> ClientRun<T> {
         let lanes = bodies.len();
         assert!(lanes > 0, "a client needs at least one lane");
@@ -242,12 +300,19 @@ impl Engine {
                         .expect("spawn lane thread");
                     joins.push(handle);
                     running = true;
-                } else if let Some(Reverse((_, lane))) = ready.pop() {
+                } else if let Some(Reverse((t, lane))) = ready.pop() {
                     // Deliver the earliest completion and resume its lane.
                     let resume = match parked[lane].take().expect("ready lane not parked") {
                         Parked::Verb(ticket) => LaneResume::Verb(qp.poll_wqe(ticket)),
                         Parked::Timer => LaneResume::Timer,
                     };
+                    if let Some(g) = &gauge {
+                        // The global frontier advances to `t`: completions
+                        // at or before it are delivered, so the resumed
+                        // lane sees a decayed depth.
+                        qp.expire_before(t);
+                        g.publish(qp.outstanding_len());
+                    }
                     resume_txs[lane].send(resume).expect("lane gone");
                     running = true;
                 } else {
@@ -268,6 +333,9 @@ impl Engine {
                     let ticket = qp.post_wqe(now_ns, mn, msgs, wire_bytes);
                     ready.push(Reverse((ticket.completion(), lane)));
                     parked[lane] = Some(Parked::Verb(ticket));
+                    if let Some(g) = &gauge {
+                        g.publish(qp.outstanding_len());
+                    }
                 }
                 Event::Timer { lane, now_ns, dt_ns } => {
                     ready.push(Reverse((now_ns + dt_ns, lane)));

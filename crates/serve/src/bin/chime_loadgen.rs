@@ -1,0 +1,42 @@
+//! `chime-loadgen` — a small pipelined load generator for `chime-server`.
+//!
+//! ```text
+//! chime-loadgen [--addr 127.0.0.1:7979] [--conns N] [--requests N]
+//!               [--seed S] [--keys N]
+//! ```
+
+use serve::tcp::run_load;
+
+fn arg_u64(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7979".to_string());
+    let conns = arg_u64(&args, "--conns", 4) as usize;
+    let requests = arg_u64(&args, "--requests", 10_000) as usize;
+    let seed = arg_u64(&args, "--seed", 42);
+    let keys = arg_u64(&args, "--keys", 10_000);
+
+    let rep = run_load(&addr, conns, requests, seed, keys).expect("loadgen run");
+    let total_us = rep.elapsed_us.max(1);
+    println!(
+        "sent={} ok={} busy={} err={} elapsed_us={} rate_kops={:.1}",
+        rep.sent,
+        rep.ok,
+        rep.busy,
+        rep.errors,
+        rep.elapsed_us,
+        rep.sent as f64 * 1e3 / total_us as f64
+    );
+}

@@ -1,0 +1,70 @@
+//! `chime-server` — the real-TCP serving binary.
+//!
+//! ```text
+//! chime-server [--addr 127.0.0.1:7979] [--preload N] [--value-size B]
+//!              [--admit N] [--smoke]
+//! ```
+//!
+//! `--smoke` starts the server on a free port, drives an in-process load
+//! generator against it, checks the responses, and exits — the self-test
+//! behind `make serve-smoke`.
+
+use std::sync::atomic::Ordering;
+
+use serve::tcp::{run_load, Server, TcpConfig};
+
+fn arg_u64(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_str(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cfg = TcpConfig {
+        addr: arg_str(
+            &args,
+            "--addr",
+            if smoke { "127.0.0.1:0" } else { "127.0.0.1:7979" },
+        ),
+        preload: arg_u64(&args, "--preload", 10_000),
+        value_size: arg_u64(&args, "--value-size", 8) as usize,
+        admit_limit: arg_u64(&args, "--admit", 64) as usize,
+    };
+    let preload = cfg.preload;
+    let server = Server::start(cfg).expect("bind server");
+    println!("chime-server listening on {}", server.addr());
+
+    if smoke {
+        let addr = server.addr().to_string();
+        let rep = run_load(&addr, 4, 500, 42, preload).expect("loadgen");
+        println!(
+            "smoke: sent={} ok={} busy={} err={} elapsed_us={}",
+            rep.sent, rep.ok, rep.busy, rep.errors, rep.elapsed_us
+        );
+        let served = server.counters().requests.load(Ordering::Relaxed);
+        server.stop();
+        assert_eq!(rep.sent, 4 * 500, "every request sent");
+        assert_eq!(rep.ok + rep.busy + rep.errors, rep.sent, "every request answered");
+        assert!(rep.ok > 0, "some requests must succeed");
+        assert_eq!(served, rep.sent, "server saw every request");
+        println!("serve-smoke OK");
+        return;
+    }
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

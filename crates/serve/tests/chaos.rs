@@ -1,0 +1,126 @@
+//! Chaos-composed serving runs: a seeded connection storm with
+//! mid-pipeline connection drops, slow-reader stalls and injected fail-CAS
+//! faults must replay **exactly** — byte-identical metrics and traces —
+//! and the server must keep serving through it.
+
+use dmem::{FaultAction, FaultPlan, FaultRule, VerbKind};
+use serve::{run_sim, ChaosConfig, OverloadPolicy, SimConfig};
+
+/// The composed storm: drops + stalls + fail-CAS under pressure.
+fn storm_cfg(seed: u64) -> SimConfig {
+    let mut plan = FaultPlan::seeded(seed ^ 0xFA01);
+    // Lock words are taken with masked CAS; failing a slice of them forces
+    // lock-acquire retries inside served requests.
+    plan.rules.push(FaultRule {
+        probability: 0.10,
+        ..FaultRule::always(
+            "serve-cas-chaos",
+            Some(VerbKind::MaskedCas),
+            FaultAction::FailCas,
+        )
+    });
+    SimConfig {
+        seed,
+        conns: 16,
+        workers: 2,
+        requests_per_conn: 60,
+        preload: 2_048,
+        mean_gap_ns: 1_500,
+        cq_watermark: 6,
+        policy: OverloadPolicy::Shed,
+        trace_events: 2_048,
+        chaos: ChaosConfig {
+            drop_pct: 25,
+            stall_pct: 5,
+            stall_ns: 500_000,
+            out_limit: 2_048,
+        },
+        faults: Some(plan),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn chaos_storm_replays_byte_identically() {
+    let cfg = storm_cfg(0xC4A0);
+    let a = run_sim(&cfg);
+    let b = run_sim(&cfg);
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json(), "metrics JSON");
+    assert_eq!(a.trace_jsonl, b.trace_jsonl, "trace JSONL");
+    assert_eq!(a.served, b.served);
+    assert_eq!(a.conns_dropped, b.conns_dropped);
+    for (ca, cb) in a.conns.iter().zip(b.conns.iter()) {
+        assert_eq!(ca.counters, cb.counters, "conn {}", ca.id);
+        assert_eq!(ca.discarded_bytes, cb.discarded_bytes, "conn {}", ca.id);
+    }
+}
+
+#[test]
+fn chaos_storm_exercises_every_failure_mode() {
+    let a = run_sim(&storm_cfg(0xC4A1));
+    assert!(a.served > 0, "the storm must not starve service");
+    assert!(a.conns_dropped > 0, "some connections must drop mid-pipeline");
+    assert!(
+        a.conns.iter().any(|c| c.dropped && c.discarded_bytes > 0),
+        "a drop must truncate inside a frame (partial bytes discarded)"
+    );
+    assert!(a.shed > 0, "pressure + chaos must shed");
+}
+
+#[test]
+fn connection_drops_do_not_leak_permits() {
+    // Exactly as many releases as admissions: rerunning with a second wave
+    // of connections (same Admission limit) must admit them all.
+    let cfg = SimConfig {
+        admit_limit: 16,
+        ..storm_cfg(0xC4A2)
+    };
+    let a = run_sim(&cfg);
+    assert_eq!(a.conns_refused, 0, "limit covers all conns");
+    // Every admitted conn either finished, dropped, or aborted — all paths
+    // release their permit, so refusals can only come from concurrency.
+    let terminal = a
+        .conns
+        .iter()
+        .filter(|c| c.admitted)
+        .count();
+    assert_eq!(terminal, a.conns.len());
+}
+
+#[test]
+fn slow_reader_guard_aborts_stalled_connections() {
+    // Aggressive stalls with a tiny out-buffer limit: the guard must fire.
+    let cfg = SimConfig {
+        chaos: ChaosConfig {
+            drop_pct: 0,
+            stall_pct: 60,
+            stall_ns: 400_000,
+            out_limit: 64,
+        },
+        pipeline_pct: 80,
+        ..storm_cfg(0xC4A3)
+    };
+    let a = run_sim(&cfg);
+    assert!(
+        a.conns_aborted > 0,
+        "stalled connections over the out-buffer limit must abort"
+    );
+    let b = run_sim(&cfg);
+    assert_eq!(a.conns_aborted, b.conns_aborted, "abort count is seeded");
+}
+
+#[test]
+fn fault_injection_composes_with_serving() {
+    // The fail-CAS plan must actually perturb the run relative to no
+    // faults — and stay deterministic.
+    let with = run_sim(&storm_cfg(0xC4A4));
+    let without = run_sim(&SimConfig {
+        faults: None,
+        ..storm_cfg(0xC4A4)
+    });
+    assert_ne!(
+        with.metrics.to_json(),
+        without.metrics.to_json(),
+        "injected faults must be visible in the run"
+    );
+}

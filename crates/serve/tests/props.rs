@@ -1,0 +1,167 @@
+//! Property tests for the frame parser: arbitrary garbage, truncation,
+//! pipelining and chunking must never panic, and must either resync or
+//! close deterministically.
+
+use proptest::prelude::*;
+use serve::proto::{Decoder, Request, MAX_ARGS, MAX_BULK};
+
+/// Drains a decoder, returning (requests, recoverable errors, fatal?).
+fn drain(d: &mut Decoder) -> (Vec<Request>, usize, bool) {
+    let mut reqs = Vec::new();
+    let mut recov = 0usize;
+    loop {
+        match d.try_next() {
+            Ok(Some(r)) => reqs.push(r),
+            Ok(None) => return (reqs, recov, false),
+            Err(e) if !e.is_fatal() => recov += 1,
+            Err(_) => return (reqs, recov, true),
+        }
+    }
+}
+
+/// Builds the wire bytes of a request list.
+fn wire_of(reqs: &[Request]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in reqs {
+        r.encode(&mut out);
+    }
+    out
+}
+
+/// Derives a request from three raw draws.
+fn req_of(kind: u8, key: u64, len: usize) -> Request {
+    match kind % 5 {
+        0 => Request::Get(key),
+        1 => Request::Set(key, vec![0x5A; len % 256]),
+        2 => Request::Del(key),
+        3 => Request::Scan(key, len % 64 + 1),
+        _ => Request::Ping,
+    }
+}
+
+proptest! {
+    /// Arbitrary garbage never panics the decoder, and a fatal error is
+    /// sticky per drain (the stream is closed, not re-interpreted).
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        let _ = drain(&mut d);
+    }
+
+    /// Pipelined well-formed requests decode back exactly, regardless of
+    /// how the byte stream is chunked.
+    #[test]
+    fn chunking_is_transparent(
+        draws in proptest::collection::vec((any::<u8>(), any::<u64>(), 0usize..300), 1..12),
+        cuts in proptest::collection::vec(1usize..64, 0..12),
+    ) {
+        let reqs: Vec<Request> = draws.iter().map(|&(k, key, len)| req_of(k, key, len)).collect();
+        let wire = wire_of(&reqs);
+        let mut d = Decoder::new();
+        let mut got = Vec::new();
+        let mut off = 0usize;
+        let mut ci = 0usize;
+        while off < wire.len() {
+            let step = cuts.get(ci).copied().unwrap_or(wire.len());
+            ci += 1;
+            let end = (off + step).min(wire.len());
+            d.feed(&wire[off..end]);
+            off = end;
+            let (mut part, recov, fatal) = drain(&mut d);
+            prop_assert_eq!(recov, 0);
+            prop_assert!(!fatal);
+            got.append(&mut part);
+        }
+        prop_assert_eq!(got, reqs);
+        prop_assert_eq!(d.pending_bytes(), 0);
+    }
+
+    /// A truncated stream yields exactly the complete prefix of frames and
+    /// then waits for more bytes — never an error, never a partial request.
+    #[test]
+    fn truncation_yields_the_complete_prefix(
+        draws in proptest::collection::vec((any::<u8>(), any::<u64>(), 0usize..300), 1..8),
+        frac in 0usize..100,
+    ) {
+        let reqs: Vec<Request> = draws.iter().map(|&(k, key, len)| req_of(k, key, len)).collect();
+        let wire = wire_of(&reqs);
+        let cut = wire.len() * frac / 100;
+        let mut d = Decoder::new();
+        d.feed(&wire[..cut]);
+        let (got, recov, fatal) = drain(&mut d);
+        prop_assert_eq!(recov, 0);
+        prop_assert!(!fatal);
+        prop_assert!(got.len() <= reqs.len());
+        prop_assert_eq!(&reqs[..got.len()], &got[..]);
+        // Feeding the rest completes the stream.
+        d.feed(&wire[cut..]);
+        let (rest, _, fatal) = drain(&mut d);
+        prop_assert!(!fatal);
+        prop_assert_eq!(&reqs[got.len()..], &rest[..]);
+    }
+
+    /// Garbage injected between well-formed inline commands is skipped with
+    /// a recoverable resync; the well-formed commands still decode.
+    #[test]
+    fn inline_garbage_resyncs(
+        junk in proptest::collection::vec(0x20u8..0x7F, 1..40),
+        key in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        Request::Get(key).encode(&mut wire);
+        wire.extend_from_slice(&junk);
+        wire.extend_from_slice(b"\r\n");
+        Request::Del(key).encode(&mut wire);
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        let mut got = Vec::new();
+        let mut fatal = false;
+        loop {
+            match d.try_next() {
+                Ok(Some(r)) => got.push(r),
+                Ok(None) => break,
+                Err(e) => {
+                    if e.is_fatal() {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        }
+        prop_assert!(!fatal);
+        // The junk line may happen to parse as a command; both surrounding
+        // requests must always survive.
+        prop_assert!(got.contains(&Request::Get(key)));
+        prop_assert!(got.contains(&Request::Del(key)));
+    }
+
+    /// Oversized declared lengths are rejected as fatal without allocating
+    /// the declared size.
+    #[test]
+    fn oversized_lengths_close(extra in 1u64..1_000_000) {
+        let hdr = format!("*2\r\n$3\r\nSET\r\n${}\r\n", MAX_BULK as u64 + extra);
+        let mut d = Decoder::new();
+        d.feed(hdr.as_bytes());
+        let (_, _, fatal) = drain(&mut d);
+        prop_assert!(fatal);
+        let hdr = format!("*{}\r\n", MAX_ARGS as u64 + extra);
+        let mut d = Decoder::new();
+        d.feed(hdr.as_bytes());
+        let (_, _, fatal) = drain(&mut d);
+        prop_assert!(fatal);
+    }
+
+    /// Decoding is a pure function of the byte stream: the same bytes fed
+    /// twice produce identical request sequences and error classes.
+    #[test]
+    fn decode_is_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut a = Decoder::new();
+        a.feed(&bytes);
+        let ra = drain(&mut a);
+        let mut b = Decoder::new();
+        b.feed(&bytes);
+        let rb = drain(&mut b);
+        prop_assert_eq!(ra, rb);
+    }
+}
