@@ -27,6 +27,7 @@ lint-chime:
 
 chaos:
 	$(CARGO) test -p chime --test chaos --test chaos_pipelined -q
+	$(CARGO) test -p part --test chaos -q
 
 # Serving-layer gate: byte-identical replay under a fixed seed plus the
 # connection-storm chaos suite (drops mid-pipeline, slow readers,

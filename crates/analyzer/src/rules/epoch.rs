@@ -1,0 +1,62 @@
+//! R9 `epoch-discipline` — routing-epoch writes only under the partition
+//! lock.
+//!
+//! The routing table's epoch word is what tells every CN that the home
+//! words changed. A mutation of the epoch that is not visibly under the
+//! partition lock can publish a torn table: a CN that reads the new epoch
+//! may still read the old home words, and the migration journal protocol
+//! (lock → journal → copy → switch → publish) loses its atomic publish
+//! point. The check is token-local: in any production function, a
+//! mutation verb (`write`/`write_batch`/`faa`/`cas`/`masked_cas`) whose
+//! arguments name the routing epoch (`route_epoch*`) must be preceded in
+//! the same body by a mention of the partition lock (`part_lock*`) — the
+//! acquire CAS, a lock-word read, or an assert on it. Reads of the epoch
+//! (every client's staleness check) are unrestricted.
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::source::{call_args, SourceFile};
+
+use super::is_call;
+
+/// Verbs that mutate remote memory.
+const MUTATION_VERBS: &[&str] = &["write", "write_batch", "faa", "cas", "masked_cas"];
+
+/// Runs the rule.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for f in &file.fns {
+        if f.body.1 <= f.body.0 {
+            continue;
+        }
+        for i in f.body.0..f.body.1.min(toks.len()) {
+            if !file.is_production(i) || !MUTATION_VERBS.iter().any(|v| is_call(toks, i, v)) {
+                continue;
+            }
+            let Some(args) = call_args(toks, i + 1) else {
+                continue;
+            };
+            let names_epoch = args.iter().any(|&(s, e)| {
+                toks[s..e]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text.contains("route_epoch"))
+            });
+            if !names_epoch {
+                continue;
+            }
+            let lock_in_scope = (f.body.0..i)
+                .any(|j| toks[j].kind == TokKind::Ident && toks[j].text.contains("part_lock"));
+            if !lock_in_scope {
+                out.push(Finding {
+                    rule: "epoch-discipline",
+                    file: file.rel_path.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "`{}` mutates the routing epoch without the partition lock in scope; bump the epoch only while `part_lock` is held so a CN never sees a new epoch with old home words",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -11,6 +11,7 @@ use crate::source::{call_args, SourceFile, TokRange};
 pub mod asyncblock;
 pub mod cq;
 pub mod determinism;
+pub mod epoch;
 pub mod layout;
 pub mod lockdiscipline;
 pub mod phase;
@@ -28,6 +29,7 @@ pub const RULES: &[&str] = &[
     "verb-protocol",
     "cq-discipline",
     "async-block",
+    "epoch-discipline",
     "suppression",
 ];
 
@@ -41,6 +43,7 @@ pub fn run_all(file: &SourceFile, out: &mut Vec<Finding>) {
     verbproto::check(file, out);
     cq::check(file, out);
     asyncblock::check(file, out);
+    epoch::check(file, out);
 }
 
 /// Whether the token at `i` is a *call* of the named function: an

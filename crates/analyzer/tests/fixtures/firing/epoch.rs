@@ -1,0 +1,13 @@
+//! Fixture: epoch-discipline — a routing-epoch bump with no partition
+//! lock in scope. The locked twin below must stay clean.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+pub fn publish(ep: &mut Endpoint) {
+    ep.faa(layout::route_epoch_addr(), 1);
+}
+
+pub fn publish_locked(ep: &mut Endpoint) {
+    let lock = read_word(ep, layout::part_lock_addr());
+    assert_eq!(lock, 1);
+    ep.faa(layout::route_epoch_addr(), 1);
+}

@@ -1,0 +1,6 @@
+//! Fixture: epoch-discipline violation suppressed with a reason.
+
+pub fn publish(ep: &mut Endpoint) {
+    // chime-lint: allow(epoch-discipline): fixture; bootstrap publishes the table before any CN exists.
+    ep.faa(layout::route_epoch_addr(), 1);
+}

@@ -114,6 +114,14 @@ fn async_block_fires_and_suppresses() {
 }
 
 #[test]
+fn epoch_discipline_fires_and_suppresses() {
+    let r = assert_fires("firing/epoch.rs", "epoch-discipline", 1);
+    assert!(r.findings[0].message.contains("without the partition lock"));
+    assert_eq!(r.findings[0].line, 6, "the locked twin must not fire");
+    assert_suppressed("suppressed/epoch.rs", 1);
+}
+
+#[test]
 fn malformed_suppressions_are_findings() {
     let r = assert_fires("firing/suppression.rs", "suppression", 3);
     assert_eq!(r.suppressions_honored, 0);

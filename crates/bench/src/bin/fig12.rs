@@ -111,5 +111,10 @@ fn scale_cache(kind: IndexKind, preload: u64) -> IndexKind {
             }
             IndexKind::Smart(c)
         }
+        IndexKind::Part(mut c) => {
+            c.chime.cache_bytes = cache / c.parts as u64;
+            c.chime.hotspot_bytes = hotspot / c.parts as u64;
+            IndexKind::Part(c)
+        }
     }
 }

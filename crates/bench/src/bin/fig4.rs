@@ -91,6 +91,8 @@ fn stream(pool: &std::sync::Arc<Pool>, base: GlobalAddr, reads: &[u64], ops: u64
         total_wire_bytes: s.wire_bytes,
         sum_latency_ns: ep.clock_ns() - t0,
         sum_busy_ns: 0,
+        max_mn_msgs: 0,
+        max_mn_wire_bytes: 0,
     };
     let est = NetConfig::default().model(&acc);
     (est.mops, est.bytes_per_op)

@@ -1,0 +1,110 @@
+//! fig_scaleout: multi-MN scale-out of the partitioned tree.
+//!
+//! Sweeps the memory-node count 1 → 8 with a partitioned CHIME deployment
+//! (4 range partitions per MN, CN cache budget split across partitions)
+//! under two YCSB-C key distributions:
+//!
+//! * **uniform** (theta ≈ 0) — traffic spreads evenly; throughput should
+//!   scale with the MN count (each MN's NIC serves 1/N of the verbs);
+//! * **zipfian** — hot keys hash into a few partitions, so the static
+//!   round-robin placement overloads one MN's NIC and the skew-aware
+//!   network model caps throughput at `total/max` MN shares. Run twice:
+//!   with the hotspot migrator off (the loss) and on (the recovery — the
+//!   rebalancer peels cold partitions off the hottest MN, live, mid-run).
+//!
+//! Usage: `fig_scaleout [--preload N] [--ops N] [--theta Z]`
+
+use bench::driver::{print_row, run, Args, BenchSetup, IndexKind};
+use bench::report::Report;
+use ycsb::Workload;
+
+/// Partitions per memory node. More partitions than MNs is what gives the
+/// migrator room: it rebalances by re-homing whole partitions.
+const PARTS_PER_MN: usize = 4;
+
+fn setup(mns: u16, theta: f64, migrate: bool, preload: u64, ops: u64, seed: u64) -> BenchSetup {
+    let parts = PARTS_PER_MN * mns as usize;
+    // Fixed per-CN budgets divided over the partition trees, so adding MNs
+    // does not quietly add compute-side cache.
+    let cache_budget = 8u64 << 20;
+    let hotspot_budget = 1u64 << 20;
+    let cfg = part::ClusterConfig {
+        parts,
+        chime: chime::ChimeConfig {
+            cache_bytes: cache_budget / parts as u64,
+            hotspot_bytes: hotspot_budget / parts as u64,
+            // Small leaves keep the one-time migration copy (leaf reads on
+            // the source MN, per-item inserts on the target) cheap relative
+            // to the steady-state traffic the rebalancing is meant to fix.
+            span: 16,
+            neighborhood: 4,
+            ..Default::default()
+        },
+        check_every: 64,
+        // The rebalancer re-evaluates on every one of its own ops: with
+        // ~2000 clients sharing the op budget it only runs a handful, and
+        // the window gate (min_window over *cluster-wide* traffic) is what
+        // actually paces migrations.
+        migrate: migrate.then_some(part::MigrateConfig {
+            check_every: 1,
+            min_window: 4_096,
+            imbalance: 1.15,
+        }),
+    };
+    BenchSetup {
+        kind: IndexKind::Part(cfg),
+        num_mns: mns,
+        mn_capacity: 64 << 20,
+        num_cns: 4,
+        // Enough offered load that the MN-side NIC verb rate is the
+        // binding resource across the whole sweep — the scale-out story
+        // is about MN NICs, not client count.
+        clients: 1_920,
+        preload,
+        ops,
+        workload: Workload::C,
+        theta,
+        // RDWC combining would collapse duplicate hot-key reads at the CN
+        // and mask exactly the MN-side placement skew this figure
+        // measures, so it is off here (it is on for every paper figure).
+        rdwc: false,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let preload: u64 = args.get("preload", 30_000);
+    let ops: u64 = args.get("ops", 576_000);
+    let theta: f64 = args.get("theta", ycsb::ZIPFIAN_CONSTANT);
+    let seed: u64 = args.get("seed", 42);
+
+    let mut rep = Report::new("fig_scaleout");
+    println!("# fig_scaleout: throughput vs memory nodes (partitioned CHIME)");
+    println!("# uniform YCSB C, then zipf theta {theta} with the migrator off/on");
+    for mns in [1u16, 2, 4, 8] {
+        let r = run(&setup(mns, 0.01, false, preload, ops, seed));
+        print_row(&format!("uniform {mns} MNs"), 64, &r);
+        rep.add(&format!("uniform/mns{mns}"), &r);
+
+        let r_off = run(&setup(mns, theta, false, preload, ops, seed));
+        print_row(&format!("zipf {mns} MNs, migrate off"), 64, &r_off);
+        rep.add(&format!("zipf/mns{mns}/off"), &r_off);
+
+        let r_on = run(&setup(mns, theta, true, preload, ops, seed));
+        let migs = r_on.metrics.counter_value("migrate_migrations_total", &[]);
+        let leaves = r_on.metrics.counter_value("migrate_leaves_moved_total", &[]);
+        print_row(
+            &format!("zipf {mns} MNs, migrate on ({migs} mig, {leaves} leaves)"),
+            64,
+            &r_on,
+        );
+        rep.add(&format!("zipf/mns{mns}/on"), &r_on);
+        println!(
+            "#   skew recovery at {mns} MNs: {:.2}x",
+            r_on.mops / r_off.mops
+        );
+    }
+    rep.finish();
+}

@@ -84,6 +84,46 @@ fn matrix() -> Vec<(String, BenchSetup)> {
             },
         ));
     }
+    // Scale-out: 4-MN partitioned deployments gate the router (uniform)
+    // and the live hotspot migrator (Zipfian, migrations mid-run) — a
+    // reduced cut of fig_scaleout's geometry.
+    for (name, theta, migrate) in [
+        ("scaleout/uniform/4mn", 0.01, false),
+        ("scaleout/zipf-mig/4mn", ycsb::ZIPFIAN_CONSTANT, true),
+    ] {
+        let parts = 16;
+        points.push((
+            name.to_string(),
+            BenchSetup {
+                kind: IndexKind::Part(part::ClusterConfig {
+                    parts,
+                    chime: chime::ChimeConfig {
+                        cache_bytes: (8 << 20) / parts as u64,
+                        hotspot_bytes: (1 << 20) / parts as u64,
+                        span: 16,
+                        neighborhood: 4,
+                        ..Default::default()
+                    },
+                    check_every: 64,
+                    migrate: migrate.then_some(part::MigrateConfig {
+                        check_every: 1,
+                        min_window: 4_096,
+                        imbalance: 1.15,
+                    }),
+                }),
+                num_mns: 4,
+                mn_capacity: 64 << 20,
+                num_cns: 4,
+                clients: 256,
+                preload: 30_000,
+                ops: 48_000,
+                workload: Workload::C,
+                theta,
+                rdwc: false,
+                ..base.clone()
+            },
+        ));
+    }
     points
 }
 

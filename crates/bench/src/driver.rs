@@ -37,6 +37,9 @@ pub enum IndexKind {
     Rolex(rolex::RolexConfig),
     /// SMART radix tree.
     Smart(smart::SmartConfig),
+    /// Partitioned CHIME: one pinned tree per range partition behind the
+    /// CN-side router (multi-MN scale-out; serial runs only).
+    Part(part::ClusterConfig),
 }
 
 impl IndexKind {
@@ -47,6 +50,7 @@ impl IndexKind {
             IndexKind::Sherman(_) => "Sherman",
             IndexKind::Rolex(_) => "ROLEX",
             IndexKind::Smart(_) => "SMART",
+            IndexKind::Part(_) => "CHIME-Part",
         }
     }
 }
@@ -151,10 +155,12 @@ pub struct Deployment {
     pub pool: Arc<Pool>,
     /// Per-CN lists of client handles.
     pub cns: Vec<Vec<Box<dyn RangeIndex + Send>>>,
-    /// Hotspot-stat probe (CHIME only).
+    /// Hotspot-stat probe (CHIME only; per-partition states for Part).
     hotspot_probe: Option<Vec<Arc<chime::CnState>>>,
     /// Per-CN `(cache hits, cache misses)` probes (CHIME and Sherman).
     cache_probe: Vec<Box<dyn Fn() -> (u64, u64) + Send>>,
+    /// Routing/migration counters (partitioned deployments only).
+    router_probe: Option<Arc<part::RouterStats>>,
 }
 
 /// Creates the index and preloads `setup.preload` keys.
@@ -195,6 +201,7 @@ pub fn deploy(setup: &BenchSetup) -> Deployment {
                 cns: handles,
                 hotspot_probe: Some(cns),
                 cache_probe,
+                router_probe: None,
             }
         }
         IndexKind::Sherman(cfg) => {
@@ -228,6 +235,7 @@ pub fn deploy(setup: &BenchSetup) -> Deployment {
                 cns: handles,
                 hotspot_probe: None,
                 cache_probe,
+                router_probe: None,
             }
         }
         IndexKind::Rolex(cfg) => {
@@ -253,6 +261,7 @@ pub fn deploy(setup: &BenchSetup) -> Deployment {
                 cns: handles,
                 hotspot_probe: None,
                 cache_probe: Vec::new(),
+                router_probe: None,
             }
         }
         IndexKind::Smart(cfg) => {
@@ -279,6 +288,61 @@ pub fn deploy(setup: &BenchSetup) -> Deployment {
                 cns: handles,
                 hotspot_probe: None,
                 cache_probe: Vec::new(),
+                router_probe: None,
+            }
+        }
+        IndexKind::Part(cfg) => {
+            assert_eq!(
+                setup.coroutines, 1,
+                "partitioned runs are serial: each router client multiplexes one endpoint"
+            );
+            let cluster = part::Cluster::create(&pool, *cfg);
+            let cns: Vec<part::PartCn> = (0..setup.num_cns).map(|_| cluster.new_cn()).collect();
+            let handles: Vec<Vec<Box<dyn RangeIndex + Send>>> = cns
+                .iter()
+                .map(|cn| {
+                    (0..per_cn)
+                        .map(|_| Box::new(cluster.client(cn)) as Box<dyn RangeIndex + Send>)
+                        .collect()
+                })
+                .collect();
+            // Preload through a throwaway client created *after* the
+            // measured handles: the rebalancer role (first client
+            // cluster-wide) stays on a measured handle, so the migration
+            // policy never evaluates preload traffic. The window is
+            // cleared afterwards so the measured phase starts clean.
+            {
+                let mut loader = cluster.client(&cns[0]);
+                for seq in 0..setup.preload {
+                    loader
+                        .insert(KeySpace::key(seq), &value)
+                        .expect("preload insert");
+                }
+            }
+            cluster.stats().reset_window();
+            let hotspot_probe = cns
+                .iter()
+                .flat_map(|cn| cn.states().iter().cloned())
+                .collect();
+            let cache_probe = cns
+                .iter()
+                .map(|cn| {
+                    let states: Vec<Arc<chime::CnState>> = cn.states().to_vec();
+                    Box::new(move || {
+                        states
+                            .iter()
+                            .map(|s| s.cache_stats())
+                            .fold((0, 0), |(h, m), (a, b)| (h + a, m + b))
+                    }) as Box<dyn Fn() -> (u64, u64) + Send>
+                })
+                .collect();
+            let router_probe = Some(Arc::clone(cluster.stats()));
+            Deployment {
+                pool,
+                cns: handles,
+                hotspot_probe: Some(hotspot_probe),
+                cache_probe,
+                router_probe,
             }
         }
     }
@@ -315,6 +379,7 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
     let mn_before = dep.pool.traffic();
     let cache_before: Vec<(u64, u64)> = dep.cache_probe.iter().map(|p| p()).collect();
     let hotspot_before = probe_hotspot(dep);
+    let router_before = probe_router(dep);
     // Each CN schedules its clients round-robin; RDWC combines duplicate
     // same-key read/update ops within one round. Client sweeps reuse one
     // deployment: only the first `setup.clients / num_cns` handles per CN
@@ -424,6 +489,7 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             mn_before,
             cache_before,
             hotspot_before,
+            router_before,
         },
     )
 }
@@ -462,6 +528,37 @@ struct Agg {
     mn_before: Vec<dmem::MnTraffic>,
     cache_before: Vec<(u64, u64)>,
     hotspot_before: (u64, u64),
+    router_before: RouterSnap,
+}
+
+/// Cumulative routing/migration counters at a point in time. Zeroed (with
+/// no per-partition entries) for deployments without a router, so the
+/// assembled metric key set stays stable across index kinds.
+#[derive(Debug, Clone, Default)]
+struct RouterSnap {
+    hits: u64,
+    stale: u64,
+    refreshes: u64,
+    migrations: u64,
+    leaves_moved: u64,
+    items_moved: u64,
+    part_ops: Vec<u64>,
+}
+
+fn probe_router(dep: &Deployment) -> RouterSnap {
+    use std::sync::atomic::Ordering::Relaxed;
+    dep.router_probe
+        .as_ref()
+        .map(|s| RouterSnap {
+            hits: s.route_hits.load(Relaxed),
+            stale: s.route_stale_epoch.load(Relaxed),
+            refreshes: s.route_refreshes.load(Relaxed),
+            migrations: s.migrations.load(Relaxed),
+            leaves_moved: s.migrate_leaves_moved.load(Relaxed),
+            items_moved: s.migrate_items_moved.load(Relaxed),
+            part_ops: s.part_ops.iter().map(|c| c.load(Relaxed)).collect(),
+        })
+        .unwrap_or_default()
 }
 
 /// Runs the measured phase with K coroutine lanes per client on the
@@ -491,6 +588,7 @@ fn run_pipelined(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
     let mn_before = dep.pool.traffic();
     let cache_before: Vec<(u64, u64)> = dep.cache_probe.iter().map(|p| p()).collect();
     let hotspot_before = probe_hotspot(dep);
+    let router_before = probe_router(dep);
     let net = *dep.pool.net();
     let engine = Engine::new(EngineConfig {
         lanes: k,
@@ -645,6 +743,7 @@ fn run_pipelined(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             mn_before,
             cache_before,
             hotspot_before,
+            router_before,
         },
     )
 }
@@ -682,14 +781,46 @@ fn assemble(setup: &BenchSetup, dep: &mut Deployment, agg: Agg) -> BenchResult {
         mn_before,
         cache_before,
         hotspot_before,
+        router_before,
     } = agg;
     let net = NetConfig::default();
+    // Per-MN traffic deltas of the measured phase, computed up front: for
+    // partitioned runs they are the accounting source of truth (they
+    // include migration traffic, which client-side counters on the
+    // migrator's endpoint alone would not attribute per MN) and their max
+    // feeds the skew-aware NIC cap of the network model.
+    let mn_traffic: Vec<(u64, u64)> = dep
+        .pool
+        .traffic()
+        .iter()
+        .zip(&mn_before)
+        .map(|(now, before)| {
+            let d = now.since(before);
+            (d.msgs, d.wire_bytes)
+        })
+        .collect();
+    let part_run = matches!(setup.kind, IndexKind::Part(_));
+    let (pool_msgs, pool_wire) = mn_traffic
+        .iter()
+        .fold((0u64, 0u64), |(m, w), &(dm, dw)| (m + dm, w + dw));
+    let (max_mn_msgs, max_mn_wire_bytes) = if part_run {
+        (
+            mn_traffic.iter().map(|&(m, _)| m).max().unwrap_or(0),
+            mn_traffic.iter().map(|&(_, w)| w).max().unwrap_or(0),
+        )
+    } else {
+        // Non-partitioned indexes stripe allocations over the MNs; zero
+        // tells the model to assume uniform spread, as it always has.
+        (0, 0)
+    };
     let acc = RunAccounting {
         ops: executed,
         clients: setup.clients as u64,
         mns: setup.num_mns as u64,
-        total_msgs,
-        total_wire_bytes: total_wire,
+        total_msgs: if part_run { pool_msgs } else { total_msgs },
+        total_wire_bytes: if part_run { pool_wire } else { total_wire },
+        max_mn_msgs,
+        max_mn_wire_bytes,
         sum_latency_ns: sum_latency,
         sum_busy_ns: sum_busy,
     };
@@ -715,16 +846,6 @@ fn assemble(setup: &BenchSetup, dep: &mut Deployment, agg: Agg) -> BenchResult {
             (h1 - h0, m1 - m0)
         })
         .fold((0, 0), |(a, b), (h, m)| (a + h, b + m));
-    let mn_traffic: Vec<(u64, u64)> = dep
-        .pool
-        .traffic()
-        .iter()
-        .zip(&mn_before)
-        .map(|(now, before)| {
-            let d = now.since(before);
-            (d.msgs, d.wire_bytes)
-        })
-        .collect();
     let remote_bytes = dep.pool.allocated_bytes();
     let mut metrics = MetricsSnapshot::new();
     for (name, v) in stats_delta.as_pairs() {
@@ -739,6 +860,41 @@ fn assemble(setup: &BenchSetup, dep: &mut Deployment, agg: Agg) -> BenchResult {
         let id = mn.to_string();
         metrics.counter("mn_msgs_total", &[("mn", &id)], msgs);
         metrics.counter("mn_wire_bytes_total", &[("mn", &id)], wire);
+    }
+    // Routing and migration counters: the scalar series are always
+    // emitted (zero without a router) so the flat key set is stable
+    // across index kinds; per-partition ops only exist on routed runs.
+    let router_now = probe_router(dep);
+    metrics.counter("route_hits_total", &[], router_now.hits - router_before.hits);
+    metrics.counter(
+        "route_stale_epoch_total",
+        &[],
+        router_now.stale - router_before.stale,
+    );
+    metrics.counter(
+        "route_refreshes_total",
+        &[],
+        router_now.refreshes - router_before.refreshes,
+    );
+    metrics.counter(
+        "migrate_migrations_total",
+        &[],
+        router_now.migrations - router_before.migrations,
+    );
+    metrics.counter(
+        "migrate_leaves_moved_total",
+        &[],
+        router_now.leaves_moved - router_before.leaves_moved,
+    );
+    metrics.counter(
+        "migrate_items_moved_total",
+        &[],
+        router_now.items_moved - router_before.items_moved,
+    );
+    for (p, &ops) in router_now.part_ops.iter().enumerate() {
+        let before = router_before.part_ops.get(p).copied().unwrap_or(0);
+        let id = p.to_string();
+        metrics.counter("part_ops_total", &[("part", &id)], ops - before);
     }
     metrics.gauge("cache_bytes", &[], cache_bytes as f64);
     metrics.gauge("remote_alloc_bytes", &[], remote_bytes as f64);
@@ -1037,6 +1193,51 @@ mod tests {
         let b = run(&mk());
         assert_eq!(a.metrics.to_json(), b.metrics.to_json());
         assert_eq!(a.mops, b.mops);
+    }
+
+    #[test]
+    fn partitioned_chime_routes_and_accounts_per_mn() {
+        let cfg = part::ClusterConfig {
+            parts: 4,
+            chime: chime::ChimeConfig {
+                cache_bytes: 1 << 20,
+                hotspot_bytes: 1 << 16,
+                ..Default::default()
+            },
+            check_every: 64,
+            migrate: None,
+        };
+        let mut setup = tiny(IndexKind::Part(cfg), Workload::A);
+        setup.num_mns = 2;
+        let r = run(&setup);
+        assert!(r.mops > 0.0);
+        assert!(r.metrics.counter_value("route_hits_total", &[]) > 0);
+        // Hashed keys spread over all partitions, partitions over both MNs.
+        for p in 0..4 {
+            let id = p.to_string();
+            assert!(
+                r.metrics.counter_value("part_ops_total", &[("part", &id)]) > 0,
+                "partition {p} never hit"
+            );
+        }
+        assert_eq!(r.mn_traffic.len(), 2);
+        assert!(r.mn_traffic.iter().all(|&(m, _)| m > 0), "both MNs see traffic");
+        // Deterministic replay, router included.
+        let r2 = run(&setup);
+        assert_eq!(r.metrics.to_json(), r2.metrics.to_json());
+    }
+
+    #[test]
+    fn router_metric_keys_are_zero_without_a_router() {
+        let r = run(&tiny(IndexKind::Chime(chime::ChimeConfig::default()), Workload::C));
+        assert_eq!(r.metrics.counter_value("route_hits_total", &[]), 0);
+        assert_eq!(r.metrics.counter_value("route_stale_epoch_total", &[]), 0);
+        assert_eq!(r.metrics.counter_value("migrate_migrations_total", &[]), 0);
+        assert_eq!(r.metrics.counter_value("migrate_leaves_moved_total", &[]), 0);
+        assert!(r
+            .metrics
+            .counter_labeled_values("part_ops_total", "part")
+            .is_empty());
     }
 
     #[test]

@@ -132,9 +132,25 @@ fn category_deltas(prefix: &str, old: &BenchPoint, new: &BenchPoint) -> Vec<Delt
 pub fn explain(old_label: &str, old: &[BenchPoint], new_label: &str, new: &[BenchPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# explain: {old_label} -> {new_label}");
+    // The two documents need not cover the same points (a new figure adds
+    // points, a retired one drops them): shared points are diffed, the rest
+    // are reported as added/removed so the comparison never errors.
+    let shared = old
+        .iter()
+        .filter(|p| new.iter().any(|q| q.name == p.name))
+        .count();
+    let removed = old.len() - shared;
+    let added = new
+        .iter()
+        .filter(|p| !old.iter().any(|q| q.name == p.name))
+        .count();
+    let _ = writeln!(
+        out,
+        "# points: {shared} shared, {added} added (only in {new_label}), {removed} removed (only in {old_label})"
+    );
     for op in old {
         let Some(np) = new.iter().find(|p| p.name == op.name) else {
-            let _ = writeln!(out, "\n## {} — only in {old_label}", op.name);
+            let _ = writeln!(out, "\n## {} — removed (only in {old_label})", op.name);
             continue;
         };
         let _ = writeln!(out, "\n## {}", op.name);
@@ -193,7 +209,7 @@ pub fn explain(old_label: &str, old: &[BenchPoint], new_label: &str, new: &[Benc
     }
     for np in new {
         if !old.iter().any(|p| p.name == np.name) {
-            let _ = writeln!(out, "\n## {} — only in {new_label}", np.name);
+            let _ = writeln!(out, "\n## {} — added (only in {new_label})", np.name);
         }
     }
     out
@@ -269,8 +285,27 @@ mod tests {
         let mut old2 = old.clone();
         old2.push(point("gone/point", &[("mops", 1.0)]));
         let rep = explain("old", &old2, "new", &new2);
-        assert!(rep.contains("gone/point — only in old"), "{rep}");
-        assert!(rep.contains("fresh/point — only in new"), "{rep}");
+        assert!(rep.contains("gone/point — removed (only in old)"), "{rep}");
+        assert!(rep.contains("fresh/point — added (only in new)"), "{rep}");
+        assert!(rep.contains("# points: 1 shared, 1 added (only in new), 1 removed (only in old)"), "{rep}");
+    }
+
+    #[test]
+    fn disjoint_point_sets_diff_without_erroring() {
+        // An old baseline vs a document whose points are entirely new (the
+        // scaleout figure landing against a pre-scaleout baseline): every
+        // point is reported as added/removed, nothing is diffed, no error.
+        let old = vec![point("chime/c/16", &[("mops", 10.0)])];
+        let new = vec![
+            point("uniform/mns4", &[("mops", 250.0)]),
+            point("zipf/mns4/on", &[("mops", 240.0)]),
+        ];
+        let rep = explain("base", &old, "scaleout", &new);
+        assert!(rep.contains("# points: 0 shared, 2 added (only in scaleout), 1 removed (only in base)"), "{rep}");
+        assert!(rep.contains("chime/c/16 — removed (only in base)"), "{rep}");
+        assert!(rep.contains("uniform/mns4 — added (only in scaleout)"), "{rep}");
+        assert!(rep.contains("zipf/mns4/on — added (only in scaleout)"), "{rep}");
+        assert_eq!(explain("base", &old, "scaleout", &new), rep);
     }
 
     #[test]

@@ -170,6 +170,28 @@ impl Report {
             "qp.doorbells_per_op".to_string(),
             r.metrics.counter_value("qp_doorbells_total", &[]) as f64 / executed as f64,
         );
+        // Routing and migration keys: the scalar series exist on every run
+        // (zero without a router) so serial CHIME points keep a stable key
+        // set; per-partition op counts appear only on routed runs.
+        m.insert(
+            "route.hits".to_string(),
+            r.metrics.counter_value("route_hits_total", &[]) as f64,
+        );
+        m.insert(
+            "route.stale_epoch".to_string(),
+            r.metrics.counter_value("route_stale_epoch_total", &[]) as f64,
+        );
+        m.insert(
+            "migrate.migrations".to_string(),
+            r.metrics.counter_value("migrate_migrations_total", &[]) as f64,
+        );
+        m.insert(
+            "migrate.leaves_moved".to_string(),
+            r.metrics.counter_value("migrate_leaves_moved_total", &[]) as f64,
+        );
+        for (part, ops) in r.metrics.counter_labeled_values("part_ops_total", "part") {
+            m.insert(format!("part.{part}.ops"), ops as f64);
+        }
         // Retry root causes, normalized per op. All causes present.
         for cause in RetryCause::ALL {
             let n = r
@@ -268,6 +290,11 @@ mod tests {
         assert!(m.get("phase_ns_per_op.traversal").unwrap().as_f64().unwrap() > 0.0);
         assert!(m.get("phase_rtts_per_op.leaf_read").unwrap().as_f64().unwrap() > 0.0);
         assert!(m.get("retries_per_op.lock_conflict").unwrap().as_f64().is_some());
+        // Router keys exist (zero) even on unpartitioned runs; the
+        // per-partition series does not.
+        assert_eq!(m.get("route.hits").unwrap().as_f64(), Some(0.0));
+        assert_eq!(m.get("migrate.leaves_moved").unwrap().as_f64(), Some(0.0));
+        assert!(m.get("part.0.ops").is_none());
         assert!(points[0].get("per_mn").unwrap().as_arr().unwrap().len() == 1);
         assert!(points[0]
             .get("snapshot")

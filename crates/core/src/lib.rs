@@ -36,5 +36,5 @@ pub mod tree;
 pub mod varkey;
 
 pub use config::ChimeConfig;
-pub use tree::{Chime, ChimeClient, CnState};
+pub use tree::{Chime, ChimeClient, CnState, TreeBinding};
 pub use varkey::{VarKeyClient, VarKeyTree};

@@ -124,6 +124,10 @@ pub struct ChimeClient {
     /// Backoff state for whole-operation optimistic retries; the conflict
     /// streak resets at the start of each operation.
     retry_backoff: Backoff,
+    /// One-shot descent override installed by a migration forwarding
+    /// tombstone: the next traversal starts from this internal node (the
+    /// moved subtree's root) instead of the live root slot.
+    forward: Option<GlobalAddr>,
 }
 
 /// Result of a sibling chase: either the operation finished, or the chase hit
@@ -147,6 +151,24 @@ impl Chime {
     /// Creates a new empty tree whose root pointer lives in well-known slot
     /// `slot` of memory node 0.
     pub fn create(pool: &Arc<Pool>, cfg: ChimeConfig, slot: u64) -> Self {
+        let t = Self::open(pool, cfg, slot);
+        t.bootstrap(ChunkAlloc::with_defaults());
+        t
+    }
+
+    /// Like [`Chime::create`], but every bootstrap allocation is pinned to
+    /// memory node `mn` (partitioned deployments place each partition's
+    /// subtree on its home MN). Uses the simulation-scaled chunk size so a
+    /// fleet of partition trees does not exhaust the pool on reservation.
+    pub fn create_pinned(pool: &Arc<Pool>, cfg: ChimeConfig, slot: u64, mn: u16) -> Self {
+        let t = Self::open(pool, cfg, slot);
+        t.bootstrap(ChunkAlloc::pinned(dmem::alloc::SIM_CHUNK_SIZE, mn));
+        t
+    }
+
+    /// Attaches to an existing tree whose root pointer lives in slot `slot`
+    /// (no bootstrap writes; the creator already published the root).
+    pub fn open(pool: &Arc<Pool>, cfg: ChimeConfig, slot: u64) -> Self {
         cfg.validate();
         let leaf = LeafOps::new(leaf_layout(&cfg)).with_lease_spins(cfg.lock_lease_spins);
         let internal = InternalOps {
@@ -161,15 +183,12 @@ impl Chime {
             leaf,
             internal,
         });
-        let t = Chime { shared };
-        t.bootstrap();
-        t
+        Chime { shared }
     }
 
-    fn bootstrap(&self) {
+    fn bootstrap(&self, mut alloc: ChunkAlloc) {
         let s = &self.shared;
         let mut ep = Endpoint::new(Arc::clone(&s.pool));
-        let mut alloc = ChunkAlloc::with_defaults();
         let leaf_addr = alloc
             .alloc(&mut ep, s.leaf.layout.node_size() as u64)
             .expect("pool too small for bootstrap");
@@ -212,6 +231,14 @@ impl Chime {
         self.client_with_endpoint(cn, Endpoint::new(Arc::clone(&self.shared.pool)))
     }
 
+    /// Creates a client whose node allocations (splits, indirect values)
+    /// are pinned to memory node `mn` — see [`ChunkAlloc::pinned`].
+    pub fn client_pinned(&self, cn: &Arc<CnState>, mn: u16) -> ChimeClient {
+        let mut c = self.client(cn);
+        c.alloc = ChunkAlloc::pinned(dmem::alloc::SIM_CHUNK_SIZE, mn);
+        c
+    }
+
     /// Creates a client over a pre-built endpoint (e.g. one wired to a
     /// [`dmem::FaultSession`] for fault-injection runs).
     pub fn client_with_endpoint(&self, cn: &Arc<CnState>, mut ep: Endpoint) -> ChimeClient {
@@ -229,6 +256,7 @@ impl Chime {
             alloc: ChunkAlloc::sim_scaled(),
             counters: OpCounters::default(),
             retry_backoff: Backoff::new(seed),
+            forward: None,
         }
     }
 
@@ -236,6 +264,32 @@ impl Chime {
     pub fn config(&self) -> &ChimeConfig {
         &self.shared.cfg
     }
+
+    /// Builds a detached [`TreeBinding`] for this tree. `home` pins the
+    /// binding's allocator to that memory node (partitioned deployments);
+    /// `None` round-robins allocations as usual.
+    pub fn binding(&self, cn: &Arc<CnState>, home: Option<u16>) -> TreeBinding {
+        TreeBinding {
+            shared: Arc::clone(&self.shared),
+            cn: Arc::clone(cn),
+            alloc: match home {
+                Some(mn) => ChunkAlloc::pinned(dmem::alloc::SIM_CHUNK_SIZE, mn),
+                None => ChunkAlloc::sim_scaled(),
+            },
+        }
+    }
+}
+
+/// A client's attachment to one tree: the root slot and geometry, the
+/// CN-local cache state, and the allocator that places the tree's new
+/// nodes. A partition router holds one binding per partition and swaps
+/// them through a single [`ChimeClient`] (see [`ChimeClient::rebind`]),
+/// so one endpoint — one clock, one statistics block, one phase profile —
+/// serves the whole key space.
+pub struct TreeBinding {
+    shared: Arc<Shared>,
+    cn: Arc<CnState>,
+    alloc: ChunkAlloc,
 }
 
 /// Derives the leaf geometry from a configuration.
@@ -330,6 +384,42 @@ impl ChimeClient {
         }
     }
 
+    /// Where the next traversal starts: a pending forwarding target if a
+    /// migration tombstone installed one, otherwise the (hinted) root.
+    fn descent_origin(&mut self) -> GlobalAddr {
+        match self.forward.take() {
+            Some(f) => f,
+            None => self.root(),
+        }
+    }
+
+    /// Reacts to an invalid leaf observed mid-operation. A leaf retired by
+    /// a partition migration carries a forwarding pointer (invalid, sibling
+    /// non-null: the destination tree's root internal node) — when `follow`
+    /// is set, the next descent restarts from there, keeping the operation
+    /// wait-free while a crashed migration leaves the live root stale.
+    /// Searches, updates and deletes follow (they never split, so they
+    /// cannot up-propagate pivots into the wrong tree's internals); inserts
+    /// and scans do not — they retry through the live root until recovery
+    /// republishes it. A leaf retired by a merge (sibling null) always
+    /// falls back to a root refresh. Either way the cached parent route is
+    /// dropped.
+    fn on_invalid_leaf(&mut self, parent: GlobalAddr, tombstone_sibling: GlobalAddr, follow: bool) {
+        self.cn.cache.lock().invalidate(parent);
+        if follow && !tombstone_sibling.is_null() {
+            self.counters.chases += 1;
+            self.forward = Some(tombstone_sibling);
+        }
+        // Either way, re-read the root slot: a tombstone means this
+        // partition is (or was) migrating, and once the switch has
+        // published, the refreshed CN-wide hint sends every subsequent
+        // descent straight to the live tree instead of chasing the forward
+        // on each operation. Before the switch the slot still names the
+        // old root and the chase repeats — correct, just slower.
+        self.refresh_root();
+        self.on_op_conflict(RetryCause::StaleRoute);
+    }
+
     /// Reads an internal node through the CN cache; remote reads populate it.
     fn read_internal_cached(&mut self, addr: GlobalAddr, key: u64) -> (InternalNode, bool) {
         let hit = self.in_phase(Phase::CacheLookup, |me| {
@@ -354,7 +444,7 @@ impl ChimeClient {
     }
 
     fn locate_leaf_inner(&mut self, key: u64) -> LeafLoc {
-        let mut addr = self.root();
+        let mut addr = self.descent_origin();
         for _ in 0..OP_RETRY_LIMIT {
             let (node, via_cache) = self.read_internal_cached(addr, key);
             if !node.valid {
@@ -418,7 +508,7 @@ impl ChimeClient {
     }
 
     fn locate_parent_inner(&mut self, key: u64) -> InternalNode {
-        let mut addr = self.root();
+        let mut addr = self.descent_origin();
         for _ in 0..OP_RETRY_LIMIT {
             let (node, _) = self.read_internal_cached(addr, key);
             if !node.valid {
@@ -475,9 +565,7 @@ impl ChimeClient {
                     me.leaf().read_neighborhood(&mut me.ep, loc.addr, key)
                 });
             if !r.meta.valid {
-                self.cn.cache.lock().invalidate(loc.parent);
-                self.refresh_root();
-                self.on_op_conflict(RetryCause::StaleRoute);
+                self.on_invalid_leaf(loc.parent, r.meta.sibling, true);
                 continue;
             }
             // Fence-key validation path (sibling validation disabled).
@@ -685,9 +773,7 @@ impl ChimeClient {
                     });
                 if !lr.meta.valid {
                     self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
-                    self.cn.cache.lock().invalidate(parent);
-                    self.refresh_root();
-                    self.on_op_conflict(RetryCause::StaleRoute);
+                    self.on_invalid_leaf(parent, lr.meta.sibling, false);
                     continue;
                 }
                 if let Some(next) = self.owns_key(key, expected, &lr) {
@@ -715,9 +801,7 @@ impl ChimeClient {
                     });
                 if !lr.meta.valid {
                     self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
-                    self.cn.cache.lock().invalidate(parent);
-                    self.refresh_root();
-                    self.on_op_conflict(RetryCause::StaleRoute);
+                    self.on_invalid_leaf(parent, lr.meta.sibling, false);
                     continue;
                 }
                 if let Some(next) = self.owns_key(key, expected, &lr) {
@@ -731,11 +815,9 @@ impl ChimeClient {
                 continue;
             };
             if !lr.meta.valid {
-                // The leaf was merged away: drop the stale route.
+                // The leaf was merged away or migrated: drop the stale route.
                 self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
-                self.cn.cache.lock().invalidate(parent);
-                self.refresh_root();
-                self.on_op_conflict(RetryCause::StaleRoute);
+                self.on_invalid_leaf(parent, lr.meta.sibling, false);
                 continue;
             }
             if let Some(next) = self.owns_key(key, expected, &lr) {
@@ -923,11 +1005,9 @@ impl ChimeClient {
                 me.leaf().read_nbh_window(&mut me.ep, addr, home, word)
             });
             if !lr.meta.valid {
-                // The leaf was merged away: drop the stale route.
+                // The leaf was merged away or migrated: drop the stale route.
                 self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
-                self.cn.cache.lock().invalidate(parent);
-                self.refresh_root();
-                self.on_op_conflict(RetryCause::StaleRoute);
+                self.on_invalid_leaf(parent, lr.meta.sibling, true);
                 continue;
             }
             if let Some(next) = self.owns_key(key, expected, &lr) {
@@ -980,11 +1060,9 @@ impl ChimeClient {
                 me.leaf().read_nbh_window(&mut me.ep, addr, home, word)
             });
             if !lr.meta.valid {
-                // The leaf was merged away: drop the stale route.
+                // The leaf was merged away or migrated: drop the stale route.
                 self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
-                self.cn.cache.lock().invalidate(parent);
-                self.refresh_root();
-                self.on_op_conflict(RetryCause::StaleRoute);
+                self.on_invalid_leaf(parent, lr.meta.sibling, true);
                 continue;
             }
             if let Some(next) = self.owns_key(key, expected, &lr) {
@@ -1722,6 +1800,153 @@ impl ChimeClient {
         let len = u64::from_le_bytes(block[8..16].try_into().unwrap()) as usize;
         block[16..16 + len.min(cfg.value_size)].to_vec()
     }
+
+    // ------------------------------------------------------------------
+    // Migration support (partitioned deployments)
+    // ------------------------------------------------------------------
+
+    /// Re-reads the live root pointer slot. Migrators use this to snapshot
+    /// the root of the tree they are about to move.
+    pub fn current_root(&mut self) -> GlobalAddr {
+        self.refresh_root()
+    }
+
+    /// The remote address of this tree's root-pointer slot.
+    pub fn root_slot_addr(&self) -> GlobalAddr {
+        self.shared.root_slot
+    }
+
+    /// Retargets this client's pinned allocator to `mn` (no-op for
+    /// round-robin allocators); see [`ChunkAlloc::retarget`].
+    pub fn retarget_alloc(&mut self, mn: u16) {
+        self.alloc.retarget(mn);
+    }
+
+    /// Advances this client's virtual clock to `ns` if it lags behind.
+    /// A partition router multiplexes one logical client over several
+    /// per-partition clients and keeps their clocks on one timeline.
+    pub fn sync_clock_to(&mut self, ns: u64) {
+        let now = self.ep.clock_ns();
+        if ns > now {
+            self.ep.advance_clock(ns - now);
+        }
+    }
+
+    /// Fires the labeled crash point on this client's endpoint (see
+    /// [`dmem::Endpoint::crash_point`]); migration drivers mark their
+    /// protocol steps through this.
+    pub fn crash_point(&mut self, label: &str) {
+        self.ep.crash_point(label);
+    }
+
+    /// Swaps this client's tree binding — root slot, CN cache state and
+    /// allocator — returning the previous one. The endpoint stays put:
+    /// its clock, verb statistics and phase profile span every tree the
+    /// client serves, which is exactly what a partition router wants.
+    /// Any pending forwarding override is dropped (it pointed into the
+    /// previous binding's tree).
+    pub fn rebind(&mut self, b: TreeBinding) -> TreeBinding {
+        debug_assert_eq!(
+            self.shared.cfg.span, b.shared.cfg.span,
+            "rebind across trees of different geometry"
+        );
+        self.forward = None;
+        TreeBinding {
+            shared: std::mem::replace(&mut self.shared, b.shared),
+            cn: std::mem::replace(&mut self.cn, b.cn),
+            alloc: std::mem::replace(&mut self.alloc, b.alloc),
+        }
+    }
+
+    /// Reads raw bytes at `addr` on this client's endpoint, attributed to
+    /// `phase`. Partition routers read routing-table words through the
+    /// operating client so the cost lands on its timeline and profile.
+    pub fn read_raw(&mut self, addr: GlobalAddr, dst: &mut [u8], phase: Phase) {
+        let fr = self.ep.phase_begin(phase);
+        self.ep.read(addr, dst);
+        self.ep.phase_end(fr);
+    }
+
+    /// Leaf addresses reachable through the level-1 entries of the tree
+    /// rooted at `root`, left to right (tombstoned leaves included; the
+    /// caller filters). Pivot up-propagation completes before any index
+    /// operation returns, so between operations the level-1 entries are
+    /// the complete leaf set — unlike the leaf sibling chain, which
+    /// forwarding tombstones sever, this enumeration stays sound while a
+    /// partition is half-migrated (crash recovery relies on that).
+    pub fn leaf_addrs_under(&mut self, root: GlobalAddr) -> Vec<GlobalAddr> {
+        let fr = self.ep.phase_begin(Phase::Traversal);
+        let mut node = self.shared.internal.read(&mut self.ep, root);
+        while node.level > 1 {
+            let child = node.entries[0].1;
+            node = self.shared.internal.read(&mut self.ep, child);
+        }
+        let mut out: Vec<GlobalAddr> = Vec::new();
+        loop {
+            out.extend(node.entries.iter().map(|e| e.1));
+            if node.sibling.is_null() {
+                break;
+            }
+            let sib = node.sibling;
+            node = self.shared.internal.read(&mut self.ep, sib);
+        }
+        self.ep.phase_end(fr);
+        out
+    }
+
+    /// Atomically moves one leaf into `dst`'s tree: locks the leaf, copies
+    /// every item over (inserts upsert, so a crash-recovery re-drive of a
+    /// partially copied leaf converges), then retires the leaf behind a
+    /// forwarding tombstone whose sibling pointer names `forward` — the
+    /// destination tree's root internal node. Point operations landing on
+    /// the tombstone restart their descent from `forward`. Returns the
+    /// number of items moved, or `None` if the leaf was already retired.
+    pub fn move_leaf_into(
+        &mut self,
+        addr: GlobalAddr,
+        dst: &mut ChimeClient,
+        forward: GlobalAddr,
+    ) -> Result<Option<u64>, IndexError> {
+        let _lk = self.local_lock(addr);
+        let word = self.in_phase(Phase::LockAcquire, |me| me.leaf().lock(&mut me.ep, addr));
+        let lr = self.in_phase(Phase::LeafRead, |me| {
+            me.leaf().read_full_locked(&mut me.ep, addr, word)
+        });
+        if !lr.meta.valid {
+            self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
+            return Ok(None);
+        }
+        let span = self.span();
+        let mut items: Vec<(u64, Vec<u8>)> = (0..span)
+            .filter(|&i| !lr.w.slot_empty(i))
+            .map(|i| {
+                let (k, v, _) = lr.w.slot(i);
+                (k, v.to_vec())
+            })
+            .collect();
+        items.sort_by_key(|&(k, _)| k);
+        let mut moved = 0u64;
+        for (k, stored) in items {
+            let v = self.resolve_value(stored);
+            if let Err(e) = dst.insert(k, &v) {
+                // Abort without tombstoning: the source leaf stays live and
+                // authoritative; the half-built destination is abandoned.
+                self.in_phase(Phase::WriteBack, |me| me.leaf().unlock(&mut me.ep, addr, word));
+                return Err(e);
+            }
+            moved += 1;
+        }
+        let empty = Window::new(span, self.h(), 0, span);
+        let dead = LeafMeta {
+            sibling: forward,
+            valid: false,
+            fences: lr.meta.fences,
+        };
+        self.in_phase(Phase::WriteBack, |me| {
+            me.leaf().rewrite_and_unlock(&mut me.ep, addr, &empty, lr.nv, &dead)
+        });
+        Ok(Some(moved))
+    }
 }
 
 /// One built leaf chunk: its hopscotch window plus the items it holds.
@@ -2166,5 +2391,103 @@ mod tests {
             }
         })
         .unwrap();
+    }
+
+    #[test]
+    fn leaf_addrs_under_enumerates_every_leaf() {
+        let pool = pool();
+        let t = Chime::create(&pool, small_cfg(), 0);
+        let cn = t.new_cn();
+        let mut c = t.client(&cn);
+        let n = 2_000u64;
+        for k in 1..=n {
+            c.insert(k, &v(k)).unwrap();
+        }
+        let root = c.current_root();
+        let leaves = c.leaf_addrs_under(root);
+        let mut total = 0u64;
+        let mut prev_max = 0u64;
+        for addr in &leaves {
+            let snap = c.leaf().read_full(&mut c.ep, *addr);
+            assert!(snap.meta.valid);
+            let items = snap.items();
+            let min = items.iter().map(|&(k, _)| k).min().unwrap();
+            assert!(min > prev_max, "leaves out of order");
+            prev_max = items.iter().map(|&(k, _)| k).max().unwrap();
+            total += items.len() as u64;
+        }
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn pinned_tree_and_client_allocate_on_home_mn() {
+        let pool = Pool::with_defaults(4, 64 << 20);
+        let t = Chime::create_pinned(&pool, small_cfg(), 0, 2);
+        let cn = t.new_cn();
+        let mut c = t.client_pinned(&cn, 2);
+        for k in 1..=2_000u64 {
+            c.insert(k, &v(k)).unwrap();
+        }
+        let root = c.current_root();
+        assert_eq!(root.mn(), 2, "root internal node off the home MN");
+        for addr in c.leaf_addrs_under(root) {
+            assert_eq!(addr.mn(), 2, "leaf off the home MN");
+        }
+        assert_eq!(c.check_integrity().unwrap(), 2_000);
+    }
+
+    #[test]
+    fn moved_leaves_forward_point_ops_to_the_new_tree() {
+        // Simulate a partition migration by hand: move every leaf of the
+        // old tree into a fresh tree on another slot, leaving forwarding
+        // tombstones behind, and verify that clients still routed through
+        // the *old* root reach every key (and can write) via the forwards.
+        let pool = pool();
+        let old = Chime::create(&pool, small_cfg(), 0);
+        let new = Chime::create(&pool, small_cfg(), 1);
+        let cn = old.new_cn();
+        let mut w = old.client(&cn);
+        let n = 1_200u64;
+        for k in 1..=n {
+            w.insert(k, &v(k)).unwrap();
+        }
+        let new_cn = new.new_cn();
+        let mut dst = new.client(&new_cn);
+        let old_root = w.current_root();
+        let mut mover = old.client(&cn);
+        let mut moved = 0u64;
+        for addr in mover.leaf_addrs_under(old_root) {
+            let fwd = dst.current_root();
+            moved += mover.move_leaf_into(addr, &mut dst, fwd).unwrap().unwrap();
+        }
+        assert_eq!(moved, n);
+        assert_eq!(dst.check_integrity().unwrap(), n);
+        // A reader attached to the old tree, with a cold cache, follows the
+        // forwarding tombstones into the new tree.
+        let cold_cn = old.new_cn();
+        let mut r = old.client(&cold_cn);
+        for k in (1..=n).step_by(97) {
+            assert_eq!(r.search(k), Some(v(k)), "forwarded search for {k}");
+        }
+        assert!(r.counters.chases > 0, "no forward chase recorded");
+        // Updates and deletes never split, so they may chase forwards too.
+        r.update(5, &v(999)).unwrap();
+        assert!(r.delete(7).unwrap());
+        assert_eq!(dst.search(5), Some(v(999)));
+        assert_eq!(dst.search(7), None);
+        // Inserts refuse to chase (a split would anchor to the wrong
+        // tree); they go through only after the live slot is switched,
+        // as the migration protocol's switch step does.
+        let new_root = dst.current_root();
+        let mut ctl = Endpoint::new(Arc::clone(&pool));
+        let prev = ctl.cas(r.root_slot_addr(), old_root.raw(), new_root.raw());
+        assert_eq!(prev, old_root.raw());
+        r.insert(n + 1, &v(n + 1)).unwrap();
+        assert_eq!(dst.search(n + 1), Some(v(n + 1)));
+        // Re-driving a move over an already-retired leaf is a no-op.
+        let first_leaf = mover.leaf_addrs_under(old_root)[0];
+        let fwd = dst.current_root();
+        let again = mover.move_leaf_into(first_leaf, &mut dst, fwd).unwrap();
+        assert_eq!(again, None);
     }
 }

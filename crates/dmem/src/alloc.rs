@@ -36,6 +36,7 @@ pub struct ChunkAlloc {
     cap: u64,
     chunk_size: u64,
     next_mn: u16,
+    pinned: bool,
 }
 
 impl ChunkAlloc {
@@ -48,7 +49,40 @@ impl ChunkAlloc {
             cap: 0,
             chunk_size,
             next_mn: first_mn,
+            pinned: false,
         }
+    }
+
+    /// Creates an allocator pinned to a single memory node: every chunk is
+    /// requested from `mn`, and exhaustion of that MN is `OutOfMemory`
+    /// rather than a spill onto a neighbour. Partitioned deployments use
+    /// this to keep a partition's nodes physically on its home MN.
+    pub fn pinned(chunk_size: u64, mn: u16) -> Self {
+        ChunkAlloc {
+            chunk: GlobalAddr::NULL,
+            used: 0,
+            cap: 0,
+            chunk_size,
+            next_mn: mn,
+            pinned: true,
+        }
+    }
+
+    /// Retargets a pinned allocator to a new home MN, abandoning the tail
+    /// of the current chunk so the next allocation lands on `mn`. No-op on
+    /// round-robin allocators and on an already-matching pin.
+    pub fn retarget(&mut self, mn: u16) {
+        if self.pinned && self.next_mn != mn {
+            self.chunk = GlobalAddr::NULL;
+            self.used = 0;
+            self.cap = 0;
+            self.next_mn = mn;
+        }
+    }
+
+    /// The MN this allocator is pinned to, if any.
+    pub fn pinned_mn(&self) -> Option<u16> {
+        self.pinned.then_some(self.next_mn)
     }
 
     /// Creates an allocator with the paper's 16 MB chunk size.
@@ -67,11 +101,15 @@ impl ChunkAlloc {
         assert!(size <= self.chunk_size, "allocation larger than chunk");
         if self.used + size > self.cap {
             let num_mns = ep.pool().num_mns();
-            // Try every MN once before giving up.
+            // Try every MN once before giving up; a pinned allocator only
+            // ever asks its home MN.
+            let tries = if self.pinned { 1 } else { num_mns };
             let mut got = None;
-            for _ in 0..num_mns {
+            for _ in 0..tries {
                 let mn = self.next_mn % num_mns;
-                self.next_mn = self.next_mn.wrapping_add(1);
+                if !self.pinned {
+                    self.next_mn = self.next_mn.wrapping_add(1);
+                }
                 if let Some(c) = ep.alloc_rpc(mn, self.chunk_size) {
                     got = Some(c);
                     break;
@@ -124,6 +162,31 @@ mod tests {
             mns.insert(a.alloc(&mut ep, 4096).unwrap().mn());
         }
         assert_eq!(mns.len(), 4);
+    }
+
+    #[test]
+    fn pinned_allocator_stays_on_home_mn() {
+        let pool = Pool::with_defaults(4, 64 << 20);
+        let mut ep = Endpoint::new(pool);
+        let mut a = ChunkAlloc::pinned(4096, 2);
+        for _ in 0..4 {
+            assert_eq!(a.alloc(&mut ep, 4096).unwrap().mn(), 2);
+        }
+        assert_eq!(a.pinned_mn(), Some(2));
+        a.retarget(3);
+        assert_eq!(a.alloc(&mut ep, 64).unwrap().mn(), 3);
+    }
+
+    #[test]
+    fn pinned_allocator_does_not_spill() {
+        // MN 0 has room for exactly one chunk (region reserves space too);
+        // a pinned allocator must report OutOfMemory instead of spilling
+        // onto MN 1.
+        let pool = Pool::with_defaults(2, 8192 + 4096);
+        let mut ep = Endpoint::new(pool);
+        let mut a = ChunkAlloc::pinned(8192, 0);
+        assert!(a.alloc(&mut ep, 64).is_ok());
+        assert_eq!(a.alloc(&mut ep, 8192), Err(OutOfMemory));
     }
 
     #[test]

@@ -68,8 +68,22 @@ impl NetConfig {
         };
         let t_clients = acc.ops as f64 * acc.clients as f64 / (busy_ns as f64 / 1e9);
         let cap = acc.mns as f64;
-        let t_iops = self.iops * cap / msgs_per_op;
-        let t_bw = self.bandwidth_bps * cap / bytes_per_op;
+        // When per-MN traffic is skewed, the hottest MN's NIC saturates
+        // first: each resource's system-wide cap is its per-MN rate divided
+        // by the hottest MN's share of that resource. Zero max fields mean
+        // "assume uniform" and reproduce the flat `rate * mns` cap exactly.
+        let iops_mns = if acc.max_mn_msgs > 0 {
+            (acc.total_msgs as f64 / acc.max_mn_msgs as f64).min(cap)
+        } else {
+            cap
+        };
+        let bw_mns = if acc.max_mn_wire_bytes > 0 {
+            (acc.total_wire_bytes as f64 / acc.max_mn_wire_bytes as f64).min(cap)
+        } else {
+            cap
+        };
+        let t_iops = self.iops * iops_mns / msgs_per_op;
+        let t_bw = self.bandwidth_bps * bw_mns / bytes_per_op;
         let tput = t_clients.min(t_iops).min(t_bw);
         let inflation = if tput < t_clients {
             t_clients / tput
@@ -126,6 +140,12 @@ pub struct RunAccounting {
     /// smaller because lanes overlap their round trips. Zero means
     /// "serial": [`NetConfig::model`] falls back to `sum_latency_ns`.
     pub sum_busy_ns: u64,
+    /// NIC work requests landing on the single busiest MN. Zero means
+    /// "uniform": the model assumes traffic spreads evenly over `mns`.
+    /// Partitioned runs set this so a skew-loaded MN caps throughput.
+    pub max_mn_msgs: u64,
+    /// Wire bytes landing on the single busiest MN (zero = uniform).
+    pub max_mn_wire_bytes: u64,
 }
 
 /// Output of the throughput model.
@@ -158,6 +178,8 @@ mod tests {
             total_wire_bytes: ops * bytes_per_op,
             sum_latency_ns: ops * lat,
             sum_busy_ns: 0,
+            max_mn_msgs: 0,
+            max_mn_wire_bytes: 0,
         }
     }
 
@@ -223,6 +245,25 @@ mod tests {
         let e = n.model(&a);
         assert_eq!(e.bound, Bound::Latency);
         assert!((e.mops - 3.2).abs() < 0.05, "{}", e.mops);
+    }
+
+    #[test]
+    fn skewed_mn_traffic_lowers_the_cap() {
+        let n = NetConfig::default();
+        // 8 MNs, but half of all messages land on one of them: the system
+        // caps at 2x a single NIC, not 8x.
+        let mut a = acc(1000, 100_000, 1, 60, 2_500);
+        a.mns = 8;
+        a.max_mn_msgs = a.total_msgs / 2;
+        a.max_mn_wire_bytes = a.total_wire_bytes / 2;
+        let e = n.model(&a);
+        assert_eq!(e.bound, Bound::Iops);
+        assert!((e.mops - 160.0).abs() < 1.0, "{}", e.mops);
+        // Uniform traffic over the same 8 MNs caps 4x higher.
+        a.max_mn_msgs = 0;
+        a.max_mn_wire_bytes = 0;
+        let u = n.model(&a);
+        assert!((u.mops - 640.0).abs() < 4.0, "{}", u.mops);
     }
 
     #[test]

@@ -100,6 +100,8 @@ proptest! {
             total_wire_bytes: 1000 * bytes_per_op,
             sum_latency_ns: 1000 * lat,
             sum_busy_ns: 0,
+            max_mn_msgs: 0,
+            max_mn_wire_bytes: 0,
         };
         let e = n.model(&acc);
         let cap = mns as f64;

@@ -120,6 +120,18 @@ impl MetricsSnapshot {
             .sum()
     }
 
+    /// Enumerates a counter's `(label_value, count)` pairs for one label
+    /// key, in sorted key order. Label sets missing `label` are skipped.
+    /// Lets report layers flatten e.g. `part_ops_total{part="3"}` into
+    /// stable per-partition scalar keys without knowing the cardinality.
+    pub fn counter_labeled_values(&self, name: &str, label: &str) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .filter_map(|(k, v)| k.labels.get(label).map(|lv| (lv.clone(), *v)))
+            .collect()
+    }
+
     /// Merges another snapshot: counters add, gauges and histograms take
     /// the other side's value on key collisions.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
@@ -237,6 +249,11 @@ mod tests {
         let s = sample();
         assert_eq!(s.counter_value("verbs_total", &[("verb", "read")]), 15);
         assert_eq!(s.counter_sum("verbs_total"), 19);
+        assert_eq!(
+            s.counter_labeled_values("verbs_total", "verb"),
+            vec![("read".to_string(), 15), ("write".to_string(), 4)]
+        );
+        assert!(s.counter_labeled_values("verbs_total", "mn").is_empty());
         assert_eq!(s.gauge_value("cache_bytes", &[("cn", "0")]), Some(1234.0));
         assert_eq!(s.counter_value("missing", &[]), 0);
     }

@@ -56,10 +56,13 @@ pub enum Phase {
     QueueWait,
     /// Encoding and writing the response frame back to the connection.
     Respond,
+    /// Partition-routing work: reading the routing-table epoch and home
+    /// words, refreshing the CN-cached partition map.
+    Route,
 }
 
 /// Number of phases (length of [`Phase::ALL`]).
-pub const NUM_PHASES: usize = 15;
+pub const NUM_PHASES: usize = 16;
 
 impl Phase {
     /// Every phase, in stable display order.
@@ -79,6 +82,7 @@ impl Phase {
         Phase::Admission,
         Phase::QueueWait,
         Phase::Respond,
+        Phase::Route,
     ];
 
     /// Stable `snake_case` name used in metric labels and trace events.
@@ -99,6 +103,7 @@ impl Phase {
             Phase::Admission => "admission",
             Phase::QueueWait => "queue_wait",
             Phase::Respond => "respond",
+            Phase::Route => "route",
         }
     }
 

@@ -1,0 +1,93 @@
+//! Well-known control words for partitioned deployments.
+//!
+//! Everything a compute node must discover about the partition layout lives
+//! in MN 0's reserved region (the same region that holds the single-tree
+//! root slots): the routing epoch, the migration lock and journal, and one
+//! home word plus one tree-root slot per partition. All of it is reachable
+//! with plain one-sided reads, so routing-table refresh needs no RPC.
+//!
+//! Slot map (each slot is one 8-byte word, see [`dmem::root_slot`]):
+//!
+//! | slot            | contents                                        |
+//! |-----------------|-------------------------------------------------|
+//! | 0..16           | single-tree deployments (figs, examples)        |
+//! | 16              | `route_epoch` — bumped once per migration       |
+//! | 17              | `part_lock` — CAS 0→1 guards migration          |
+//! | 18..22          | migration journal: valid, part, old root, target|
+//! | 24              | scratch root slot for the tree being built      |
+//! | 128..128+P      | home word of partition *i* (the MN id)          |
+//! | 192..192+P      | live root-pointer slot of partition *i*'s tree  |
+
+use dmem::GlobalAddr;
+
+/// Root-slot index of the routing-table epoch word.
+pub const EPOCH_SLOT: u64 = 16;
+/// Root-slot index of the migration lock word.
+pub const LOCK_SLOT: u64 = 17;
+/// First of the four contiguous migration-journal words.
+pub const JOURNAL_SLOT: u64 = 18;
+/// Root-slot index the migrator bootstraps the destination tree into.
+pub const SCRATCH_SLOT: u64 = 24;
+/// Root-slot index of partition 0's home word.
+pub const HOME_SLOT0: u64 = 128;
+/// Root-slot index of partition 0's live tree-root slot.
+pub const TREE_SLOT0: u64 = 192;
+/// Maximum partitions the reserved region can describe.
+pub const MAX_PARTS: usize = 64;
+
+/// Remote address of the `route_epoch` word.
+pub fn route_epoch_addr() -> GlobalAddr {
+    dmem::root_slot(EPOCH_SLOT)
+}
+
+/// Remote address of the `part_lock` word.
+pub fn part_lock_addr() -> GlobalAddr {
+    dmem::root_slot(LOCK_SLOT)
+}
+
+/// Remote address of the migration journal (4 contiguous words, 32 bytes —
+/// within one 64-byte line, so a single write lands atomically).
+pub fn journal_addr() -> GlobalAddr {
+    dmem::root_slot(JOURNAL_SLOT)
+}
+
+/// Remote address of partition `i`'s home word.
+pub fn home_addr(i: usize) -> GlobalAddr {
+    debug_assert!(i < MAX_PARTS);
+    dmem::root_slot(HOME_SLOT0 + i as u64)
+}
+
+/// Root-slot *index* of partition `i`'s tree (pass to [`chime::Chime`]
+/// constructors, which resolve it through [`dmem::root_slot`] themselves).
+pub fn tree_slot(i: usize) -> u64 {
+    debug_assert!(i < MAX_PARTS);
+    TREE_SLOT0 + i as u64
+}
+
+/// Remote address of partition `i`'s live tree-root slot.
+pub fn tree_slot_addr(i: usize) -> GlobalAddr {
+    dmem::root_slot(tree_slot(i))
+}
+
+/// Remote address of the scratch tree-root slot.
+pub fn scratch_addr() -> GlobalAddr {
+    dmem::root_slot(SCRATCH_SLOT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmem::node::RESERVED_BYTES;
+
+    #[test]
+    fn every_control_word_fits_in_the_reserved_region() {
+        let last = tree_slot_addr(MAX_PARTS - 1);
+        assert_eq!(last.mn(), 0);
+        assert!(last.offset() + 8 <= RESERVED_BYTES);
+        assert!(home_addr(MAX_PARTS - 1).offset() + 8 <= tree_slot_addr(0).offset());
+        assert!(journal_addr().offset() + 32 <= scratch_addr().offset());
+        // The journal's 32 bytes stay within one 64-byte line.
+        let j = journal_addr().offset();
+        assert!(j % 64 + 32 <= 64, "journal straddles a line");
+    }
+}

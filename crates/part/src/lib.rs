@@ -1,0 +1,38 @@
+//! `part` — multi-MN scale-out for CHIME.
+//!
+//! A single CHIME tree saturates one memory node's NIC long before it
+//! exhausts a cluster's capacity. This crate shards the key space into
+//! contiguous range partitions, pins each partition's tree (root and leaf
+//! allocations) to a home memory node, and routes every operation through
+//! a CN-cached, epoch-versioned routing table:
+//!
+//! * [`map`] — the static range partition map: key → partition is pure
+//!   CN-side arithmetic, only *homes* (partition → MN) ever change;
+//! * [`layout`] — the remote routing table: epoch word, home words, the
+//!   migration lock/journal, all in MN 0's reserved region;
+//! * [`router`] — [`router::Cluster`] (the deployment) and
+//!   [`router::RouterClient`] (a [`dmem::RangeIndex`] that multiplexes one
+//!   endpoint over per-partition tree bindings);
+//! * [`migrate`] — live hotspot migration: lock, journal, copy leaves
+//!   behind forwarding tombstones, CAS the live root, publish a new
+//!   routing epoch — with named crash points and [`migrate::recover`].
+//!
+//! Everything is deterministic per seed: the router adds no hidden state,
+//! migrations run synchronously on the rebalancing client's virtual
+//! timeline, and crash recovery replays byte-identically under the fault
+//! harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod map;
+pub mod migrate;
+pub mod router;
+
+pub use map::PartitionMap;
+pub use migrate::{
+    recover, MigrateError, MigrationReport, RecoveryOutcome, CRASH_MIGRATE_COPIED,
+    CRASH_MIGRATE_DONE, CRASH_MIGRATE_LOCKED, CRASH_MIGRATE_SWITCHED,
+};
+pub use router::{Cluster, ClusterConfig, MigrateConfig, PartCn, RouterClient, RouterStats};

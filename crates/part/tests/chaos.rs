@@ -1,0 +1,253 @@
+//! Crash-injected migration chaos: a migrator dies at each protocol crash
+//! point with point operations still flowing, recovery replays the journal
+//! to a consistent state, and the whole schedule — fault trace included —
+//! is a pure function of the seed.
+
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use chime::ChimeConfig;
+use dmem::{CrashRule, CrashSignal, Endpoint, FaultEvent, FaultPlan, FaultSession, Pool, RangeIndex};
+use part::{
+    migrate, Cluster, ClusterConfig, RecoveryOutcome, CRASH_MIGRATE_COPIED, CRASH_MIGRATE_DONE,
+    CRASH_MIGRATE_LOCKED, CRASH_MIGRATE_SWITCHED,
+};
+
+/// Fault-engine client id of the migrator's control endpoint.
+const MIG_CLIENT: u32 = 7;
+const PARTS: usize = 4;
+
+/// xorshift64* scheduler RNG, independent of the fault engine's streams.
+struct SchedRng(u64);
+
+impl SchedRng {
+    fn new(seed: u64) -> Self {
+        SchedRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn quiet_crash_signals() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashSignal>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn chaos_cluster_cfg() -> ClusterConfig {
+    ClusterConfig {
+        parts: PARTS,
+        chime: ChimeConfig {
+            span: 16,
+            internal_span: 8,
+            neighborhood: 4,
+            cache_bytes: 1 << 18,
+            hotspot_bytes: 1 << 14,
+            ..Default::default()
+        },
+        check_every: 4,
+        migrate: None,
+    }
+}
+
+/// Key `i` of partition `p` (partitions are even u64 ranges).
+fn pkey(p: usize, i: u64) -> u64 {
+    (u64::MAX / PARTS as u64) * p as u64 + 1 + 13 * i
+}
+
+fn val(key: u64, step: u64) -> Vec<u8> {
+    (key ^ (step << 40)).to_le_bytes().to_vec()
+}
+
+struct RunResult {
+    items: Vec<(u64, Vec<u8>)>,
+    trace: Vec<FaultEvent>,
+    outcome: RecoveryOutcome,
+    crashed: bool,
+    clock: u64,
+}
+
+/// One deterministic crash-and-recover schedule: preload, start a
+/// migration of partition 0 → MN 1 that dies at `plan`'s crash point,
+/// run in-flight point ops against the half-migrated partition (reads
+/// chase forwarding tombstones; writes go to other partitions — an
+/// insert into the migrating range would spin on the not-yet-switched
+/// root, which is the documented non-follow policy), then recover and
+/// audit everything against the oracle.
+fn run(seed: u64, plan: FaultPlan) -> RunResult {
+    quiet_crash_signals();
+    let pool = Pool::with_defaults(2, 256 << 20);
+    let cluster = Cluster::create(&pool, chaos_cluster_cfg());
+    let session = Arc::new(FaultSession::new(plan));
+    let cn = cluster.new_cn();
+    let mut c = cluster.client(&cn);
+    let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    // Dense partition 0 (several leaves to migrate), sparse elsewhere.
+    for i in 0..40 {
+        let k = pkey(0, i);
+        c.insert(k, &val(k, 0)).unwrap();
+        oracle.insert(k, val(k, 0));
+    }
+    for p in 1..PARTS {
+        for i in 0..8 {
+            let k = pkey(p, i);
+            c.insert(k, &val(k, 0)).unwrap();
+            oracle.insert(k, val(k, 0));
+        }
+    }
+
+    // The migrator: its control endpoint carries the crash rules.
+    let mig_cn = cluster.new_cn();
+    let mut src = cluster.tree(0).client(&mig_cn.states()[0]);
+    let mut ctl = Endpoint::with_faults(Arc::clone(&pool), Arc::clone(&session), MIG_CLIENT);
+    let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+        migrate::migrate(&cluster, 0, 1, &mut ctl, &mut src).unwrap()
+    }));
+    let crashed = match attempt {
+        Ok(_) => false,
+        Err(payload) => match payload.downcast_ref::<CrashSignal>() {
+            Some(sig) => {
+                assert_eq!(sig.client, MIG_CLIENT, "crash killed the wrong client");
+                true
+            }
+            None => panic::resume_unwind(payload),
+        },
+    };
+
+    // In-flight ops against the crashed (or completed) migration state.
+    let mut rng = SchedRng::new(seed);
+    for step in 1..=120u64 {
+        match rng.below(10) {
+            0..=4 => {
+                // Read anywhere — including the half-migrated partition,
+                // where moved leaves forward and unmoved ones still serve.
+                let k = pkey(
+                    rng.below(PARTS as u64) as usize,
+                    rng.below(40),
+                );
+                let got = c.search(k);
+                let expect = oracle.get(&k).cloned();
+                assert_eq!(got, expect, "in-flight search({k}) diverged");
+            }
+            5..=7 => {
+                let k = pkey(1 + rng.below(PARTS as u64 - 1) as usize, rng.below(12));
+                c.insert(k, &val(k, step)).unwrap();
+                oracle.insert(k, val(k, step));
+            }
+            _ => {
+                let k = pkey(1 + rng.below(PARTS as u64 - 1) as usize, rng.below(12));
+                let did = c.delete(k).unwrap();
+                assert_eq!(did, oracle.remove(&k).is_some(), "delete({k}) diverged");
+            }
+        }
+    }
+
+    // Recover on a fresh, fault-free control endpoint.
+    let mut rec_ctl = Endpoint::new(Arc::clone(&pool));
+    let mut rec_src = cluster.tree(0).client(&mig_cn.states()[0]);
+    let outcome = migrate::recover(&cluster, &mut rec_ctl, &mut rec_src);
+
+    // Full audit: every key, the migrated partition writable again, and a
+    // cross-partition scan in key order.
+    for (&k, v) in &oracle {
+        assert_eq!(c.search(k).as_ref(), Some(v), "post-recovery search({k})");
+    }
+    let fresh = pkey(0, 100);
+    c.insert(fresh, &val(fresh, 999)).unwrap();
+    oracle.insert(fresh, val(fresh, 999));
+    assert_eq!(c.search(fresh), Some(val(fresh, 999)));
+    let mut scanned = Vec::new();
+    c.scan(1, oracle.len() + 8, &mut scanned);
+    let expect: Vec<(u64, Vec<u8>)> = oracle.iter().map(|(&k, v)| (k, v.clone())).collect();
+    assert_eq!(scanned, expect, "post-recovery scan diverged from oracle");
+
+    RunResult {
+        items: oracle.into_iter().collect(),
+        trace: session.trace(),
+        outcome,
+        crashed,
+        clock: c.clock_ns(),
+    }
+}
+
+fn crash_plan(label: &str, at_hit: u64) -> FaultPlan {
+    let mut p = FaultPlan::seeded(0xCAB0 ^ at_hit);
+    p.crashes.push(CrashRule {
+        label: label.to_string(),
+        client: Some(MIG_CLIENT),
+        at_hit,
+    });
+    p
+}
+
+fn assert_replays(seed: u64, mk: impl Fn() -> FaultPlan) -> RunResult {
+    let a = run(seed, mk());
+    let b = run(seed, mk());
+    assert_eq!(a.trace, b.trace, "same seed must replay the same trace");
+    assert_eq!(a.items, b.items);
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.clock, b.clock, "virtual time must replay byte-identically");
+    a
+}
+
+#[test]
+fn crash_after_lock_unlocks_and_aborts_nothing() {
+    let a = assert_replays(11, || crash_plan(CRASH_MIGRATE_LOCKED, 1));
+    assert!(a.crashed);
+    assert_eq!(a.outcome, RecoveryOutcome::Unlocked);
+}
+
+#[test]
+fn crash_mid_copy_rolls_forward() {
+    // Die after the second leaf move: part of partition 0 is tombstoned
+    // and forwarding, the rest still serves from the old tree.
+    let a = assert_replays(22, || crash_plan(CRASH_MIGRATE_COPIED, 2));
+    assert!(a.crashed);
+    assert_eq!(a.outcome, RecoveryOutcome::RolledForward);
+    assert!(
+        a.trace
+            .iter()
+            .any(|e| e.action == "crash" && e.label == CRASH_MIGRATE_COPIED),
+        "crash must appear in the fault trace"
+    );
+}
+
+#[test]
+fn crash_after_switch_finishes_the_publish() {
+    let a = assert_replays(33, || crash_plan(CRASH_MIGRATE_SWITCHED, 1));
+    assert!(a.crashed);
+    assert_eq!(a.outcome, RecoveryOutcome::Finished);
+}
+
+#[test]
+fn crash_after_publish_only_releases_the_lock() {
+    let a = assert_replays(44, || crash_plan(CRASH_MIGRATE_DONE, 1));
+    assert!(a.crashed);
+    assert_eq!(a.outcome, RecoveryOutcome::Unlocked);
+}
+
+#[test]
+fn fault_free_migration_is_the_control() {
+    let a = assert_replays(55, || FaultPlan::seeded(0));
+    assert!(!a.crashed);
+    assert_eq!(a.outcome, RecoveryOutcome::Clean);
+    assert!(a.trace.is_empty());
+}

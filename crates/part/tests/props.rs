@@ -1,0 +1,112 @@
+//! Property tests for the partition map: full single coverage of the key
+//! space, lookup/linear-scan equivalence, and split/merge invariants.
+
+use part::PartitionMap;
+use proptest::prelude::*;
+
+/// Reference lookup: linear scan for the last range start at or below key.
+fn linear_lookup(starts: &[u64], key: u64) -> usize {
+    starts
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|&(_, &s)| s <= key)
+        .map(|(i, _)| i)
+        .expect("starts[0] == 0 covers every key")
+}
+
+/// Builds a valid map from drawn raw parts: sorted unique starts beginning
+/// at 0, homes round-robin over `mns`.
+fn build_map(rest: std::collections::BTreeSet<u64>, mns: u16) -> PartitionMap {
+    let mut starts = vec![0u64];
+    starts.extend(rest);
+    let homes = (0..starts.len())
+        .map(|i| (i % mns as usize) as u16)
+        .collect();
+    PartitionMap::new(starts, homes)
+}
+
+proptest! {
+    /// Every key maps to exactly the partition a linear scan finds, and
+    /// that partition's bounds contain the key.
+    #[test]
+    fn lookup_matches_linear_scan(
+        rest in proptest::collection::btree_set(1u64..u64::MAX, 0..12),
+        mns in 1u16..8,
+        keys in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let m = build_map(rest, mns);
+        let starts: Vec<u64> = (0..m.len()).map(|p| m.bounds(p).0).collect();
+        for key in keys {
+            let p = m.lookup(key);
+            prop_assert_eq!(p, linear_lookup(&starts, key));
+            let (lo, hi) = m.bounds(p);
+            prop_assert!(lo <= key && key <= hi);
+        }
+    }
+
+    /// Partition bounds tile the key space: consecutive ranges abut, the
+    /// first starts at 0, the last ends at u64::MAX — no gap, no overlap.
+    #[test]
+    fn bounds_tile_the_key_space(
+        rest in proptest::collection::btree_set(1u64..u64::MAX, 0..12),
+        mns in 1u16..8,
+    ) {
+        let m = build_map(rest, mns);
+        prop_assert_eq!(m.bounds(0).0, 0);
+        prop_assert_eq!(m.bounds(m.len() - 1).1, u64::MAX);
+        for p in 0..m.len() - 1 {
+            let (lo, hi) = m.bounds(p);
+            prop_assert!(lo <= hi);
+            prop_assert_eq!(hi + 1, m.bounds(p + 1).0, "ranges must abut");
+        }
+    }
+
+    /// Splitting keeps validity, grows the map by one, preserves every
+    /// key's home assignment, and merging the pair restores the original.
+    #[test]
+    fn split_then_merge_roundtrips(
+        rest in proptest::collection::btree_set(1u64..u64::MAX, 0..12),
+        mns in 1u16..8,
+        p_seed in any::<usize>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..30),
+    ) {
+        let m = build_map(rest, mns);
+        let mut split = m.clone();
+        let p = p_seed % m.len();
+        if split.split(p) {
+            split.validate();
+            prop_assert_eq!(split.len(), m.len() + 1);
+            for &key in &keys {
+                prop_assert_eq!(split.home(split.lookup(key)), m.home(m.lookup(key)),
+                    "split must not re-home any key");
+            }
+            prop_assert!(split.merge(p));
+            prop_assert_eq!(&split, &m);
+        } else {
+            // Split refuses only on one-key ranges or a full map.
+            let (lo, hi) = m.bounds(p);
+            prop_assert!(lo == hi || m.len() >= 64);
+        }
+    }
+
+    /// Re-homing moves exactly the keys of the target partition.
+    #[test]
+    fn set_home_moves_one_partition(
+        rest in proptest::collection::btree_set(1u64..u64::MAX, 0..12),
+        mns in 1u16..8,
+        p_seed in any::<usize>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..30),
+    ) {
+        let m = build_map(rest, mns);
+        let mut moved = m.clone();
+        let p = p_seed % m.len();
+        let new_home = m.home(p) + 100;
+        moved.set_home(p, new_home);
+        for &key in &keys {
+            let kp = m.lookup(key);
+            let expect = if kp == p { new_home } else { m.home(kp) };
+            prop_assert_eq!(moved.home(moved.lookup(key)), expect);
+        }
+    }
+}

@@ -30,7 +30,7 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -198,6 +198,98 @@ impl CqDepthGauge {
     }
 }
 
+/// Sentinel owner value: nobody holds the gate.
+const GATE_FREE: usize = usize::MAX;
+
+/// A cross-lane mutual-exclusion gate for one client's coroutine lanes.
+///
+/// While a lane holds the gate, the scheduler resumes only that lane: the
+/// guarded section executes atomically with respect to the client's other
+/// lanes (their completions stay queued until the gate drops, and lanes
+/// not yet started are not spawned), while virtual time still advances
+/// verb by verb. The partition migrator runs its copy/switch protocol
+/// under the gate so no sibling lane observes a half-migrated partition.
+///
+/// `enter`/`exit` are called from lane bodies. Exactly one lane executes
+/// at any instant, so the plain atomic is deterministic. A lane that dies
+/// inside the section (an injected crash point) has its claim cleared by
+/// the engine when the lane finishes — the crash leaves *remote* state
+/// (lock words, journal) behind for recovery, but never wedges the
+/// scheduler.
+#[derive(Debug)]
+pub struct LaneGate {
+    owner: AtomicUsize,
+}
+
+impl LaneGate {
+    /// Creates an unheld gate.
+    pub fn new() -> Arc<Self> {
+        Arc::new(LaneGate {
+            owner: AtomicUsize::new(GATE_FREE),
+        })
+    }
+
+    /// Claims the gate for `lane`. Re-entering while already the owner is
+    /// allowed; claiming over another lane's live hold is a bug (the
+    /// scheduler never resumes a non-owner inside a held section).
+    pub fn enter(&self, lane: usize) {
+        let prev = self.owner.swap(lane, Ordering::Relaxed);
+        assert!(
+            prev == GATE_FREE || prev == lane,
+            "lane {lane} entered a gate held by lane {prev}"
+        );
+    }
+
+    /// Releases the gate. Panics if `lane` is not the current owner.
+    pub fn exit(&self, lane: usize) {
+        let prev = self.owner.swap(GATE_FREE, Ordering::Relaxed);
+        assert_eq!(prev, lane, "lane {lane} exited a gate held by {prev}");
+    }
+
+    /// The owning lane, if any.
+    pub fn owner(&self) -> Option<usize> {
+        match self.owner.load(Ordering::Relaxed) {
+            GATE_FREE => None,
+            lane => Some(lane),
+        }
+    }
+
+    /// Drops `lane`'s claim if it holds the gate (engine cleanup when a
+    /// lane finishes or dies).
+    fn clear_if(&self, lane: usize) {
+        let _ = self
+            .owner
+            .compare_exchange(lane, GATE_FREE, Ordering::Relaxed, Ordering::Relaxed);
+    }
+}
+
+/// Pops the next completion to deliver. With a held [`LaneGate`], the
+/// owner's earliest pending completion wins (the heap pops in ascending
+/// order, so the first owner entry found is its earliest; skipped entries
+/// are pushed back). Without one — or when the owner has nothing pending —
+/// the globally earliest completion is delivered.
+fn pop_ready(
+    ready: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    gate: Option<&LaneGate>,
+) -> Option<Reverse<(u64, usize)>> {
+    let Some(owner) = gate.and_then(|g| g.owner()) else {
+        return ready.pop();
+    };
+    let mut skipped = Vec::new();
+    let mut found = None;
+    while let Some(e) = ready.pop() {
+        if e.0 .1 == owner {
+            found = Some(e);
+            break;
+        }
+        skipped.push(e);
+    }
+    for e in skipped {
+        ready.push(e);
+    }
+    found.or_else(|| ready.pop())
+}
+
 /// The deterministic coroutine engine.
 pub struct Engine {
     cfg: EngineConfig,
@@ -230,7 +322,7 @@ impl Engine {
         mns: u16,
         bodies: Vec<LaneBody<T>>,
     ) -> ClientRun<T> {
-        self.run_inner(net, mns, bodies, None)
+        self.run_inner(net, mns, bodies, None, None)
     }
 
     /// [`Engine::run_client`] with a live [`CqDepthGauge`]: the engine
@@ -244,7 +336,22 @@ impl Engine {
         bodies: Vec<LaneBody<T>>,
         gauge: Arc<CqDepthGauge>,
     ) -> ClientRun<T> {
-        self.run_inner(net, mns, bodies, Some(gauge))
+        self.run_inner(net, mns, bodies, Some(gauge), None)
+    }
+
+    /// [`Engine::run_client`] with a [`LaneGate`]: while a lane holds the
+    /// gate, the scheduler resumes only that lane (and defers starting new
+    /// ones), so the guarded section runs atomically with respect to this
+    /// client's other lanes. A finished or crashed owner has its claim
+    /// cleared automatically so the run always drains.
+    pub fn run_client_gated<T: Send + 'static>(
+        &self,
+        net: NetConfig,
+        mns: u16,
+        bodies: Vec<LaneBody<T>>,
+        gate: Arc<LaneGate>,
+    ) -> ClientRun<T> {
+        self.run_inner(net, mns, bodies, None, Some(gate))
     }
 
     fn run_inner<T: Send + 'static>(
@@ -253,6 +360,7 @@ impl Engine {
         mns: u16,
         bodies: Vec<LaneBody<T>>,
         gauge: Option<Arc<CqDepthGauge>>,
+        gate: Option<Arc<LaneGate>>,
     ) -> ClientRun<T> {
         let lanes = bodies.len();
         assert!(lanes > 0, "a client needs at least one lane");
@@ -277,7 +385,12 @@ impl Engine {
         let mut running = false;
         loop {
             if !running {
-                if let Some(body) = bodies.next() {
+                // While a gate is held, new lanes stay unspawned: their
+                // first instructions must not interleave with the guarded
+                // section. They start once the owner releases (or dies).
+                let gated = gate.as_deref().and_then(|g| g.owner()).is_some();
+                let next_body = if gated { None } else { bodies.next() };
+                if let Some(body) = next_body {
                     // Start the next lane and run it to its first park.
                     let lane = spawned;
                     spawned += 1;
@@ -300,7 +413,7 @@ impl Engine {
                         .expect("spawn lane thread");
                     joins.push(handle);
                     running = true;
-                } else if let Some(Reverse((t, lane))) = ready.pop() {
+                } else if let Some(Reverse((t, lane))) = pop_ready(&mut ready, gate.as_deref()) {
                     // Deliver the earliest completion and resume its lane.
                     let resume = match parked[lane].take().expect("ready lane not parked") {
                         Parked::Verb(ticket) => LaneResume::Verb(qp.poll_wqe(ticket)),
@@ -342,6 +455,11 @@ impl Engine {
                     parked[lane] = Some(Parked::Timer);
                 }
                 Event::Finished { lane, result } => {
+                    // A finished (or crashed) owner must release its gate
+                    // claim, else the remaining lanes would never resume.
+                    if let Some(g) = &gate {
+                        g.clear_if(lane);
+                    }
                     results[lane] = Some(result);
                 }
             }

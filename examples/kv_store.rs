@@ -88,6 +88,8 @@ fn main() {
         total_wire_bytes: totals.1,
         sum_latency_ns: totals.2,
         sum_busy_ns: 0,
+        max_mn_msgs: 0,
+        max_mn_wire_bytes: 0,
     });
     println!("\nYCSB A, {clients} clients on {num_cns} CNs:");
     println!("  modeled throughput : {:.2} Mops ({:?}-bound)", est.mops, est.bound);

@@ -47,4 +47,5 @@ run fig18 --preload 100000 --ops 40000
 run fig12 --preload 150000 --ops 50000
 run fig_coroutines --preload 100000 --ops 40000
 run fig_serve --conns 32 --workers 2 --requests 64
+run fig_scaleout
 echo ALL_FIGURES_DONE
