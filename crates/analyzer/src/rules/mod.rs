@@ -15,6 +15,7 @@ pub mod epoch;
 pub mod layout;
 pub mod lockdiscipline;
 pub mod phase;
+pub mod tracecontext;
 pub mod unsafety;
 pub mod verbproto;
 
@@ -30,6 +31,7 @@ pub const RULES: &[&str] = &[
     "cq-discipline",
     "async-block",
     "epoch-discipline",
+    "trace-context",
     "suppression",
 ];
 
@@ -44,6 +46,7 @@ pub fn run_all(file: &SourceFile, out: &mut Vec<Finding>) {
     cq::check(file, out);
     asyncblock::check(file, out);
     epoch::check(file, out);
+    tracecontext::check(file, out);
 }
 
 /// Whether the token at `i` is a *call* of the named function: an

@@ -1,0 +1,103 @@
+//! R10 `trace-context` — operation spans close on every exit path and
+//! trace ids are minted only at operation entry.
+//!
+//! `Endpoint::span_begin` (and the tracer-level `begin_span`) opens an
+//! operation span that must reach the matching `span_end`/`end_span` on
+//! all control paths; a span leaked by an early `return` or `?` leaves
+//! the endpoint's span depth permanently off, so the always-on telemetry
+//! never records the op and every later nesting decision is wrong. And a
+//! `set_trace_id` between a span's open and close re-mints the causal id
+//! mid-operation, splitting one op's verbs across two trace ids — ids
+//! are minted once, at the serve/bench entry point, before the span
+//! opens.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+use super::is_call;
+
+/// Delegation wrappers that legitimately call only one side of the pair
+/// (or forward the mint itself).
+const EXEMPT_FNS: &[&str] = &[
+    "span_begin",
+    "span_end",
+    "begin_span",
+    "end_span",
+    "set_trace_id",
+    "set_trace",
+];
+
+/// Span-opening calls (endpoint- and tracer-level).
+const BEGINS: &[&str] = &["span_begin", "begin_span"];
+/// Span-closing calls.
+const ENDS: &[&str] = &["span_end", "end_span"];
+
+/// Runs the rule.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for f in &file.fns {
+        if f.body.1 <= f.body.0 || !file.is_production(f.toks.0) {
+            continue;
+        }
+        if EXEMPT_FNS.contains(&f.name.as_str()) {
+            continue;
+        }
+        let begins: Vec<usize> = (f.body.0..f.body.1)
+            .filter(|&i| BEGINS.iter().any(|n| is_call(toks, i, n)))
+            .collect();
+        let ends: Vec<usize> = (f.body.0..f.body.1)
+            .filter(|&i| ENDS.iter().any(|n| is_call(toks, i, n)))
+            .collect();
+        if begins.is_empty() && ends.is_empty() {
+            continue;
+        }
+        if begins.len() != ends.len() {
+            out.push(Finding {
+                rule: "trace-context",
+                file: file.rel_path.clone(),
+                line: f.line,
+                message: format!(
+                    "`{}` opens {} op span(s) but closes {}; every `span_begin` must reach `span_end` on all exit paths",
+                    f.name,
+                    begins.len(),
+                    ends.len()
+                ),
+            });
+            continue;
+        }
+        // Balanced counts: police the open interval for escape hatches
+        // and mid-operation trace-id mints.
+        let (first, last) = (begins[0], *ends.last().unwrap());
+        for t in toks.iter().take(last).skip(first) {
+            if t.is_ident("return") || t.is_punct('?') {
+                out.push(Finding {
+                    rule: "trace-context",
+                    file: file.rel_path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "`{}` has `{}` between `span_begin` and `span_end` (line {}); an early exit leaks the open span",
+                        f.name,
+                        t.text,
+                        t.line
+                    ),
+                });
+                break;
+            }
+        }
+        for i in first..last {
+            if is_call(toks, i, "set_trace_id") || is_call(toks, i, "set_trace") {
+                out.push(Finding {
+                    rule: "trace-context",
+                    file: file.rel_path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "`{}` mints a fresh trace id inside an open span (line {}); trace ids are minted once at the operation entry, before the span opens",
+                        f.name,
+                        toks[i].line
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: leaked spans and mid-operation trace-id mints for R10.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+pub fn unbalanced(ep: &mut Endpoint) {
+    let sp = ep.span_begin("insert", key);
+    work(ep);
+}
+
+pub fn leaky(ep: &mut Endpoint) -> Option<u64> {
+    let sp = ep.span_begin("search", key);
+    let v = probe(ep)?;
+    ep.span_end(sp, true);
+    Some(v)
+}
+
+pub fn reminted(ep: &mut Endpoint) {
+    let sp = ep.span_begin("update", key);
+    ep.set_trace_id(7);
+    work(ep);
+    ep.span_end(sp, true);
+}
+
+pub fn balanced(ep: &mut Endpoint) {
+    ep.set_trace_id(1);
+    let sp = ep.span_begin("delete", key);
+    work(ep);
+    ep.span_end(sp, true);
+}

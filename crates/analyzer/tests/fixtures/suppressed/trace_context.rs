@@ -1,0 +1,23 @@
+//! Fixture: trace-context violations suppressed with reasons.
+
+// chime-lint: allow(trace-context): fixture; the span is closed by the paired finish() helper.
+pub fn unbalanced(ep: &mut Endpoint) {
+    let sp = ep.span_begin("insert", key);
+    work(ep);
+}
+
+// chime-lint: allow(trace-context): fixture; probe() is infallible here so the `?` never fires.
+pub fn leaky(ep: &mut Endpoint) -> Option<u64> {
+    let sp = ep.span_begin("search", key);
+    let v = probe(ep)?;
+    ep.span_end(sp, true);
+    Some(v)
+}
+
+// chime-lint: allow(trace-context): fixture; replays a recorded id, not a fresh mint.
+pub fn reminted(ep: &mut Endpoint) {
+    let sp = ep.span_begin("update", key);
+    ep.set_trace_id(recorded);
+    work(ep);
+    ep.span_end(sp, true);
+}

@@ -122,6 +122,16 @@ fn epoch_discipline_fires_and_suppresses() {
 }
 
 #[test]
+fn trace_context_fires_and_suppresses() {
+    let r = assert_fires("firing/trace_context.rs", "trace-context", 3);
+    let msgs: Vec<&str> = r.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("opens 1 op span(s) but closes 0")));
+    assert!(msgs.iter().any(|m| m.contains("early exit leaks the open span")));
+    assert!(msgs.iter().any(|m| m.contains("mints a fresh trace id inside an open span")));
+    assert_suppressed("suppressed/trace_context.rs", 3);
+}
+
+#[test]
 fn malformed_suppressions_are_findings() {
     let r = assert_fires("firing/suppression.rs", "suppression", 3);
     assert_eq!(r.suppressions_honored, 0);

@@ -11,7 +11,7 @@
 //! Exits 0 after printing; exits 2 on usage or parse errors. The tool never
 //! judges whether a change is acceptable — that is the perf gate's job.
 
-use bench::explain::{explain, load_points};
+use bench::explain::{cite_anomalies, explain, load_citations, load_points};
 
 fn label(path: &str) -> String {
     std::path::Path::new(path)
@@ -27,6 +27,7 @@ fn main() {
         std::process::exit(2);
     };
     let mut sides = Vec::new();
+    let mut citations = Vec::new();
     for path in [old_path, new_path] {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -42,9 +43,13 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        citations.push(load_citations(&text).unwrap_or_default());
     }
     print!(
         "{}",
         explain(&label(old_path), &sides[0], &label(new_path), &sides[1])
     );
+    // Schema-3 documents carry in-run anomaly findings: cite their time
+    // windows so a regression report says *when*, not just *what*.
+    print!("{}", cite_anomalies(&label(new_path), &citations[1]));
 }

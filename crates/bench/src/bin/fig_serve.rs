@@ -69,8 +69,9 @@ fn main() {
             r.shed,
             shed_frac,
         );
+        let point = format!("serve/shed/gap{gap}");
         rep.add_custom(
-            &format!("serve/shed/gap{gap}"),
+            &point,
             &[
                 ("mops", r.throughput_mops()),
                 ("p50_us", p50_us),
@@ -80,8 +81,10 @@ fn main() {
                 ("shed_frac", shed_frac),
                 ("deferred", r.deferred as f64),
                 ("frame_errors", r.frame_errors as f64),
+                ("anomalies", r.anomalies.len() as f64),
             ],
         );
+        rep.attach_timeline(&point, &r.timeline, &r.anomalies);
     }
     rep.finish();
 }

@@ -12,9 +12,9 @@
 //! point is missing from the run.
 
 use bench::driver::{run, Args, BenchSetup, IndexKind};
-use bench::explain::explain;
+use bench::explain::{cite_anomalies, explain};
 use bench::report::Report;
-use obs::{compare, Baseline, BenchPoint};
+use obs::{compare, Baseline, BenchPoint, FlightRecorder};
 use serve::sim::{run_sim, OverloadPolicy, SimConfig};
 use ycsb::Workload;
 
@@ -136,12 +136,20 @@ fn main() {
     println!("# perf smoke: fixed-seed micro-benchmark matrix");
     let mut rep = Report::new("perf_smoke");
     let mut current: Vec<BenchPoint> = Vec::new();
+    // Kept for the failure path: anomaly citations name the regressed time
+    // windows, the flight rings become the black-box dump.
+    let mut citations: Vec<(String, Vec<String>)> = Vec::new();
+    let mut flights: Vec<(String, Vec<(u32, FlightRecorder)>)> = Vec::new();
     for (name, setup) in matrix() {
         let r = run(&setup);
         println!(
             "{name:<18} {:>8.3} Mops  p99 {:>8.1} us  {:>6.0} B/op  {:>5.2} rtt/op",
             r.mops, r.p99_us, r.bytes_per_op, r.rtts_per_op
         );
+        if !r.anomalies.is_empty() {
+            citations.push((name.clone(), r.anomalies.iter().map(|a| a.cite()).collect()));
+        }
+        flights.push((name.clone(), r.flight.clone()));
         rep.add(&name, &r);
         // The baseline carries the full flat metric map (schema 2): the
         // `gated` list picks out what the gate enforces, the rest feeds
@@ -182,6 +190,7 @@ fn main() {
             metrics[0].1, metrics[2].1, metrics[4].1
         );
         rep.add_custom(&name, metrics);
+        rep.attach_timeline(&name, &r.timeline, &r.anomalies);
         current.push(BenchPoint::new(&name, metrics));
     }
     rep.finish();
@@ -242,8 +251,29 @@ fn main() {
     } else {
         // Attribute the failure: diff the baseline's full metric maps
         // against the current run so the log says *why* (which phases,
-        // which retry causes) and not just *what* regressed.
+        // which retry causes) and not just *what* regressed, and cite any
+        // in-run anomalies so it also says *when*.
         eprint!("\n{}", explain("baseline", &baseline.points, "current", &current));
+        eprint!("{}", cite_anomalies("current", &citations));
+        // Dump the violating points' flight rings — the last N events per
+        // client, the black box of the regressed runs.
+        let breached: Vec<&str> = report
+            .violations
+            .iter()
+            .map(|v: &obs::Violation| v.point.as_str())
+            .collect();
+        let dump_rings: Vec<(u32, &FlightRecorder)> = flights
+            .iter()
+            .filter(|(name, _)| breached.contains(&name.as_str()))
+            .flat_map(|(_, rings)| rings.iter().map(|(id, r)| (*id, r)))
+            .collect();
+        if !dump_rings.is_empty() {
+            let doc = obs::flight::dump_document("perf_smoke", "gate_breach", &dump_rings);
+            match obs::flight::write_dump("perf_smoke", &doc) {
+                Ok(path) => eprintln!("wrote flight dump {path}"),
+                Err(e) => eprintln!("error: flight dump: {e}"),
+            }
+        }
         eprintln!(
             "\nperf smoke FAILED: {} violations, {} missing points",
             report.violations.len(),

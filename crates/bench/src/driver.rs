@@ -18,7 +18,10 @@ use dmem::{
     Bound, ClientStats, CountHist, Histogram, NetConfig, Pool, QpConfig, QpStats, RangeIndex,
     RunAccounting,
 };
-use obs::{HistogramSummary, LatencyHist, MetricsSnapshot, OpProfile, Phase, RetryCause};
+use obs::{
+    Anomaly, AnomalyConfig, FlightRecorder, HistogramSummary, LatencyHist, MetricsSnapshot,
+    OpProfile, Phase, RetryCause, TimeSeries, Tracer,
+};
 use sched::{Engine, EngineConfig, LaneBody};
 use ycsb::{KeySpace, Op, OpGen, Workload, WorkloadState};
 
@@ -85,6 +88,11 @@ pub struct BenchSetup {
     /// through the deterministic coroutine engine, overlapping round trips
     /// and doorbell-batching same-quantum verbs.
     pub coroutines: usize,
+    /// Attach an event [`obs::Tracer`] to this many clients (the first N in
+    /// deployment order) and export their causal traces as a Perfetto
+    /// document in [`BenchResult::perfetto`]. 0 (the default) traces
+    /// nobody — the windowed timeline is collected regardless.
+    pub trace_clients: usize,
     /// RNG seed base.
     pub seed: u64,
 }
@@ -104,6 +112,7 @@ impl Default for BenchSetup {
             value_size: 8,
             rdwc: true,
             coroutines: 1,
+            trace_clients: 0,
             seed: 42,
         }
     }
@@ -147,6 +156,18 @@ pub struct BenchResult {
     /// counters, cache and hotspot hits, per-MN traffic, allocator bytes,
     /// and the op-latency histogram. Deterministic for a fixed seed.
     pub metrics: MetricsSnapshot,
+    /// Windowed time series of the measured phase, merged over every
+    /// participating client (shared virtual time base; all client clocks
+    /// start at zero). Empty for indexes without endpoint telemetry.
+    pub timeline: TimeSeries,
+    /// Anomalies the in-run detector found in [`Self::timeline`].
+    pub anomalies: Vec<Anomaly>,
+    /// Flight-recorder rings of the participating clients, keyed by global
+    /// client id, snapshotted at the end of the measured phase.
+    pub flight: Vec<(u32, FlightRecorder)>,
+    /// Perfetto (Chrome trace-event) document covering the traced clients;
+    /// `None` when [`BenchSetup::trace_clients`] is 0.
+    pub perfetto: Option<String>,
 }
 
 /// Builds the pool, index and per-CN client handles for a setup.
@@ -380,6 +401,12 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
     let cache_before: Vec<(u64, u64)> = dep.cache_probe.iter().map(|p| p()).collect();
     let hotspot_before = probe_hotspot(dep);
     let router_before = probe_router(dep);
+    let mut timeline = TimeSeries::default();
+    let mut flight: Vec<(u32, FlightRecorder)> = Vec::new();
+    let mut tracers: Vec<Tracer> = Vec::new();
+    // Per-op trace ids: a deterministic counter minted at op dispatch and
+    // carried through the index, the scheduler and the queue pair.
+    let mut next_trace = 1u64;
     // Each CN schedules its clients round-robin; RDWC combines duplicate
     // same-key read/update ops within one round. Client sweeps reuse one
     // deployment: only the first `setup.clients / num_cns` handles per CN
@@ -401,6 +428,16 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
         let before: Vec<dmem::ClientStats> = clients.iter().map(|c| c.stats().clone()).collect();
         let prof_before: Vec<Option<OpProfile>> =
             clients.iter().map(|c| c.profile().cloned()).collect();
+        let telem_before: Vec<Option<TimeSeries>> = clients
+            .iter()
+            .map(|c| c.telemetry().map(|t| t.series.clone()))
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            let gid = (cn_id * active_per_cn + i) as u32;
+            if (gid as usize) < setup.trace_clients {
+                c.set_tracer(Tracer::new(gid, 1 << 16));
+            }
+        }
         let mut done = 0u64;
         let mut scan_buf = Vec::new();
         while done < ops_per_cn {
@@ -430,6 +467,8 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
                         continue;
                     }
                 }
+                c.set_trace_id(next_trace);
+                next_trace += 1;
                 let t0 = c.clock_ns();
                 match op {
                     Op::Read(k) => {
@@ -457,7 +496,7 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
                 executed += 1;
             }
         }
-        for (i, c) in clients.iter().enumerate() {
+        for (i, c) in clients.iter_mut().enumerate() {
             let d = c.stats().since(&before[i]);
             total_msgs += d.msgs;
             total_wire += d.wire_bytes;
@@ -466,6 +505,20 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             stats_delta.merge(&d);
             if let (Some(p), Some(p0)) = (c.profile(), &prof_before[i]) {
                 profile_delta.merge(&p.since(p0));
+            }
+            if let Some(t) = c.telemetry() {
+                let delta = match &telem_before[i] {
+                    Some(prev) => t.series.since(prev),
+                    None => t.series.clone(),
+                };
+                timeline.merge(&delta);
+                flight.push(((cn_id * active_per_cn + i) as u32, t.flight.clone()));
+            }
+            let gid = cn_id * active_per_cn + i;
+            if gid < setup.trace_clients {
+                if let Some(tr) = c.take_tracer() {
+                    tracers.push(tr);
+                }
             }
         }
     }
@@ -490,6 +543,9 @@ pub fn run_deployed(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             cache_before,
             hotspot_before,
             router_before,
+            timeline,
+            flight,
+            tracers,
         },
     )
 }
@@ -529,6 +585,13 @@ struct Agg {
     cache_before: Vec<(u64, u64)>,
     hotspot_before: (u64, u64),
     router_before: RouterSnap,
+    /// Measured-phase timeline merged over every participating client.
+    timeline: TimeSeries,
+    /// Flight rings snapshotted per global client id.
+    flight: Vec<(u32, FlightRecorder)>,
+    /// Tracers taken back from the traced clients (empty unless
+    /// `trace_clients > 0`).
+    tracers: Vec<Tracer>,
 }
 
 /// Cumulative routing/migration counters at a point in time. Zeroed (with
@@ -585,6 +648,9 @@ fn run_pipelined(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
     let mut stats_delta = ClientStats::default();
     let mut qp_total = QpStats::default();
     let mut lanes_agg: Vec<LaneAgg> = vec![LaneAgg::default(); k];
+    let mut timeline = TimeSeries::default();
+    let mut flight: Vec<(u32, FlightRecorder)> = Vec::new();
+    let mut tracers: Vec<Tracer> = Vec::new();
     let mn_before = dep.pool.traffic();
     let cache_before: Vec<(u64, u64)> = dep.cache_probe.iter().map(|p| p()).collect();
     let hotspot_before = probe_hotspot(dep);
@@ -615,12 +681,23 @@ fn run_pipelined(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             // result (and latency) instead of issuing verbs.
             type Combined = Arc<Mutex<HashMap<(u8, u64), (u64, u64)>>>;
             // What a lane hands back: its client handle, the (op, latency)
-            // samples it measured, and its busy time.
-            type LaneReturn = (Box<dyn RangeIndex + Send>, Vec<(u8, u64)>, u64);
+            // samples it measured, its busy time, and its timeline delta.
+            type LaneReturn = (
+                Box<dyn RangeIndex + Send>,
+                Vec<(u8, u64)>,
+                u64,
+                Option<TimeSeries>,
+            );
             let combined: Combined = Arc::new(Mutex::new(HashMap::new()));
             let mut bodies: Vec<LaneBody<LaneReturn>> = Vec::with_capacity(k);
+            // Logical-client index across CNs; traced clients get one
+            // tracer per lane so every lane is its own Perfetto track.
+            let gci = cn_id * active_per_cn + ci;
             for l in 0..k {
                 let mut handle = slots[ci * k + l].take().unwrap();
+                if gci < setup.trace_clients {
+                    handle.set_tracer(Tracer::new((gci * k + l) as u32, 1 << 16));
+                }
                 let lane_ops =
                     client_ops / k as u64 + u64::from((l as u64) < client_ops % k as u64);
                 let mut gen = OpGen::with_theta(
@@ -632,11 +709,15 @@ fn run_pipelined(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
                 let value = value.clone();
                 let combined = Arc::clone(&combined);
                 let rdwc = setup.rdwc;
+                // Trace ids carry the lane identity in the high half so
+                // interleaved lanes stay distinguishable in the trace.
+                let trace_base = ((gci * k + l) as u64 + 1) << 32;
                 bodies.push(Box::new(move || {
                     let t_start = handle.clock_ns();
+                    let telem0 = handle.telemetry().map(|t| t.series.clone());
                     let mut lats: Vec<(u8, u64)> = Vec::with_capacity(lane_ops as usize);
                     let mut scan_buf = Vec::new();
-                    for _ in 0..lane_ops {
+                    for opno in 0..lane_ops {
                         let op = gen.next_op();
                         let disc = match &op {
                             Op::Read(_) => 0u8,
@@ -656,6 +737,7 @@ fn run_pipelined(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
                                 continue;
                             }
                         }
+                        handle.set_trace_id(trace_base | opno);
                         let t0 = handle.clock_ns();
                         match op {
                             Op::Read(kk) => {
@@ -681,18 +763,33 @@ fn run_pipelined(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
                         lats.push((disc, lat));
                     }
                     let busy = handle.clock_ns() - t_start;
-                    (handle, lats, busy)
+                    let telem_delta = handle.telemetry().map(|t| match &telem0 {
+                        Some(prev) => t.series.since(prev),
+                        None => t.series.clone(),
+                    });
+                    (handle, lats, busy, telem_delta)
                 }));
             }
             let run = engine.run_client(net, setup.num_mns, bodies);
             qp_total.merge(&run.qp);
             let mut client_busy = 0u64;
             for (l, res) in run.lanes.into_iter().enumerate() {
-                let (handle, lats, busy) = match res {
+                let (mut handle, lats, busy, telem_delta) = match res {
                     Ok(v) => v,
                     Err(p) => std::panic::resume_unwind(p),
                 };
                 client_busy = client_busy.max(busy);
+                if let Some(d) = &telem_delta {
+                    timeline.merge(d);
+                }
+                if let Some(t) = handle.telemetry() {
+                    flight.push(((gci * k + l) as u32, t.flight.clone()));
+                }
+                if gci < setup.trace_clients {
+                    if let Some(tr) = handle.take_tracer() {
+                        tracers.push(tr);
+                    }
+                }
                 for &(disc, lat) in &lats {
                     hist.record(lat);
                     op_hists[disc as usize].record(lat);
@@ -744,6 +841,9 @@ fn run_pipelined(setup: &BenchSetup, dep: &mut Deployment) -> BenchResult {
             cache_before,
             hotspot_before,
             router_before,
+            timeline,
+            flight,
+            tracers,
         },
     )
 }
@@ -782,6 +882,9 @@ fn assemble(setup: &BenchSetup, dep: &mut Deployment, agg: Agg) -> BenchResult {
         cache_before,
         hotspot_before,
         router_before,
+        timeline,
+        flight,
+        tracers,
     } = agg;
     let net = NetConfig::default();
     // Per-MN traffic deltas of the measured phase, computed up front: for
@@ -965,6 +1068,12 @@ fn assemble(setup: &BenchSetup, dep: &mut Deployment, agg: Agg) -> BenchResult {
         metrics.counter("lane_backoff_ns_total", &labels, lane.backoff_ns);
         metrics.counter("lane_cq_wait_ns_total", &labels, lane.cq_wait_ns);
     }
+    // In-run anomaly detection over the merged timeline; findings ride the
+    // result into the report where `explain` can cite them.
+    let anomalies = obs::detect(&timeline, &AnomalyConfig::default());
+    metrics.counter("anomalies_total", &[], anomalies.len() as u64);
+    let perfetto = (!tracers.is_empty())
+        .then(|| obs::to_perfetto(&tracers.iter().collect::<Vec<&Tracer>>()));
     // At saturation, queueing delay dominates and is roughly exponential,
     // so the tail stretches beyond the uniform inflation of the mean.
     let queue = est.inflation - 1.0;
@@ -990,6 +1099,10 @@ fn assemble(setup: &BenchSetup, dep: &mut Deployment, agg: Agg) -> BenchResult {
         remote_bytes,
         mn_traffic,
         metrics,
+        timeline,
+        anomalies,
+        flight,
+        perfetto,
     }
 }
 

@@ -70,6 +70,65 @@ pub fn load_points(text: &str) -> Result<Vec<BenchPoint>, String> {
     Ok(out)
 }
 
+/// Extracts per-point anomaly citations from a schema-3 bench document:
+/// `(point name, one formatted citation line per finding)`. Points without
+/// findings are omitted; pre-schema-3 documents yield an empty list. The
+/// citation format matches [`obs::Anomaly::cite`] so a finding reads the
+/// same whether it is printed in-run or replayed from the report.
+pub fn load_citations(text: &str) -> Result<Vec<(String, Vec<String>)>, String> {
+    let doc = obs::json::parse(text)?;
+    let arr = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("document has no points array")?;
+    let mut out = Vec::new();
+    for p in arr {
+        let name = p
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("point missing name")?
+            .to_string();
+        let Some(anoms) = p.get("anomalies").and_then(Json::as_arr) else {
+            continue;
+        };
+        let cites: Vec<String> = anoms
+            .iter()
+            .filter_map(|a| {
+                let kind = a.get("kind")?.as_str()?;
+                let window = a.get("window")?.as_f64()? as u64;
+                let t0 = a.get("t_start_ns")?.as_f64()? as u64;
+                let t1 = a.get("t_end_ns")?.as_f64()? as u64;
+                let severity = a.get("severity")?.as_f64()?;
+                let detail = a.get("detail")?.as_str()?;
+                Some(format!(
+                    "{kind} at window {window} [{t0}..{t1} ns): {detail} (severity {severity:.2})"
+                ))
+            })
+            .collect();
+        if !cites.is_empty() {
+            out.push((name, cites));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders anomaly citations as a report section. Empty input renders
+/// nothing so callers can print the result unconditionally.
+pub fn cite_anomalies(label: &str, citations: &[(String, Vec<String>)]) -> String {
+    if citations.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\n# anomalies in {label}:");
+    for (point, cites) in citations {
+        let _ = writeln!(out, "## {point}");
+        for c in cites {
+            let _ = writeln!(out, "  {c}");
+        }
+    }
+    out
+}
+
 fn pct(old: f64, new: f64) -> Option<f64> {
     if old == 0.0 {
         None
@@ -306,6 +365,38 @@ mod tests {
         assert!(rep.contains("uniform/mns4 — added (only in scaleout)"), "{rep}");
         assert!(rep.contains("zipf/mns4/on — added (only in scaleout)"), "{rep}");
         assert_eq!(explain("base", &old, "scaleout", &new), rep);
+    }
+
+    #[test]
+    fn citations_match_the_in_run_format() {
+        let a = obs::Anomaly {
+            kind: obs::AnomalyKind::ThroughputCliff,
+            window: 7,
+            t_start_ns: 700_000,
+            t_end_ns: 800_000,
+            severity: 0.9625,
+            detail: "2 ops vs trailing mean 50.0".to_string(),
+        };
+        let doc = obs::Json::obj(vec![
+            ("bench", obs::Json::from("x")),
+            ("schema", obs::Json::from(3u64)),
+            (
+                "points",
+                obs::Json::Arr(vec![obs::Json::obj(vec![
+                    ("name", obs::Json::from("chime/c/16")),
+                    ("anomalies", obs::anomaly::to_json(std::slice::from_ref(&a))),
+                ])]),
+            ),
+        ])
+        .to_pretty();
+        let cites = load_citations(&doc).unwrap();
+        assert_eq!(cites.len(), 1);
+        assert_eq!(cites[0].0, "chime/c/16");
+        assert_eq!(cites[0].1, vec![a.cite()]);
+        let rendered = cite_anomalies("current", &cites);
+        assert!(rendered.contains("# anomalies in current:"), "{rendered}");
+        assert!(rendered.contains("window 7 [700000..800000 ns)"), "{rendered}");
+        assert_eq!(cite_anomalies("current", &[]), "");
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! writes `BENCH_<name>.json` next to its human-readable table. The file
 //! carries, per point, the flat gate-comparable metric map (throughput,
 //! latency percentiles, verbs/op, bytes/op, cache hit rate), the per-MN
-//! traffic split, and the full [`MetricsSnapshot`]. Output is deterministic:
-//! two runs with the same seed produce byte-identical files.
+//! traffic split, the full [`MetricsSnapshot`], and (schema 3) the windowed
+//! timeline of the measured phase with the anomalies the in-run detector
+//! found in it. The timelines are additionally written standalone as
+//! `TIMELINE_<name>.json` so plotting and CI determinism checks need not
+//! parse the full report. Output is deterministic: two runs with the same
+//! seed produce byte-identical files.
 
 use std::path::PathBuf;
 
@@ -19,6 +23,7 @@ pub struct Report {
     name: String,
     points: Vec<BenchPoint>,
     details: Vec<Json>,
+    timelines: Vec<Json>,
 }
 
 impl Report {
@@ -28,6 +33,7 @@ impl Report {
             name: name.to_string(),
             points: Vec::new(),
             details: Vec::new(),
+            timelines: Vec::new(),
         }
     }
 
@@ -48,6 +54,8 @@ impl Report {
                 })
                 .collect(),
         );
+        let timeline = r.timeline.to_json();
+        let anomalies = obs::anomaly::to_json(&r.anomalies);
         self.details.push(Json::Obj(vec![
             ("name".to_string(), Json::Str(point.to_string())),
             (
@@ -64,6 +72,13 @@ impl Report {
             ),
             ("per_mn".to_string(), per_mn),
             ("snapshot".to_string(), r.metrics.to_json_value()),
+            ("timeline".to_string(), timeline.clone()),
+            ("anomalies".to_string(), anomalies.clone()),
+        ]));
+        self.timelines.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str(point.to_string())),
+            ("timeline".to_string(), timeline),
+            ("anomalies".to_string(), anomalies),
         ]));
     }
 
@@ -84,6 +99,23 @@ impl Report {
             ),
         ]));
         self.points.push(p);
+    }
+
+    /// Attaches a timeline (and its detected anomalies) to the standalone
+    /// timeline document for a point added with [`Report::add_custom`] —
+    /// sources like the serve simulator that carry a [`obs::TimeSeries`]
+    /// without a full [`BenchResult`].
+    pub fn attach_timeline(
+        &mut self,
+        point: &str,
+        timeline: &obs::TimeSeries,
+        anomalies: &[obs::Anomaly],
+    ) {
+        self.timelines.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str(point.to_string())),
+            ("timeline".to_string(), timeline.to_json()),
+            ("anomalies".to_string(), obs::anomaly::to_json(anomalies)),
+        ]));
     }
 
     /// The gate-comparable view of the accumulated points.
@@ -192,6 +224,12 @@ impl Report {
         for (part, ops) in r.metrics.counter_labeled_values("part_ops_total", "part") {
             m.insert(format!("part.{part}.ops"), ops as f64);
         }
+        // In-run anomaly count: attribution context (never gated) — a
+        // regression accompanied by anomalies points `explain` at windows.
+        m.insert(
+            "anomalies".to_string(),
+            r.metrics.counter_value("anomalies_total", &[]) as f64,
+        );
         // Retry root causes, normalized per op. All causes present.
         for cause in RetryCause::ALL {
             let n = r
@@ -209,10 +247,33 @@ impl Report {
     pub fn to_json(&self) -> String {
         Json::Obj(vec![
             ("bench".to_string(), Json::Str(self.name.clone())),
-            ("schema".to_string(), Json::from(2u64)),
+            ("schema".to_string(), Json::from(3u64)),
             ("points".to_string(), Json::Arr(self.details.clone())),
         ])
         .to_pretty()
+    }
+
+    /// Serializes the standalone timeline document (pretty, deterministic):
+    /// one entry per [`Report::add`]-ed point carrying its windowed timeline
+    /// and detected anomalies.
+    pub fn timeline_json(&self) -> String {
+        Json::Obj(vec![
+            ("bench".to_string(), Json::Str(self.name.clone())),
+            ("schema".to_string(), Json::from(1u64)),
+            ("points".to_string(), Json::Arr(self.timelines.clone())),
+        ])
+        .to_pretty()
+    }
+
+    /// Path the standalone timeline document writes to:
+    /// `TIMELINE_<name>.json`, honoring `$BENCH_OUT_DIR` like
+    /// [`Report::path`].
+    pub fn timeline_path(&self) -> PathBuf {
+        let file = format!("TIMELINE_{}.json", self.name);
+        match std::env::var_os("BENCH_OUT_DIR") {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir).join(file),
+            _ => PathBuf::from(file),
+        }
     }
 
     /// Path this report writes to: `BENCH_<name>.json`, placed in
@@ -226,7 +287,8 @@ impl Report {
         }
     }
 
-    /// Writes `BENCH_<name>.json` and returns its path.
+    /// Writes `BENCH_<name>.json` (and `TIMELINE_<name>.json` when any
+    /// point carries a timeline) and returns the report path.
     pub fn write(&self) -> std::io::Result<PathBuf> {
         let path = self.path();
         if let Some(dir) = path.parent() {
@@ -235,6 +297,9 @@ impl Report {
             }
         }
         std::fs::write(&path, self.to_json())?;
+        if !self.timelines.is_empty() {
+            std::fs::write(self.timeline_path(), self.timeline_json())?;
+        }
         Ok(path)
     }
 
@@ -242,7 +307,12 @@ impl Report {
     /// failure so `run_figs.sh` can't silently miss a file.
     pub fn finish(&self) {
         match self.write() {
-            Ok(path) => println!("wrote {}", path.display()),
+            Ok(path) => {
+                println!("wrote {}", path.display());
+                if !self.timelines.is_empty() {
+                    println!("wrote {}", self.timeline_path().display());
+                }
+            }
             Err(e) => {
                 eprintln!("error: writing {}: {e}", self.path().display());
                 std::process::exit(1);
@@ -279,7 +349,7 @@ mod tests {
         assert_eq!(doc.get("bench").unwrap().as_str(), Some("unit"));
         let points = doc.get("points").unwrap().as_arr().unwrap();
         assert_eq!(points.len(), 1);
-        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(3.0));
         let m = points[0].get("metrics").unwrap();
         assert!(m.get("mops").unwrap().as_f64().unwrap() > 0.0);
         assert!(m.get("verbs_per_op").unwrap().as_f64().unwrap() > 0.0);
@@ -296,6 +366,16 @@ mod tests {
         assert_eq!(m.get("migrate.leaves_moved").unwrap().as_f64(), Some(0.0));
         assert!(m.get("part.0.ops").is_none());
         assert!(points[0].get("per_mn").unwrap().as_arr().unwrap().len() == 1);
+        // Schema 3: every point carries its windowed timeline + findings.
+        let tl = points[0].get("timeline").unwrap();
+        assert!(!tl.get("windows").unwrap().as_arr().unwrap().is_empty());
+        assert!(points[0].get("anomalies").unwrap().as_arr().is_some());
+        let tdoc = obs::json::parse(&rep.timeline_json()).unwrap();
+        assert_eq!(tdoc.get("bench").unwrap().as_str(), Some("unit"));
+        assert_eq!(
+            tdoc.get("points").unwrap().as_arr().unwrap().len(),
+            1
+        );
         assert!(points[0]
             .get("snapshot")
             .unwrap()

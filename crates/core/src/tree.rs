@@ -2015,6 +2015,26 @@ impl RangeIndex for ChimeClient {
     fn cache_bytes(&self) -> u64 {
         self.cn.cache_bytes()
     }
+
+    fn telemetry(&self) -> Option<&dmem::Telemetry> {
+        Some(self.ep.telemetry())
+    }
+
+    fn telemetry_mut(&mut self) -> Option<&mut dmem::Telemetry> {
+        Some(self.ep.telemetry_mut())
+    }
+
+    fn set_trace_id(&mut self, id: u64) {
+        self.ep.set_trace_id(id);
+    }
+
+    fn set_tracer(&mut self, tracer: dmem::Tracer) {
+        self.ep.set_tracer(tracer);
+    }
+
+    fn take_tracer(&mut self) -> Option<dmem::Tracer> {
+        self.ep.take_tracer()
+    }
 }
 
 #[cfg(test)]

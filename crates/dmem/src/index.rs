@@ -70,4 +70,32 @@ pub trait RangeIndex {
     fn profile(&self) -> Option<&obs::OpProfile> {
         None
     }
+
+    /// This client's continuous telemetry (windowed time series + flight
+    /// recorder), when the index keeps one. Like [`RangeIndex::profile`],
+    /// indexes routing verbs through an [`crate::verbs::Endpoint`] override
+    /// this to expose the endpoint's state.
+    fn telemetry(&self) -> Option<&crate::verbs::Telemetry> {
+        None
+    }
+
+    /// Mutable telemetry access, for harnesses recording serve-layer
+    /// observations (shed/served decisions, CQ depth) against this client's
+    /// virtual clock.
+    fn telemetry_mut(&mut self) -> Option<&mut crate::verbs::Telemetry> {
+        None
+    }
+
+    /// Sets the causal trace id stamped on subsequent operations (minted at
+    /// the serve/bench entry point; 0 = untraced). The default ignores it.
+    fn set_trace_id(&mut self, _id: u64) {}
+
+    /// Attaches a span/event tracer to this client's endpoint, when it has
+    /// one. The default drops the tracer.
+    fn set_tracer(&mut self, _tracer: obs::Tracer) {}
+
+    /// Detaches and returns this client's tracer, if one is attached.
+    fn take_tracer(&mut self) -> Option<obs::Tracer> {
+        None
+    }
 }

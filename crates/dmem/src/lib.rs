@@ -50,6 +50,8 @@ pub use qp::{
     install_lane_hook, lane_active, uninstall_lane_hook, CountHist, LaneHook, Qp, QpConfig,
     QpStats, WqeOutcome, WqeTicket,
 };
-pub use obs::{LatencyHist, OpProfile, Phase, RetryCause, Tracer};
+pub use obs::{
+    FlightKind, FlightRecorder, LatencyHist, OpProfile, Phase, RetryCause, TimeSeries, Tracer,
+};
 pub use stats::{ClientStats, Histogram};
-pub use verbs::{Endpoint, PhaseFrame};
+pub use verbs::{Endpoint, PhaseFrame, Telemetry};

@@ -65,6 +65,8 @@ impl Default for QpConfig {
 pub struct WqeTicket {
     /// Virtual timestamp at which the CQE for this WQE is delivered.
     pub completion_ns: u64,
+    /// Causal trace id of the operation that posted this WQE (0 = untraced).
+    pub trace: u64,
     outcome: WqeOutcome,
 }
 
@@ -273,7 +275,16 @@ impl Qp {
     /// Joins the channel's open doorbell batch when posted within
     /// [`QpConfig::quantum_ns`] of the previous post and the batch has
     /// room; otherwise rings a fresh doorbell (one round trip).
-    pub fn post_wqe(&mut self, now_ns: u64, mn: u16, msgs: u64, wire_bytes: u64) -> WqeTicket {
+    /// `trace` is the causal trace id of the posting operation; it rides
+    /// the ticket so completions stay attributable (0 = untraced).
+    pub fn post_wqe(
+        &mut self,
+        now_ns: u64,
+        mn: u16,
+        msgs: u64,
+        wire_bytes: u64,
+        trace: u64,
+    ) -> WqeTicket {
         let stream_ns = (wire_bytes as f64 / self.net.bandwidth_bps * 1e9) as u64;
         let ci = (mn as usize).min(self.chans.len() - 1);
         let ch = &mut self.chans[ci];
@@ -326,6 +337,7 @@ impl Qp {
         self.stats.depth_hist.record(self.outstanding.len() as u64);
         WqeTicket {
             completion_ns: outcome.completion_ns,
+            trace,
             outcome,
         }
     }
@@ -389,9 +401,11 @@ impl Qp {
 /// interleave in deterministic global order.
 pub trait LaneHook: Send {
     /// Called when the lane posts `msgs` work requests (`wire_bytes` on the
-    /// wire) to `mn` at lane-virtual time `now_ns`. Returns once the
-    /// completion may be consumed.
-    fn post(&mut self, now_ns: u64, mn: u16, msgs: u64, wire_bytes: u64) -> WqeOutcome;
+    /// wire) to `mn` at lane-virtual time `now_ns`, stamped with the
+    /// posting operation's causal `trace` id (0 = untraced). Returns once
+    /// the completion may be consumed.
+    fn post(&mut self, now_ns: u64, mn: u16, msgs: u64, wire_bytes: u64, trace: u64)
+        -> WqeOutcome;
 
     /// Called when the lane's clock advances by `dt_ns` without posting a
     /// WQE. Returns once the lane may resume at `now_ns + dt_ns`.
@@ -424,11 +438,17 @@ pub fn lane_active() -> bool {
 
 /// Routes a verb through the installed lane hook, if any. `None` means no
 /// hook: the caller charges the serial inline latency instead.
-pub(crate) fn hook_post(now_ns: u64, mn: u16, msgs: u64, wire_bytes: u64) -> Option<WqeOutcome> {
+pub(crate) fn hook_post(
+    now_ns: u64,
+    mn: u16,
+    msgs: u64,
+    wire_bytes: u64,
+    trace: u64,
+) -> Option<WqeOutcome> {
     LANE_HOOK.with(|h| {
         h.borrow_mut()
             .as_mut()
-            .map(|hook| hook.post(now_ns, mn, msgs, wire_bytes))
+            .map(|hook| hook.post(now_ns, mn, msgs, wire_bytes, trace))
     })
 }
 
@@ -453,7 +473,7 @@ mod tests {
     fn lone_wqe_costs_the_serial_latency() {
         let mut q = qp();
         let net = NetConfig::default();
-        let t = q.post_wqe(1_000, 0, 1, 100);
+        let t = q.post_wqe(1_000, 0, 1, 100, 0);
         let out = q.poll_wqe(t);
         assert_eq!(out.rtts, 1);
         assert!(!out.batched);
@@ -465,8 +485,8 @@ mod tests {
     #[test]
     fn posts_within_quantum_share_one_doorbell() {
         let mut q = qp();
-        let t1 = q.post_wqe(0, 0, 1, 100);
-        let t2 = q.post_wqe(50, 0, 1, 100); // within the 200 ns window
+        let t1 = q.post_wqe(0, 0, 1, 100, 0);
+        let t2 = q.post_wqe(50, 0, 1, 100, 0); // within the 200 ns window
         assert!(t2.completion_ns > t1.completion_ns, "chains behind tail");
         let o1 = q.poll_wqe(t1);
         let o2 = q.poll_wqe(t2);
@@ -488,8 +508,8 @@ mod tests {
     #[test]
     fn posts_outside_quantum_ring_separate_doorbells() {
         let mut q = qp();
-        let t1 = q.post_wqe(0, 0, 1, 100);
-        let t2 = q.post_wqe(1_000, 0, 1, 100); // past the window
+        let t1 = q.post_wqe(0, 0, 1, 100, 0);
+        let t2 = q.post_wqe(1_000, 0, 1, 100, 0); // past the window
         let o1 = q.poll_wqe(t1);
         let o2 = q.poll_wqe(t2);
         assert_eq!(o1.rtts + o2.rtts, 2);
@@ -502,8 +522,8 @@ mod tests {
     #[test]
     fn different_mns_never_share_a_doorbell() {
         let mut q = qp();
-        let t1 = q.post_wqe(0, 0, 1, 100);
-        let t2 = q.post_wqe(0, 1, 1, 100);
+        let t1 = q.post_wqe(0, 0, 1, 100, 0);
+        let t2 = q.post_wqe(0, 1, 1, 100, 0);
         assert_eq!(q.poll_wqe(t1).rtts, 1);
         assert_eq!(q.poll_wqe(t2).rtts, 1);
     }
@@ -511,10 +531,10 @@ mod tests {
     #[test]
     fn completions_are_in_order_per_channel() {
         let mut q = qp();
-        let t1 = q.post_wqe(0, 0, 4, 4_000);
+        let t1 = q.post_wqe(0, 0, 4, 4_000, 0);
         // A new doorbell well past the window but before t1 completes: its
         // completion must not overtake t1 (RC ordering).
-        let t2 = q.post_wqe(500, 0, 1, 16);
+        let t2 = q.post_wqe(500, 0, 1, 16, 0);
         assert!(t2.completion_ns >= t1.completion_ns + WQE_GAP_NS);
         let o2 = q.poll_wqe(t2);
         assert!(o2.cq_wait_ns > 0, "held back by in-order delivery");
@@ -533,7 +553,7 @@ mod tests {
         );
         let mut rtts = 0;
         for _ in 0..6 {
-            let t = q.post_wqe(0, 0, 1, 64);
+            let t = q.post_wqe(0, 0, 1, 64, 0);
             rtts += q.poll_wqe(t).rtts;
         }
         assert_eq!(rtts, 3, "batches of 2 ring 3 doorbells for 6 WQEs");
@@ -544,13 +564,13 @@ mod tests {
     #[test]
     fn depth_histogram_sees_outstanding_completions() {
         let mut q = qp();
-        let t1 = q.post_wqe(0, 0, 1, 64);
-        let t2 = q.post_wqe(10, 0, 1, 64);
+        let t1 = q.post_wqe(0, 0, 1, 64, 0);
+        let t2 = q.post_wqe(10, 0, 1, 64, 0);
         assert_eq!(q.stats().depth_hist.max(), 2);
         let _ = q.poll_wqe(t1);
         let _ = q.poll_wqe(t2);
         // Post after both completions: depth back to 1 (self only).
-        let t3 = q.post_wqe(1_000_000, 0, 1, 64);
+        let t3 = q.post_wqe(1_000_000, 0, 1, 64, 0);
         let _ = q.poll_wqe(t3);
         assert_eq!(q.stats().depth_hist.quantile(0.01), 1);
     }
@@ -574,7 +594,7 @@ mod tests {
     fn stats_merge_accumulates() {
         let mut a = QpStats::default();
         let mut q = qp();
-        let t = q.post_wqe(0, 0, 1, 64);
+        let t = q.post_wqe(0, 0, 1, 64, 0);
         let _ = q.poll_wqe(t);
         q.finish();
         a.merge(q.stats());
@@ -586,7 +606,7 @@ mod tests {
     #[test]
     fn no_hook_means_inline_serial_path() {
         assert!(!lane_active());
-        assert!(hook_post(0, 0, 1, 64).is_none());
+        assert!(hook_post(0, 0, 1, 64, 0).is_none());
         hook_timer(0, 100); // no-op without a hook
     }
 }

@@ -8,13 +8,27 @@
 
 use std::sync::Arc;
 
-use obs::{OpProfile, Phase, RetryCause, Tracer};
+use obs::{FlightKind, FlightRecorder, OpProfile, Phase, RetryCause, TimeSeries, Tracer};
 
 use crate::addr::GlobalAddr;
 use crate::fault::{FaultClient, FaultSession, VerbFaults, VerbKind};
 use crate::node::Pool;
 use crate::qp;
 use crate::stats::ClientStats;
+
+/// Always-on continuous telemetry carried by every [`Endpoint`]: the
+/// windowed [`TimeSeries`] and the black-box [`FlightRecorder`].
+///
+/// Unlike the opt-in [`Tracer`], telemetry never changes what the endpoint
+/// charges to the virtual clock — it only observes charges as they happen —
+/// so enabling or inspecting it cannot perturb gated metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Fixed-width windowed counters on the virtual clock.
+    pub series: TimeSeries,
+    /// Bounded ring of the client's last coarse events.
+    pub flight: FlightRecorder,
+}
 
 /// An open phase attribution frame returned by [`Endpoint::phase_begin`].
 ///
@@ -41,6 +55,13 @@ pub struct Endpoint {
     /// `stats.faults_injected` at the last op-retry attribution, so a retry
     /// following an injected fault is blamed on the fault engine.
     fault_mark: u64,
+    telem: Box<Telemetry>,
+    /// Causal trace id stamped on ops and WQEs (0 = untraced).
+    trace_id: u64,
+    /// Nesting depth of open spans; depth 0 -> 1 marks an op boundary.
+    span_depth: u32,
+    /// Virtual time the outermost open span began.
+    op_t0: u64,
 }
 
 impl Endpoint {
@@ -55,6 +76,10 @@ impl Endpoint {
             prof: Box::default(),
             phase: Phase::Other,
             fault_mark: 0,
+            telem: Box::default(),
+            trace_id: 0,
+            span_depth: 0,
+            op_t0: 0,
         }
     }
 
@@ -70,6 +95,10 @@ impl Endpoint {
             prof: Box::default(),
             phase: Phase::Other,
             fault_mark: 0,
+            telem: Box::default(),
+            trace_id: 0,
+            span_depth: 0,
+            op_t0: 0,
         }
     }
 
@@ -89,9 +118,24 @@ impl Endpoint {
         self.tracer.take().map(|t| *t)
     }
 
-    /// Opens an operation span on the attached tracer (0 without one).
+    /// Opens an operation span (0 without a tracer). The outermost span of
+    /// a nest marks an operation boundary for the always-on telemetry: the
+    /// flight recorder logs the begin and the time series counts the
+    /// completion, tracer or not.
     pub fn span_begin(&mut self, op: &'static str, key: u64) -> u64 {
         let now = self.clock_ns;
+        if self.span_depth == 0 {
+            self.op_t0 = now;
+            self.telem.flight.push(
+                now,
+                FlightKind::OpBegin {
+                    op,
+                    key,
+                    trace: self.trace_id,
+                },
+            );
+        }
+        self.span_depth += 1;
         self.tracer
             .as_mut()
             .map_or(0, |t| t.begin_span(op, key, now))
@@ -105,6 +149,52 @@ impl Endpoint {
                 t.end_span(span, ok, now);
             }
         }
+        if self.span_depth > 0 {
+            self.span_depth -= 1;
+            if self.span_depth == 0 {
+                let dur = now - self.op_t0;
+                self.telem.series.record_op(now, dur, ok);
+                self.telem.flight.push(now, FlightKind::OpEnd { ok, dur_ns: dur });
+            }
+        }
+    }
+
+    /// Sets the causal trace id stamped on subsequent ops, tracer events
+    /// and WQEs. Minted once per operation at the serve/bench entry point
+    /// and carried through every layer; 0 means untraced.
+    pub fn set_trace_id(&mut self, id: u64) {
+        self.trace_id = id;
+        if let Some(t) = self.tracer.as_mut() {
+            t.set_trace(id);
+        }
+    }
+
+    /// The active causal trace id (0 = untraced).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The always-on continuous telemetry (time series + flight recorder).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telem
+    }
+
+    /// Mutable telemetry access: the serve layer records shed/served
+    /// decisions and CQ depth here; harnesses snapshot and diff it.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telem
+    }
+
+    /// Records a free-form control-plane note (migration steps, route
+    /// updates) on both the time series and the flight recorder.
+    pub fn note_event(&mut self, label: &str) {
+        self.telem.series.event(self.clock_ns, label);
+        self.telem.flight.push(
+            self.clock_ns,
+            FlightKind::Note {
+                label: label.to_string(),
+            },
+        );
     }
 
     /// Opens a phase: subsequent clock charges are attributed to `phase`
@@ -165,6 +255,12 @@ impl Endpoint {
     /// the label kills this client here (panicking with
     /// [`crate::fault::CrashSignal`]). A no-op without a fault session.
     pub fn crash_point(&mut self, label: &str) {
+        self.telem.flight.push(
+            self.clock_ns,
+            FlightKind::CrashPoint {
+                label: label.to_string(),
+            },
+        );
         if let Some(fc) = self.fault.as_mut() {
             fc.on_crash_point(label);
         }
@@ -184,6 +280,15 @@ impl Endpoint {
                 .write(w.addr.offset() as usize, &w.bytes);
         }
         self.stats.faults_injected += faults.injected;
+        for (action, label) in &faults.fired {
+            self.telem.flight.push(
+                self.clock_ns,
+                FlightKind::Fault {
+                    action,
+                    label: label.clone(),
+                },
+            );
+        }
         if let Some(t) = self.tracer.as_mut() {
             for (action, label) in &faults.fired {
                 t.fault(self.clock_ns, action, label.clone());
@@ -203,8 +308,10 @@ impl Endpoint {
         if dt > 0 {
             qp::hook_timer(self.clock_ns, dt);
         }
+        let t0 = self.clock_ns;
         self.clock_ns += dt;
         self.prof.add_time(self.phase, dt);
+        self.telem.series.add_time(t0, dt, self.phase);
     }
 
 
@@ -234,6 +341,7 @@ impl Endpoint {
     pub fn note_torn_read(&mut self) {
         self.stats.torn_reads_detected += 1;
         self.prof.retry(RetryCause::VersionMismatch);
+        self.telem.series.retry(self.clock_ns, RetryCause::VersionMismatch);
     }
 
     /// Records a stale lock word reclaimed from a dead holder.
@@ -246,6 +354,7 @@ impl Endpoint {
     pub fn note_lock_retry(&mut self) {
         self.stats.lock_retries += 1;
         self.prof.retry(RetryCause::LockConflict);
+        self.telem.series.retry(self.clock_ns, RetryCause::LockConflict);
     }
 
     /// Records a whole-operation optimistic retry attributed to `cause`.
@@ -261,6 +370,10 @@ impl Endpoint {
         };
         self.fault_mark = self.stats.faults_injected;
         self.prof.retry(cause);
+        self.telem.series.retry(self.clock_ns, cause);
+        self.telem
+            .flight
+            .push(self.clock_ns, FlightKind::Retry { cause: cause.as_str() });
     }
 
     /// Advances the virtual clock without network traffic (used by backoff:
@@ -283,16 +396,25 @@ impl Endpoint {
         let wire = payload + msgs * net.msg_overhead;
         self.stats.msgs += msgs;
         self.stats.wire_bytes += wire;
-        if let Some(out) = qp::hook_post(self.clock_ns, mn, msgs, wire) {
+        let t0 = self.clock_ns;
+        if let Some(out) = qp::hook_post(self.clock_ns, mn, msgs, wire, self.trace_id) {
             self.stats.rtts += out.rtts;
             self.clock_ns = out.completion_ns;
             self.prof.add_time(self.phase, out.service_ns);
             self.prof.add_time(Phase::CqWait, out.cq_wait_ns);
             self.prof.add_verb(self.phase, msgs, out.rtts, wire);
+            self.telem.series.add_time(t0, out.cq_wait_ns, Phase::CqWait);
+            self.telem.series.add_time(
+                out.completion_ns.saturating_sub(out.service_ns),
+                out.service_ns,
+                self.phase,
+            );
+            self.telem.series.add_verb(t0, msgs, out.rtts, wire);
         } else {
             self.stats.rtts += rtts;
             self.advance(net.verb_latency_ns(msgs, wire));
             self.prof.add_verb(self.phase, msgs, rtts, wire);
+            self.telem.series.add_verb(t0, msgs, rtts, wire);
         }
         wire
     }
@@ -519,9 +641,11 @@ impl Endpoint {
         self.stats.msgs += 2;
         self.stats.rtts += 1;
         self.stats.wire_bytes += wire;
+        let t0a = self.clock_ns;
         let dt = self.pool.net().alloc_rpc_ns;
         self.advance(dt);
         self.prof.add_verb(self.phase, 2, 1, wire);
+        self.telem.series.add_verb(t0a, 2, 1, wire);
         self.pool.mn(mn).note_traffic(2, wire);
         self.trace_verb(t0, "alloc", GlobalAddr::new(mn, 0), wire, 2);
         r

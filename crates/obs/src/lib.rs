@@ -16,6 +16,17 @@
 //!   deterministic fixed-bucket [`phase::LatencyHist`] and the per-client
 //!   [`phase::OpProfile`] that attributes every charged nanosecond, verb
 //!   and wire byte to a phase;
+//! * [`timeseries`] — continuous telemetry: fixed-width virtual-clock
+//!   windows ([`timeseries::TimeSeries`]) accumulating per-window
+//!   throughput, per-phase time, retries, CQ depth and shed/served counts,
+//!   plus timestamped control-plane events;
+//! * [`flight`] — the always-on black-box [`flight::FlightRecorder`]: a
+//!   bounded ring of each client's last moments, dumped to
+//!   `flightdump_*.json` on failures and gate breaches;
+//! * [`anomaly`] — in-run anomaly detection over a time series (throughput
+//!   cliffs, latency bursts, CQ saturation, over-budget migrations);
+//! * [`perfetto`] — the Chrome trace-event exporter turning tracer rings
+//!   into a document `ui.perfetto.dev` opens directly;
 //! * [`gate`] — the CI perf gate comparing bench points against a
 //!   checked-in baseline with direction-aware relative tolerances;
 //! * [`json`] — the dependency-free, deterministic JSON writer/parser the
@@ -27,14 +38,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anomaly;
+pub mod flight;
 pub mod gate;
 pub mod json;
 pub mod metrics;
+pub mod perfetto;
 pub mod phase;
+pub mod timeseries;
 pub mod trace;
 
+pub use anomaly::{detect, Anomaly, AnomalyConfig, AnomalyKind};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use gate::{compare, direction_of, Baseline, BenchPoint, Direction, GateReport, Violation};
 pub use json::Json;
 pub use metrics::{HistogramSummary, MetricsSnapshot};
+pub use perfetto::to_perfetto;
 pub use phase::{LatencyHist, OpProfile, Phase, PhaseAcc, RetryCause};
+pub use timeseries::{TimeSeries, TsEvent, Window};
 pub use trace::{Event, EventKind, SpanSummary, Tracer};

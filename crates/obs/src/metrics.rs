@@ -40,11 +40,26 @@ impl MetricKey {
         let inner = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
             .collect::<Vec<_>>()
             .join(",");
         format!("{}{{{inner}}}", self.name)
     }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and newline must be backslash-escaped.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A six-number summary of a latency histogram.
@@ -287,6 +302,31 @@ mod tests {
     fn identical_snapshots_serialize_identically() {
         assert_eq!(sample().to_json(), sample().to_json());
         assert_eq!(sample().to_prometheus(), sample().to_prometheus());
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_and_newlines() {
+        let mut s = MetricsSnapshot::new();
+        s.counter("frames_total", &[("err", "bad \"quote\"")], 1);
+        s.counter("frames_total", &[("err", "back\\slash")], 2);
+        s.counter("frames_total", &[("err", "two\nlines")], 3);
+        let text = s.to_prometheus();
+        assert!(text.contains("frames_total{err=\"bad \\\"quote\\\"\"} 1"));
+        assert!(text.contains("frames_total{err=\"back\\\\slash\"} 2"));
+        assert!(text.contains("frames_total{err=\"two\\nlines\"} 3"));
+        // Every exposition line stays a single physical line.
+        assert_eq!(text.lines().count(), 3);
+        // The JSON exporter keeps the raw value intact through its own
+        // escaping and round-trips.
+        let v = crate::json::parse(&s.to_json()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("frames_total{err=\"two\\nlines\"}")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
     }
 
     #[test]

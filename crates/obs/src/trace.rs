@@ -70,6 +70,10 @@ pub enum EventKind {
 pub struct Event {
     /// The span the event belongs to (0 = outside any span).
     pub span: u64,
+    /// The causal trace id active when the event was recorded (0 = none).
+    /// Minted once at the serve/bench entry point and carried through every
+    /// layer an operation touches, so one op's events form one causal tree.
+    pub trace: u64,
     /// Monotonic per-client event sequence number.
     pub seq: u64,
     /// Virtual-clock timestamp, nanoseconds.
@@ -83,6 +87,7 @@ impl Event {
         let mut pairs = vec![
             ("client", Json::from(client as u64)),
             ("span", Json::from(self.span)),
+            ("trace", Json::from(self.trace)),
             ("seq", Json::from(self.seq)),
             ("t_ns", Json::from(self.t_ns)),
         ];
@@ -141,6 +146,7 @@ pub struct Tracer {
     next_span: u64,
     next_seq: u64,
     dropped: u64,
+    trace: u64,
 }
 
 impl Tracer {
@@ -154,7 +160,18 @@ impl Tracer {
             next_span: 0,
             next_seq: 0,
             dropped: 0,
+            trace: 0,
         }
+    }
+
+    /// Sets the causal trace id attached to subsequent events (0 = none).
+    pub fn set_trace(&mut self, id: u64) {
+        self.trace = id;
+    }
+
+    /// The currently active causal trace id.
+    pub fn trace(&self) -> u64 {
+        self.trace
     }
 
     /// The client id events are attributed to.
@@ -186,6 +203,7 @@ impl Tracer {
         self.next_seq += 1;
         self.events.push_back(Event {
             span,
+            trace: self.trace,
             seq,
             t_ns,
             kind,
@@ -290,6 +308,7 @@ impl Tracer {
                     index.insert(ev.span, spans.len());
                     spans.push(SpanSummary {
                         id: ev.span,
+                        trace: ev.trace,
                         op,
                         key: *key,
                         start_ns: ev.t_ns,
@@ -371,6 +390,8 @@ pub struct SpanVerb {
 pub struct SpanSummary {
     /// Span id.
     pub id: u64,
+    /// Causal trace id active at span open (0 = none).
+    pub trace: u64,
     /// Operation name.
     pub op: &'static str,
     /// Target key.
@@ -513,5 +534,37 @@ mod tests {
         assert_eq!(spans.len(), 1);
         assert!(!spans[0].closed);
         assert_eq!(spans[0].end_ns, 100);
+    }
+
+    #[test]
+    fn dur_ns_on_unclosed_spans() {
+        // A span with events after its begin reports the duration up to its
+        // last event; a bare begin reports zero — never an underflow.
+        let mut t = Tracer::new(0, 64);
+        t.begin_span("update", 1, 500);
+        t.verb(500, 250, "read", 0, 1, 64, 1);
+        t.begin_span("split", 1, 900);
+        let spans = t.spans();
+        assert!(!spans[0].closed && !spans[1].closed);
+        assert_eq!(spans[0].dur_ns(), 250);
+        assert_eq!(spans[1].dur_ns(), 0);
+    }
+
+    #[test]
+    fn trace_ids_flow_to_events_and_spans() {
+        let mut t = Tracer::new(2, 64);
+        t.set_trace(77);
+        assert_eq!(t.trace(), 77);
+        let s = t.begin_span("search", 4, 0);
+        t.verb(0, 100, "read", 0, 1, 64, 1);
+        t.end_span(s, true, 100);
+        t.set_trace(78);
+        let s2 = t.begin_span("search", 5, 100);
+        t.end_span(s2, false, 200);
+        let spans = t.spans();
+        assert_eq!(spans[0].trace, 77);
+        assert_eq!(spans[1].trace, 78);
+        assert!(t.to_jsonl().contains("\"trace\":77"));
+        assert!(t.events().all(|e| e.trace == 77 || e.trace == 78));
     }
 }

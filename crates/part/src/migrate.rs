@@ -88,6 +88,19 @@ pub enum RecoveryOutcome {
     Finished,
 }
 
+/// Stamps a control-plane note on both the control endpoint's telemetry
+/// (at its clock) and the source client's time series (at the later of the
+/// two clocks, since the copy advances `src` while `ctl` stands still).
+/// The anomaly detector pairs `migrate.locked` / `migrate.published` notes
+/// to measure each migration's lock-to-publish interval.
+fn note_step(ctl: &mut Endpoint, src: &mut ChimeClient, label: &str) {
+    ctl.note_event(label);
+    let t = ctl.clock_ns().max(src.clock_ns());
+    if let Some(tm) = src.telemetry_mut() {
+        tm.series.event(t, label);
+    }
+}
+
 /// The migration journal: a 32-byte record in MN 0's reserved region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Journal {
@@ -181,6 +194,7 @@ pub fn migrate(
         return Err(MigrateError::Busy);
     }
     ctl.crash_point(CRASH_MIGRATE_LOCKED);
+    note_step(ctl, src, &format!("migrate.locked part={part} dst={target}"));
     let old_root = src.current_root();
     ctl.write(layout::scratch_addr(), &0u64.to_le_bytes());
     Journal {
@@ -203,11 +217,17 @@ pub fn migrate(
     dst.sync_clock_to(src.clock_ns().max(ctl.clock_ns()));
     let (leaves, items) =
         copy_leaves(src, &mut dst, old_root, ctl).map_err(MigrateError::Index)?;
+    note_step(
+        ctl,
+        src,
+        &format!("migrate.copied part={part} dst={target} leaves={leaves} items={items}"),
+    );
     let new_root = dst.current_root();
     let live = ctl.cas(layout::tree_slot_addr(part), old_root.raw(), new_root.raw());
     assert_eq!(live, old_root.raw(), "live root changed under part_lock");
     ctl.crash_point(CRASH_MIGRATE_SWITCHED);
     publish_routing(ctl, part, target);
+    note_step(ctl, src, &format!("migrate.published part={part} dst={target}"));
     ctl.crash_point(CRASH_MIGRATE_DONE);
     ctl.write(layout::part_lock_addr(), &0u64.to_le_bytes());
     let span = src.clock_ns().max(dst.clock_ns());

@@ -492,4 +492,24 @@ impl RangeIndex for RouterClient {
     fn profile(&self) -> Option<&obs::OpProfile> {
         self.client.profile()
     }
+
+    fn telemetry(&self) -> Option<&dmem::Telemetry> {
+        self.client.telemetry()
+    }
+
+    fn telemetry_mut(&mut self) -> Option<&mut dmem::Telemetry> {
+        self.client.telemetry_mut()
+    }
+
+    fn set_trace_id(&mut self, id: u64) {
+        self.client.set_trace_id(id);
+    }
+
+    fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.client.set_tracer(tracer);
+    }
+
+    fn take_tracer(&mut self) -> Option<obs::Tracer> {
+        RangeIndex::take_tracer(&mut self.client)
+    }
 }

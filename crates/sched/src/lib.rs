@@ -114,6 +114,7 @@ enum Event<T> {
         mn: u16,
         msgs: u64,
         wire_bytes: u64,
+        trace: u64,
     },
     Timer {
         lane: usize,
@@ -135,7 +136,14 @@ struct EngineHook<T: Send + 'static> {
 }
 
 impl<T: Send + 'static> LaneHook for EngineHook<T> {
-    fn post(&mut self, now_ns: u64, mn: u16, msgs: u64, wire_bytes: u64) -> WqeOutcome {
+    fn post(
+        &mut self,
+        now_ns: u64,
+        mn: u16,
+        msgs: u64,
+        wire_bytes: u64,
+        trace: u64,
+    ) -> WqeOutcome {
         self.events
             .send(Event::Post {
                 lane: self.lane,
@@ -143,6 +151,7 @@ impl<T: Send + 'static> LaneHook for EngineHook<T> {
                 mn,
                 msgs,
                 wire_bytes,
+                trace,
             })
             .expect("scheduler gone while lane runs");
         match self.resume.recv().expect("scheduler gone while lane parked") {
@@ -442,8 +451,9 @@ impl Engine {
                     mn,
                     msgs,
                     wire_bytes,
+                    trace,
                 } => {
-                    let ticket = qp.post_wqe(now_ns, mn, msgs, wire_bytes);
+                    let ticket = qp.post_wqe(now_ns, mn, msgs, wire_bytes, trace);
                     ready.push(Reverse((ticket.completion(), lane)));
                     parked[lane] = Some(Parked::Verb(ticket));
                     if let Some(g) = &gauge {

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use chime::{Chime, ChimeClient, ChimeConfig};
 use dmem::{Endpoint, FaultPlan, FaultSession, Pool, QpStats, RangeIndex};
-use obs::{LatencyHist, MetricsSnapshot, OpProfile, Phase};
+use obs::{Anomaly, AnomalyConfig, LatencyHist, MetricsSnapshot, OpProfile, Phase, TimeSeries};
 use sched::{CqDepthGauge, Engine, EngineConfig, LaneBody};
 use ycsb::KeySpace;
 
@@ -167,6 +167,9 @@ pub struct ConnSummary {
     pub end_ns: u64,
     /// Trace JSONL (when tracing is enabled).
     pub trace_jsonl: Option<String>,
+    /// Windowed timeline of this connection's endpoint (fresh per
+    /// connection, so the whole series is the connection's activity).
+    pub timeline: TimeSeries,
 }
 
 /// Aggregated outcome of a simulated serving run.
@@ -202,6 +205,13 @@ pub struct SimReport {
     pub metrics: MetricsSnapshot,
     /// Concatenated per-connection trace JSONL (empty when disabled).
     pub trace_jsonl: String,
+    /// Windowed timeline merged over every connection: throughput,
+    /// per-phase time, shed/served decisions and CQ-depth highs per
+    /// 100 µs of virtual time.
+    pub timeline: TimeSeries,
+    /// Anomalies detected in the merged timeline (CQ saturation is armed
+    /// at the run's configured watermark).
+    pub anomalies: Vec<Anomaly>,
 }
 
 impl SimReport {
@@ -328,6 +338,10 @@ fn run_conn(ctx: LaneCtx, mut client: ChimeClient) -> ConnSummary {
             profile: client.profile().cloned().unwrap_or_default(),
             hist,
             end_ns: client.clock_ns(),
+            timeline: client
+                .telemetry()
+                .map(|t| t.series.clone())
+                .unwrap_or_default(),
             trace_jsonl: client.take_tracer().map(|t| t.to_jsonl()),
         };
     }
@@ -417,6 +431,10 @@ fn run_conn(ctx: LaneCtx, mut client: ChimeClient) -> ConnSummary {
         profile: client.profile().cloned().unwrap_or_default(),
         hist,
         end_ns: client.clock_ns(),
+        timeline: client
+            .telemetry()
+            .map(|t| t.series.clone())
+            .unwrap_or_default(),
         trace_jsonl: client.take_tracer().map(|t| t.to_jsonl()),
     }
 }
@@ -433,9 +451,18 @@ fn serve_one(
     served: &mut u64,
 ) {
     let t0 = client.clock_ns();
+    // The causal trace id is minted here, at request decode — the serve
+    // entry point — and rides the op through the tree, the scheduler and
+    // the queue pair: connection in the high half, request seq in the low.
+    client.set_trace_id(((conn.id as u64 + 1) << 32) | conn.counters.requests);
     client.advance_phase(Phase::Decode, cfg.decode_ns);
 
-    let mut over = gauge.depth() > cfg.cq_watermark;
+    let depth = gauge.depth();
+    let now = client.clock_ns();
+    if let Some(tm) = client.telemetry_mut() {
+        tm.series.cq_depth(now, depth);
+    }
+    let mut over = depth > cfg.cq_watermark;
     if over && cfg.policy == OverloadPolicy::Defer {
         conn.counters.deferred += 1;
         for _ in 0..cfg.defer_rounds {
@@ -449,6 +476,10 @@ fn serve_one(
     if over {
         conn.respond(&crate::proto::Response::Busy);
         client.advance_phase(Phase::Respond, cfg.respond_ns);
+        let now = client.clock_ns();
+        if let Some(tm) = client.telemetry_mut() {
+            tm.series.shed(now);
+        }
         return;
     }
 
@@ -457,6 +488,10 @@ fn serve_one(
     client.advance_phase(Phase::Respond, cfg.respond_ns);
     hist.record(client.clock_ns() - t0);
     *served += 1;
+    let now = client.clock_ns();
+    if let Some(tm) = client.telemetry_mut() {
+        tm.series.served(now);
+    }
 }
 
 /// Runs one deterministic serving simulation.
@@ -550,9 +585,11 @@ fn assemble(cfg: &SimConfig, conns: Vec<ConnSummary>, qp: QpStats) -> SimReport 
     let mut makespan = 0u64;
     let mut requests = 0u64;
     let mut trace = String::new();
+    let mut timeline = TimeSeries::default();
     for c in &conns {
         hist.merge(&c.hist);
         profile.merge(&c.profile);
+        timeline.merge(&c.timeline);
         served += c.served;
         shed += c.counters.shed;
         deferred += c.counters.deferred;
@@ -602,7 +639,17 @@ fn assemble(cfg: &SimConfig, conns: Vec<ConnSummary>, qp: QpStats) -> SimReport 
         m.counter("serve_conn_shed", labels, c.counters.shed);
         m.counter("serve_conn_served", labels, c.served);
     }
-    let _ = cfg;
+    // The serve layer arms CQ-saturation detection at its own watermark:
+    // a window whose observed depth reached the shed threshold is exactly
+    // the interval a tail-latency excursion should be blamed on.
+    let anomalies = obs::detect(
+        &timeline,
+        &AnomalyConfig {
+            cq_saturation: cfg.cq_watermark.max(1),
+            ..AnomalyConfig::default()
+        },
+    );
+    m.counter("anomalies_total", &[], anomalies.len() as u64);
 
     SimReport {
         served,
@@ -619,6 +666,8 @@ fn assemble(cfg: &SimConfig, conns: Vec<ConnSummary>, qp: QpStats) -> SimReport 
         qp,
         metrics: m,
         trace_jsonl: trace,
+        timeline,
+        anomalies,
         conns,
     }
 }

@@ -10,13 +10,13 @@ B=./target/release
 OUT=results
 mkdir -p "$OUT"
 # Drop stale outputs first: a figure removed from this script must not leave
-# a ghost BENCH_*.json (or .txt) behind for the gate or explain to trip on.
-# baseline.json is the perf gate's reference and is refreshed by
-# `make baseline`, not here.
-rm -f "$OUT"/BENCH_*.json "$OUT"/*.txt
+# a ghost BENCH_*.json / TIMELINE_*.json (or .txt) behind for the gate or
+# explain to trip on. baseline.json is the perf gate's reference and is
+# refreshed by `make baseline`, not here.
+rm -f "$OUT"/BENCH_*.json "$OUT"/TIMELINE_*.json "$OUT"/flightdump_*.json "$OUT"/*.txt
 # A figure binary run outside this script (no BENCH_OUT_DIR) drops its JSON
 # in the repo root; sweep those strays too so they can't shadow results/.
-rm -f ./BENCH_*.json
+rm -f ./BENCH_*.json ./TIMELINE_*.json ./flightdump_*.json
 export BENCH_OUT_DIR="$OUT"
 
 run() {
