@@ -2,14 +2,15 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint lint-chime chaos serve serve-smoke perf-smoke baseline explain clean
+.PHONY: verify build test lint lint-chime model-check chaos serve serve-smoke perf-smoke baseline explain clean
 
 # Tier-1 gate (build + tests) plus the clippy lint wall, the protocol-aware
-# chime-lint pass, a fixed-seed chaos smoke run (deterministic fault
-# injection with a crash-while-holding-a-leaf-lock scenario, serial and
-# pipelined), the serving-layer determinism/chaos suite, and the perf gate
-# (including the K=4 coroutine points and the serve point).
-verify: build test lint lint-chime chaos serve perf-smoke
+# chime-lint pass, the chime-model exhaustive protocol check, a fixed-seed
+# chaos smoke run (deterministic fault injection with a
+# crash-while-holding-a-leaf-lock scenario, serial and pipelined), the
+# serving-layer determinism/chaos suite, and the perf gate (including the
+# K=4 coroutine points and the serve point).
+verify: build test lint lint-chime model-check chaos serve perf-smoke
 
 build:
 	$(CARGO) build --release
@@ -24,6 +25,13 @@ lint:
 # phase balance, determinism); writes the machine-readable report too.
 lint-chime:
 	$(CARGO) run --release -q -p analyzer --bin chime-lint -- --root . --json results/lint.json
+
+# Exhaustive model check of the lock-lease protocol and the partition
+# migration crash/recovery machine, against the layout extracted from the
+# shipping lockword.rs. Verifies mutual exclusion, lease safety, routing
+# integrity, journal discipline, progress; refutes the two seeded probes.
+model-check:
+	$(CARGO) run --release -q -p analyzer --bin chime-model -- --root . --json results/model.json
 
 chaos:
 	$(CARGO) test -p chime --test chaos --test chaos_pipelined -q

@@ -1,0 +1,265 @@
+//! The workspace call graph: call sites resolved to definitions by name.
+//!
+//! A call site is an identifier immediately followed by `(` that is not a
+//! definition (`fn name`), not a control-flow keyword, and not shadowed
+//! by a `let` binding or parameter of the enclosing function (a shadowed
+//! name calls a closure or function value, whose target the lexer cannot
+//! know — those sites resolve to nothing rather than to the same-named
+//! global function). Method-call syntax (`recv.name(args)`) resolves the
+//! same way as free calls: CHIME's protocol verbs have globally unique
+//! method names, which is exactly what makes a lexer-level call graph
+//! sound enough to carry the interprocedural rules.
+//!
+//! One arity guard keeps the name-based scheme honest: a call with an
+//! empty argument list never resolves to a definition whose parameter
+//! list requires arguments. Without it, every `mutex.lock()` guard
+//! acquisition in the repo would resolve to the leaf-lock protocol
+//! helper `fn lock(&mut self, ep, addr)` and poison the interprocedural
+//! lock summaries of every function that touches the CN cache.
+//!
+//! Everything is index-based over the [`Workspace`]'s canonical file
+//! order, so the graph is deterministic and stable under re-ordering of
+//! the input file list.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+
+/// Keywords that may appear directly before `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "match", "return", "for", "loop", "in", "move", "as", "let", "else", "fn",
+    "unsafe", "break", "continue", "where", "impl", "pub", "ref", "mut", "box", "await", "yield",
+];
+
+/// One resolved call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Token index of the callee name, in the caller's file.
+    pub tok: usize,
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// The called name, verbatim.
+    pub name: String,
+    /// Global function ids of every same-named definition (sorted).
+    /// Empty when the workspace defines no such function or the name is
+    /// shadowed at this site.
+    pub callees: Vec<usize>,
+}
+
+/// The call graph: for every global function id, its call sites in body
+/// token order.
+pub struct CallGraph {
+    /// Indexed by global function id.
+    pub sites: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for `ws`.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut sites = Vec::with_capacity(ws.fns.len());
+        for gid in 0..ws.fns.len() {
+            sites.push(scan_fn(ws, gid));
+        }
+        CallGraph { sites }
+    }
+
+    /// The distinct callee ids of `gid`, sorted.
+    pub fn callees_of(&self, gid: usize) -> BTreeSet<usize> {
+        self.sites[gid]
+            .iter()
+            .flat_map(|s| s.callees.iter().copied())
+            .collect()
+    }
+}
+
+fn scan_fn(ws: &Workspace, gid: usize) -> Vec<CallSite> {
+    let (file, span) = ws.fn_at(gid);
+    let toks = &file.toks;
+    if span.body.1 <= span.body.0 {
+        return Vec::new();
+    }
+    let shadowed = shadowed_names(ws, gid);
+    let mut out = Vec::new();
+    for i in span.body.0..span.body.1.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            || (i > 0 && toks[i - 1].is_ident("fn"))
+            || KEYWORDS.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        let mut callees = if shadowed.contains(&t.text) {
+            Vec::new()
+        } else {
+            ws.defs_named(&t.text).to_vec()
+        };
+        // Arity guard: `recv.name()` with no arguments cannot be a call
+        // to a definition that requires them (think `mutex.lock()` vs the
+        // protocol helper `fn lock(&mut self, ep, addr)`).
+        if toks.get(i + 2).is_some_and(|n| n.is_punct(')')) {
+            callees.retain(|&d| !requires_args(ws, d));
+        }
+        out.push(CallSite {
+            tok: i,
+            line: t.line,
+            name: t.text.clone(),
+            callees,
+        });
+    }
+    out
+}
+
+/// Whether the definition's parameter list requires at least one
+/// argument at the call site — i.e. its header declares a `name: Type`
+/// parameter. A bare `self` receiver (any flavor) does not count: it is
+/// supplied by method syntax, not the argument list.
+fn requires_args(ws: &Workspace, gid: usize) -> bool {
+    let (file, span) = ws.fn_at(gid);
+    let toks = &file.toks;
+    // Scan the header's parameter parens: first `(` after the name.
+    let mut i = span.toks.0;
+    let end = span.body.0.min(toks.len());
+    while i < end && !toks[i].is_punct('(') {
+        i += 1;
+    }
+    let mut depth = 0i32;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 && t.is_punct(':') && i > 0 && !toks[i - 1].is_ident("self") {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Names bound by `let` patterns in the body or by parameters in the
+/// header — call sites through these are closure/function-value calls.
+fn shadowed_names(ws: &Workspace, gid: usize) -> BTreeSet<String> {
+    let (file, span) = ws.fn_at(gid);
+    let toks = &file.toks;
+    let mut names = BTreeSet::new();
+    // `let` patterns: every identifier between `let` and the first `:`,
+    // `=` or `;` (covers `let f`, `let mut f`, `let (f, g)`).
+    for i in span.body.0..span.body.1.min(toks.len()) {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        while j < span.body.1.min(toks.len()) {
+            let t = &toks[j];
+            if t.is_punct(':') || t.is_punct('=') || t.is_punct(';') {
+                break;
+            }
+            if t.kind == TokKind::Ident && !t.is_ident("mut") && !t.is_ident("ref") {
+                names.insert(t.text.clone());
+            }
+            j += 1;
+        }
+    }
+    // Parameters: identifiers followed by `:` in the header range.
+    for i in span.toks.0..span.body.0.min(toks.len()) {
+        if toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+            names.insert(toks[i].text.clone());
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace::new(
+            files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p.to_string(), s))
+                .collect(),
+        )
+    }
+
+    fn gid_of(w: &Workspace, name: &str) -> usize {
+        w.defs_named(name)[0]
+    }
+
+    #[test]
+    fn calls_resolve_across_files() {
+        let w = ws(vec![
+            ("crates/a/src/lib.rs", "fn caller() { helper(); }"),
+            ("crates/b/src/lib.rs", "fn helper() {}"),
+        ]);
+        let cg = CallGraph::build(&w);
+        let caller = gid_of(&w, "caller");
+        let callees = cg.callees_of(caller);
+        assert_eq!(callees.len(), 1);
+        assert!(callees.contains(&gid_of(&w, "helper")));
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let w = ws(vec![(
+            "crates/a/src/lib.rs",
+            "fn op(ep: &mut Ep) { ep.acquire_leaf(7); }\nfn acquire_leaf(x: u64) {}",
+        )]);
+        let cg = CallGraph::build(&w);
+        assert!(cg.callees_of(gid_of(&w, "op")).contains(&gid_of(&w, "acquire_leaf")));
+    }
+
+    #[test]
+    fn let_shadowed_names_do_not_resolve() {
+        let w = ws(vec![(
+            "crates/a/src/lib.rs",
+            "fn target() {}\nfn shadows() { let target = || (); target(); }\nfn calls() { target(); }",
+        )]);
+        let cg = CallGraph::build(&w);
+        assert!(cg.callees_of(gid_of(&w, "shadows")).is_empty());
+        assert_eq!(cg.callees_of(gid_of(&w, "calls")).len(), 1);
+    }
+
+    #[test]
+    fn fn_typed_params_do_not_resolve() {
+        let w = ws(vec![(
+            "crates/a/src/lib.rs",
+            "fn target() {}\nfn run(target: impl Fn()) { target(); }",
+        )]);
+        let cg = CallGraph::build(&w);
+        assert!(cg.callees_of(gid_of(&w, "run")).is_empty());
+    }
+
+    #[test]
+    fn zero_arg_calls_do_not_resolve_to_arg_taking_fns() {
+        // `cache.lock()` is a mutex guard, not the leaf-lock protocol
+        // helper; the arity guard keeps them apart. A genuinely nullary
+        // definition still resolves.
+        let w = ws(vec![(
+            "crates/a/src/lib.rs",
+            "fn lock(ep: &mut Ep, addr: u64) {}\nfn tick(&self) {}\n\
+             fn op(c: &Cache) { c.lock(); c.tick(); }",
+        )]);
+        let cg = CallGraph::build(&w);
+        let callees = cg.callees_of(gid_of(&w, "op"));
+        assert!(!callees.contains(&gid_of(&w, "lock")), "arity mismatch must not resolve");
+        assert!(callees.contains(&gid_of(&w, "tick")), "nullary method must resolve");
+    }
+
+    #[test]
+    fn keywords_are_not_calls() {
+        let w = ws(vec![(
+            "crates/a/src/lib.rs",
+            "fn f(x: u64) -> u64 { if (x > 0) { return (x); } match (x) { _ => 0 } }",
+        )]);
+        let cg = CallGraph::build(&w);
+        assert!(cg.sites[gid_of(&w, "f")].is_empty());
+    }
+}

@@ -1,0 +1,594 @@
+//! The forward dataflow framework: per-function summaries of abstract
+//! resources, propagated over the call graph to a bounded fixpoint.
+//!
+//! # Resource kinds
+//!
+//! Five abstract resources flow through CHIME's functions:
+//!
+//! * **lock tickets** — the leaf lock word, acquired by the masked-CAS
+//!   acquire verb and discharged by an unlock-family call or a WRITE that
+//!   targets the lock address;
+//! * **admission permits** — `try_admit`/`release` pairs on the serving
+//!   front end's connection semaphore;
+//! * **WQE tickets** — `post_wqe`/`poll_wqe` pairs on the queue pair;
+//! * **phase frames** — `phase_begin`/`phase_end` pairs on the endpoint;
+//! * **open spans** — `span_begin`/`span_end` (and the tracer-level
+//!   `begin_span`/`end_span`) pairs.
+//!
+//! The counted kinds (permits, WQEs, phases, spans) get a *net effect*
+//! per function: direct opens minus direct closes, plus the net effect of
+//! every resolved callee. A wrapper that opens a frame for its caller has
+//! net `+1`; a closer has net `-1`; a balanced helper contributes `0` and
+//! disappears from its caller's obligation — this is what lets
+//! acquire-here/close-in-callee code lint clean while a leak anywhere in
+//! the call graph still surfaces. Nets are iterated to a bounded fixpoint
+//! (recursion clamps instead of diverging) and ambiguous resolutions
+//! (several same-named definitions with different nets) contribute zero,
+//! keeping the imprecision conservative-quiet rather than noisy.
+//!
+//! Lock tickets are boolean, not counted: `direct_acq` (the function
+//! itself issues an acquire-shape masked-CAS), `releases` (release
+//! evidence here or in any callee), and `obligation` (an unreleased
+//! acquire that a *helper-named* function hands to its caller — helpers
+//! named `lock`/`acquire`/`reclaim` declare ownership transfer by name,
+//! exactly as the per-file rule assumed; non-helpers must discharge their
+//! own acquires). Because `releases` appears negated in the obligation
+//! recurrence, it is closed first (it is monotone on its own), then
+//! obligations are computed against the fixed release set.
+//!
+//! For the lock-order rule, every function also gets the set of lock
+//! *classes* (local slot, partition lock, leaf lock) it leaks to its
+//! caller: acquired transitively and not released internally.
+
+use crate::callgraph::{CallGraph, CallSite};
+use crate::lexer::TokKind;
+use crate::rules::masked_cas_calls;
+use crate::source::call_args;
+use crate::workspace::Workspace;
+
+/// Counted resource kinds (index into the summary arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counted {
+    /// Phase frames (`phase_begin`/`phase_end`).
+    Phase = 0,
+    /// WQE tickets (`post_wqe`/`poll_wqe`).
+    Wqe = 1,
+    /// Operation spans (`span_begin`/`begin_span` / `span_end`/`end_span`).
+    Span = 2,
+    /// Admission permits (`try_admit`/`release`).
+    Permit = 3,
+}
+
+/// Number of counted resource kinds.
+pub const N_COUNTED: usize = 4;
+
+/// Opening verbs per counted kind.
+pub const OPEN_VERBS: [&[&str]; N_COUNTED] = [
+    &["phase_begin"],
+    &["post_wqe"],
+    &["span_begin", "begin_span"],
+    &["try_admit"],
+];
+
+/// Closing verbs per counted kind.
+pub const CLOSE_VERBS: [&[&str]; N_COUNTED] = [
+    &["phase_end"],
+    &["poll_wqe"],
+    &["span_end", "end_span"],
+    &["release"],
+];
+
+/// Identifiers that count as leaf-lock release evidence (exact match).
+/// `reclaim` is deliberately *not* release evidence: the full-word
+/// reclaim CAS keeps the lock bit set — it transfers ownership to the
+/// reclaimer, which still owes the release.
+pub const RELEASE_IDENTS: &[&str] = &["unlock", "unlock_writes", "write_and_unlock", "release"];
+
+/// Name fragments that mark a locking-protocol helper: its unreleased
+/// acquire is the *caller's* obligation, not a finding.
+pub const HELPER_FRAGMENTS: &[&str] = &["lock", "acquire", "reclaim"];
+
+/// Lock classes for the lock-order rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockClass {
+    /// CN-side `LocalLockTable` slot (RAII guard).
+    Local = 0,
+    /// The per-partition migration lock (`part_lock` CAS 0→1).
+    Part = 1,
+    /// The on-leaf/on-node lock word (masked-CAS acquire verb).
+    Leaf = 2,
+}
+
+/// Calls that acquire a local lock-table slot and hand the guard upward.
+pub const LOCAL_VERBS: &[&str] = &["local_lock", "acquire_with", "try_acquire"];
+
+/// Human name of a lock class (used in findings).
+pub fn class_name(c: LockClass) -> &'static str {
+    match c {
+        LockClass::Local => "local-slot",
+        LockClass::Part => "part-lock",
+        LockClass::Leaf => "leaf-lock",
+    }
+}
+
+/// The dataflow summary of one function.
+#[derive(Debug, Clone, Default)]
+pub struct FnSummary {
+    /// Direct opens per counted kind.
+    pub opens: [u32; N_COUNTED],
+    /// Direct closes per counted kind.
+    pub closes: [u32; N_COUNTED],
+    /// Effective net (opens − closes, callees folded in) per counted kind.
+    pub net: [i32; N_COUNTED],
+    /// The function itself issues an acquire-shape masked-CAS.
+    pub direct_acq: bool,
+    /// Release evidence directly in the body.
+    pub direct_rel: bool,
+    /// Release evidence here or in any callee (transitive).
+    pub releases: bool,
+    /// An unreleased lock acquire reaches this function (directly or
+    /// through helper-named callees).
+    pub obligation: bool,
+    /// The function's name marks it a locking-protocol helper.
+    pub helper: bool,
+    /// Lock classes this function leaks to its caller (acquired
+    /// transitively, not released internally). Bit = `LockClass as u8`.
+    pub leaked_classes: u8,
+}
+
+impl FnSummary {
+    /// Whether class `c` leaks from this function.
+    pub fn leaks(&self, c: LockClass) -> bool {
+        self.leaked_classes & (1 << c as u8) != 0
+    }
+}
+
+/// The analyzed workspace: one summary per global function id.
+pub struct Dataflow {
+    /// Indexed by global function id.
+    pub summaries: Vec<FnSummary>,
+}
+
+/// Net clamp bound: recursion saturates here instead of diverging.
+const NET_CLAMP: i32 = 16;
+/// Fixpoint rounds; nets and leak sets stabilize far earlier on real
+/// call graphs, the bound only caps pathological cycles (it exceeds
+/// `NET_CLAMP` so a self-recursive net saturates at the clamp instead of
+/// stopping mid-climb at the round limit).
+const ROUNDS: usize = 24;
+
+/// Runs the analysis.
+pub fn analyze(ws: &Workspace, cg: &CallGraph) -> Dataflow {
+    let n = ws.fns.len();
+    let mut sums: Vec<FnSummary> = (0..n).map(|gid| direct_summary(ws, gid)).collect();
+
+    // 1. Close `releases` (monotone: a release anywhere below suffices).
+    for _ in 0..ROUNDS {
+        let mut changed = false;
+        for gid in 0..n {
+            if sums[gid].releases {
+                continue;
+            }
+            let hit = cg.sites[gid]
+                .iter()
+                .flat_map(|s| s.callees.iter())
+                .any(|&d| sums[d].releases);
+            if hit {
+                sums[gid].releases = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 2. Obligations against the fixed release set. A call site passes
+    //    the obligation up only when its name is helper-shaped and every
+    //    same-named definition is obligated-and-unreleased (ambiguity
+    //    stays quiet).
+    for _ in 0..ROUNDS {
+        let mut changed = false;
+        for gid in 0..n {
+            if sums[gid].obligation {
+                continue;
+            }
+            let hit = cg.sites[gid].iter().any(|s| {
+                is_helper_name(&s.name)
+                    && !s.callees.is_empty()
+                    && s.callees
+                        .iter()
+                        .all(|&d| sums[d].obligation && !sums[d].releases)
+            });
+            if hit {
+                sums[gid].obligation = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 3. Counted nets to a bounded fixpoint.
+    for _ in 0..ROUNDS {
+        let mut changed = false;
+        for gid in 0..n {
+            let mut net = [0i32; N_COUNTED];
+            for (k, nk) in net.iter_mut().enumerate() {
+                *nk = sums[gid].opens[k] as i32 - sums[gid].closes[k] as i32;
+            }
+            for s in &cg.sites[gid] {
+                for (k, nk) in net.iter_mut().enumerate() {
+                    *nk += site_net(s, k, &sums);
+                }
+            }
+            for (k, nk) in net.iter().enumerate() {
+                let clamped = (*nk).clamp(-NET_CLAMP, NET_CLAMP);
+                if sums[gid].net[k] != clamped {
+                    sums[gid].net[k] = clamped;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 4. Leaked lock classes: acquired here or leaked by a callee, and
+    //    not released for that class in this body. As with obligations,
+    //    leaks only travel through helper-shaped call names where every
+    //    same-named definition agrees — the name-based graph is too
+    //    densely connected (`get`, `push`, `new`, ...) for unconditional
+    //    transitive closure.
+    for _ in 0..ROUNDS {
+        let mut changed = false;
+        for gid in 0..n {
+            let mut classes = direct_acquired_classes(ws, gid);
+            for s in &cg.sites[gid] {
+                if !is_helper_name(&s.name) || s.callees.is_empty() {
+                    continue;
+                }
+                let mut agreed = u8::MAX;
+                for &d in &s.callees {
+                    agreed &= sums[d].leaked_classes;
+                }
+                classes |= agreed;
+            }
+            classes &= !direct_released_classes(ws, gid);
+            if sums[gid].leaked_classes != classes {
+                sums[gid].leaked_classes = classes;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Dataflow { summaries: sums }
+}
+
+/// The contribution of call site `s` to its caller's net for kind `k`:
+/// the callees' agreed net, or zero for verbs (counted directly),
+/// unresolved names, and disagreeing resolutions.
+pub fn site_net(s: &CallSite, k: usize, sums: &[FnSummary]) -> i32 {
+    let name = s.name.as_str();
+    if OPEN_VERBS[k].contains(&name) || CLOSE_VERBS[k].contains(&name) {
+        return 0; // direct event, already counted
+    }
+    let mut nets = s.callees.iter().map(|&d| sums[d].net[k]);
+    match nets.next() {
+        Some(first) if nets.all(|n| n == first) => first,
+        _ => 0,
+    }
+}
+
+/// Whether `name` is helper-shaped for the lock obligation.
+pub fn is_helper_name(name: &str) -> bool {
+    HELPER_FRAGMENTS.iter().any(|h| name.contains(h))
+}
+
+/// Builds the direct (intra-body) part of a function's summary.
+fn direct_summary(ws: &Workspace, gid: usize) -> FnSummary {
+    let (file, span) = ws.fn_at(gid);
+    let toks = &file.toks;
+    let mut s = FnSummary {
+        helper: is_helper_name(&span.name),
+        ..FnSummary::default()
+    };
+    if span.body.1 <= span.body.0 {
+        return s;
+    }
+    for i in span.body.0..span.body.1.min(toks.len()) {
+        if toks[i].kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        for k in 0..N_COUNTED {
+            if OPEN_VERBS[k].contains(&name) {
+                s.opens[k] += 1;
+            }
+            if CLOSE_VERBS[k].contains(&name) {
+                s.closes[k] += 1;
+            }
+        }
+    }
+    s.direct_acq = masked_cas_calls(toks, span.body)
+        .iter()
+        .any(|c| c.is_acquire_shape(toks));
+    s.direct_rel = has_direct_release(ws, gid);
+    s.obligation = s.direct_acq && !s.direct_rel;
+    s.releases = s.direct_rel;
+    s
+}
+
+/// Direct leaf-lock release evidence in the body of `gid`.
+fn has_direct_release(ws: &Workspace, gid: usize) -> bool {
+    let (file, span) = ws.fn_at(gid);
+    let toks = &file.toks;
+    (span.body.0..span.body.1.min(toks.len())).any(|i| {
+        RELEASE_IDENTS.iter().any(|r| toks[i].is_ident(r))
+            || (is_write_call(toks, i) && write_targets_lock(toks, i))
+    })
+}
+
+fn is_write_call(toks: &[crate::lexer::Tok], i: usize) -> bool {
+    (toks[i].is_ident("write") || toks[i].is_ident("write_batch"))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        && !(i > 0 && toks[i - 1].is_ident("fn"))
+}
+
+/// Whether the `write`/`write_batch` call at `i` mentions a lock-ish
+/// address in its arguments (e.g. `lock_addr`).
+pub fn write_targets_lock(toks: &[crate::lexer::Tok], i: usize) -> bool {
+    match call_args(toks, i + 1) {
+        Some(args) => args.iter().any(|&(s, e)| {
+            toks[s..e]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.contains("lock"))
+        }),
+        None => false,
+    }
+}
+
+/// Whether a call's arguments mention the partition lock.
+pub fn args_mention_part_lock(toks: &[crate::lexer::Tok], i: usize) -> bool {
+    match call_args(toks, i + 1) {
+        Some(args) => args.iter().any(|&(s, e)| {
+            toks[s..e]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.contains("part_lock"))
+        }),
+        None => false,
+    }
+}
+
+/// Lock classes directly acquired in the body of `gid`.
+fn direct_acquired_classes(ws: &Workspace, gid: usize) -> u8 {
+    let (file, span) = ws.fn_at(gid);
+    let toks = &file.toks;
+    let mut classes = 0u8;
+    if span.body.1 <= span.body.0 {
+        return classes;
+    }
+    for i in span.body.0..span.body.1.min(toks.len()) {
+        if toks[i].kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if LOCAL_VERBS.contains(&name) {
+            classes |= 1 << LockClass::Local as u8;
+        }
+        if name == "cas" && args_mention_part_lock(toks, i) {
+            classes |= 1 << LockClass::Part as u8;
+        }
+    }
+    if masked_cas_calls(toks, span.body)
+        .iter()
+        .any(|c| c.is_acquire_shape(toks))
+    {
+        classes |= 1 << LockClass::Leaf as u8;
+    }
+    classes
+}
+
+/// Lock classes directly released in the body of `gid`.
+fn direct_released_classes(ws: &Workspace, gid: usize) -> u8 {
+    let (file, span) = ws.fn_at(gid);
+    let toks = &file.toks;
+    let mut classes = 0u8;
+    if span.body.1 <= span.body.0 {
+        return classes;
+    }
+    for i in span.body.0..span.body.1.min(toks.len()) {
+        if RELEASE_IDENTS.iter().any(|r| toks[i].is_ident(r)) {
+            classes |= 1 << LockClass::Leaf as u8;
+        }
+        if is_write_call(toks, i) {
+            if args_mention_part_lock(toks, i) {
+                classes |= 1 << LockClass::Part as u8;
+            } else if write_targets_lock(toks, i) {
+                classes |= 1 << LockClass::Leaf as u8;
+            }
+        }
+    }
+    classes
+}
+
+/// Effective open/close counts of one function for one counted kind,
+/// with the token positions of the first opening and last closing event
+/// (for the escape-hatch interval scan).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Balance {
+    /// Direct opens plus positive callee nets.
+    pub opens: u32,
+    /// Direct closes plus negative callee nets.
+    pub closes: u32,
+    /// Token index of the first opening event.
+    pub first_open: Option<usize>,
+    /// Token index of the last closing event.
+    pub last_close: Option<usize>,
+}
+
+/// Computes the effective balance of counted kind `k` for function `gid`.
+pub fn balance_of(ws: &Workspace, cg: &CallGraph, dfa: &Dataflow, gid: usize, k: usize) -> Balance {
+    let (file, span) = ws.fn_at(gid);
+    let toks = &file.toks;
+    let mut b = Balance::default();
+    if span.body.1 <= span.body.0 {
+        return b;
+    }
+    let mut site_iter = cg.sites[gid].iter().peekable();
+    for i in span.body.0..span.body.1.min(toks.len()) {
+        // Advance the site cursor to this token if it is a call site.
+        let site = match site_iter.peek() {
+            Some(s) if s.tok == i => site_iter.next(),
+            _ => None,
+        };
+        if toks[i].kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let (dopen, dclose) = (
+            OPEN_VERBS[k].contains(&name),
+            CLOSE_VERBS[k].contains(&name),
+        );
+        if dopen {
+            b.opens += 1;
+            b.first_open.get_or_insert(i);
+        }
+        if dclose {
+            b.closes += 1;
+            b.last_close = Some(i);
+        }
+        if !dopen && !dclose {
+            if let Some(s) = site {
+                let net = site_net(s, k, &dfa.summaries);
+                if net > 0 {
+                    b.opens += net as u32;
+                    b.first_open.get_or_insert(i);
+                } else if net < 0 {
+                    b.closes += (-net) as u32;
+                    b.last_close = Some(i);
+                }
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn analyzed(src: &str) -> (Workspace, CallGraph, Dataflow) {
+        let ws = Workspace::new(vec![SourceFile::new("crates/x/src/lib.rs".into(), src)]);
+        let cg = CallGraph::build(&ws);
+        let dfa = analyze(&ws, &cg);
+        (ws, cg, dfa)
+    }
+
+    fn gid(ws: &Workspace, name: &str) -> usize {
+        ws.defs_named(name)[0]
+    }
+
+    #[test]
+    fn wrapper_nets_propagate() {
+        let (ws, _, dfa) = analyzed(
+            "fn my_open(ep: &mut Ep) { ep.phase_begin(\"x\"); }\n\
+             fn my_close(ep: &mut Ep) { ep.phase_end(); }\n\
+             fn balanced_pair(ep: &mut Ep) { my_open(ep); my_close(ep); }\n\
+             fn leaky(ep: &mut Ep) { my_open(ep); }",
+        );
+        let k = Counted::Phase as usize;
+        assert_eq!(dfa.summaries[gid(&ws, "my_open")].net[k], 1);
+        assert_eq!(dfa.summaries[gid(&ws, "my_close")].net[k], -1);
+        assert_eq!(dfa.summaries[gid(&ws, "balanced_pair")].net[k], 0);
+        assert_eq!(dfa.summaries[gid(&ws, "leaky")].net[k], 1);
+    }
+
+    #[test]
+    fn recursion_clamps_instead_of_diverging() {
+        let (ws, _, dfa) = analyzed("fn spiral(ep: &mut Ep) { ep.phase_begin(\"x\"); spiral(ep); }");
+        let k = Counted::Phase as usize;
+        assert_eq!(dfa.summaries[gid(&ws, "spiral")].net[k], NET_CLAMP);
+    }
+
+    #[test]
+    fn permit_nets_are_tracked() {
+        let (ws, _, dfa) = analyzed(
+            "fn admit_only(a: &Admission) -> bool { a.try_admit() }\n\
+             fn admit_and_release(a: &Admission) { if a.try_admit() { a.release(); } }",
+        );
+        let k = Counted::Permit as usize;
+        assert_eq!(dfa.summaries[gid(&ws, "admit_only")].net[k], 1);
+        assert_eq!(dfa.summaries[gid(&ws, "admit_and_release")].net[k], 0);
+    }
+
+    #[test]
+    fn lock_obligation_flows_through_helpers() {
+        let (ws, _, dfa) = analyzed(
+            "fn lock_leaf(ep: &mut Ep, a: u64) { ep.masked_cas(a, 0, 1, 1, 1); }\n\
+             fn good(ep: &mut Ep, a: u64) { lock_leaf(ep, a); ep.unlock_writes(a); }\n\
+             fn bad(ep: &mut Ep, a: u64) { lock_leaf(ep, a); }",
+        );
+        let lock_leaf = &dfa.summaries[gid(&ws, "lock_leaf")];
+        assert!(lock_leaf.helper && lock_leaf.obligation && !lock_leaf.releases);
+        let good = &dfa.summaries[gid(&ws, "good")];
+        assert!(good.obligation && good.releases);
+        let bad = &dfa.summaries[gid(&ws, "bad")];
+        assert!(bad.obligation && !bad.releases);
+    }
+
+    #[test]
+    fn release_in_callee_counts() {
+        let (ws, _, dfa) = analyzed(
+            "fn finish(ep: &mut Ep, a: u64) { ep.write(a.lock_off(), &0u64.to_le_bytes()); }\n\
+             fn op(ep: &mut Ep, a: u64) { ep.masked_cas(a, 0, 1, 1, 1); finish(ep, a); }",
+        );
+        let op = &dfa.summaries[gid(&ws, "op")];
+        assert!(op.direct_acq && !op.direct_rel && op.releases);
+    }
+
+    #[test]
+    fn reclaim_is_not_release_evidence() {
+        let (ws, _, dfa) = analyzed(
+            "fn takeover(ep: &mut Ep, a: u64, old: u64) { ep.cas(a, old, reclaimed(old)); }",
+        );
+        assert!(!dfa.summaries[gid(&ws, "takeover")].releases);
+    }
+
+    #[test]
+    fn leaked_lock_classes() {
+        let (ws, _, dfa) = analyzed(
+            "fn lock_it(ep: &mut Ep, a: u64) { ep.masked_cas(a, 0, 1, 1, 1); }\n\
+             fn scoped(ep: &mut Ep, a: u64) { lock_it(ep, a); ep.unlock_writes(a); }\n\
+             fn grab_slot(t: &Table, a: u64) { t.acquire_with(a, ep); }",
+        );
+        assert!(dfa.summaries[gid(&ws, "lock_it")].leaks(LockClass::Leaf));
+        assert!(!dfa.summaries[gid(&ws, "scoped")].leaks(LockClass::Leaf));
+        assert!(dfa.summaries[gid(&ws, "grab_slot")].leaks(LockClass::Local));
+    }
+
+    #[test]
+    fn balance_positions_cover_callee_events() {
+        let (ws, cg, dfa) = analyzed(
+            "fn my_open(ep: &mut Ep) { ep.phase_begin(\"x\"); }\n\
+             fn f(ep: &mut Ep) -> Option<u64> { my_open(ep); let v = probe(ep)?; ep.phase_end(); Some(v) }",
+        );
+        let b = balance_of(&ws, &cg, &dfa, gid(&ws, "f"), Counted::Phase as usize);
+        assert_eq!((b.opens, b.closes), (1, 1));
+        let (file, _) = ws.fn_at(gid(&ws, "f"));
+        let q = file.toks.iter().position(|t| t.is_punct('?')).unwrap();
+        assert!(b.first_open.unwrap() < q && q < b.last_close.unwrap());
+    }
+}

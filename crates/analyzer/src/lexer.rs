@@ -13,6 +13,7 @@
 //! * raw strings with arbitrary hash counts (`r#"..."#`, `br##"..."##`);
 //! * byte strings and byte chars (`b"..."`, `b'x'`);
 //! * char literals vs. lifetimes (`'a'` vs. `'a`), including escaped chars;
+//! * raw identifiers (`r#match`, `r#type`) vs. raw-string prefixes (`r#"`);
 //! * numeric literals with underscores, radix prefixes and type suffixes.
 
 /// The kind of a code token.
@@ -150,6 +151,28 @@ pub fn lex(src: &str) -> Lexed {
                 });
                 at_line_start = false;
             }
+            b'r' if b.get(i + 1) == Some(&b'#')
+                && b
+                    .get(i + 2)
+                    .is_some_and(|&c| c.is_ascii_alphabetic() || c == b'_') =>
+            {
+                // Raw identifier: `r#match`, `r#type`. One Ident token whose
+                // text keeps the `r#` prefix, so keyword-driven scans (e.g.
+                // loop extraction looking for `loop`) never mistake
+                // `r#loop` for the keyword.
+                let start = i;
+                let tok_line = line;
+                i += 2;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                });
+                at_line_start = false;
+            }
             b'r' | b'b' if starts_string_prefix(b, i) => {
                 let tok_line = line;
                 let (end, kind) = skip_prefixed_literal(b, i, &mut line);
@@ -224,10 +247,18 @@ pub fn lex(src: &str) -> Lexed {
 }
 
 /// Whether position `i` starts a raw/byte string or byte-char prefix
-/// (`r"`, `r#`, `b"`, `b'`, `br"`, `br#`).
+/// (`r"`, `r#"`, `r##"`, `b"`, `b'`, `br"`, `br#`). `r#` followed by an
+/// identifier-start character is a *raw identifier* (`r#match`), not a
+/// string prefix.
 fn starts_string_prefix(b: &[u8], i: usize) -> bool {
     match b[i] {
-        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'r' => match b.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'#') => !b
+                .get(i + 2)
+                .is_some_and(|&c| c.is_ascii_alphabetic() || c == b'_'),
+            _ => false,
+        },
         b'b' => match b.get(i + 1) {
             Some(b'"') | Some(b'\'') => true,
             Some(b'r') => matches!(b.get(i + 2), Some(b'"') | Some(b'#')),
@@ -475,6 +506,37 @@ mod tests {
         assert_eq!(int_value("45"), Some(45));
         assert_eq!(int_value("1"), Some(1));
         assert_eq!(int_value("1.5"), None);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents_not_strings() {
+        let l = lex("let r#match = r#type + 1; r#loop");
+        assert!(
+            !l.toks.iter().any(|t| t.kind == TokKind::Str),
+            "raw identifiers must not lex as raw-string false-starts"
+        );
+        assert!(l.toks.iter().any(|t| t.is_ident("r#match")));
+        assert!(l.toks.iter().any(|t| t.is_ident("r#type")));
+        // The prefix is kept, so keyword scans never see a bare `loop`.
+        assert!(!l.toks.iter().any(|t| t.is_ident("loop")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("match")));
+        assert!(l.toks.iter().any(|t| t.is_punct('+')));
+    }
+
+    #[test]
+    fn raw_strings_still_lex_after_raw_ident_fix() {
+        let l = lex("r#\"text r#match inside\"# r##\"double\"## br#\"bytes\"# tail");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 3);
+        assert!(!l.toks.iter().any(|t| t.is_ident("r#match")));
+        assert!(l.toks.iter().any(|t| t.is_ident("tail")));
+    }
+
+    #[test]
+    fn raw_ident_fn_names_survive() {
+        let l = lex("fn r#type() { r#type(); } fn plain() {}");
+        let raw: Vec<&Tok> = l.toks.iter().filter(|t| t.is_ident("r#type")).collect();
+        assert_eq!(raw.len(), 2);
+        assert!(l.toks.iter().any(|t| t.is_ident("plain")));
     }
 
     #[test]

@@ -27,15 +27,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod workspace;
 
 use std::path::{Path, PathBuf};
 
 use report::{Finding, Report};
 use source::SourceFile;
+use workspace::Workspace;
 
 /// Collects the production source files of the workspace rooted at
 /// `root`: `crates/*/src/**/*.rs`, sorted by relative path.
@@ -84,8 +89,16 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 /// Lints the given files, reporting paths relative to `root`.
+///
+/// All files form one [`Workspace`]: the per-file rules run on each file
+/// and the whole-program rules (interprocedural lock/phase/CQ/span
+/// discipline, lock ordering, mask consistency) run once over the
+/// workspace's call graph and dataflow summaries. Suppressions are then
+/// applied per file — a whole-program finding is suppressible exactly
+/// like a per-file one, by an `allow(...)` comment in the file it
+/// anchors to.
 pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<Report> {
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let src = std::fs::read_to_string(path)?;
         let rel = path
@@ -93,9 +106,15 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<Report> {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let file = SourceFile::new(rel, &src);
-        let mut raw: Vec<Finding> = Vec::new();
-        rules::run_all(&file, &mut raw);
+        sources.push(SourceFile::new(rel, &src));
+    }
+    let ws = Workspace::new(sources);
+    let cg = callgraph::CallGraph::build(&ws);
+    let dfa = dataflow::analyze(&ws, &cg);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in &ws.files {
+        rules::run_file(file, &mut raw);
         for b in &file.bad_suppressions {
             raw.push(Finding {
                 rule: "suppression",
@@ -104,33 +123,39 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<Report> {
                 message: b.why.clone(),
             });
         }
-        // Apply suppressions: a finding is dropped when a suppression
-        // names its rule and targets its line. Malformed-suppression
-        // findings are not suppressible.
-        let mut honored: Vec<usize> = Vec::new();
-        raw.retain(|f| {
-            if f.rule == "suppression" {
-                return true;
-            }
-            let hit = file
-                .suppressions
-                .iter()
-                .enumerate()
-                .find(|(_, s)| s.target_line == f.line && s.rules.iter().any(|r| r == f.rule));
-            match hit {
-                Some((idx, _)) => {
-                    if !honored.contains(&idx) {
-                        honored.push(idx);
-                    }
-                    false
-                }
-                None => true,
-            }
-        });
-        report.suppressions_honored += honored.len();
-        report.findings.append(&mut raw);
-        report.files_scanned += 1;
     }
+    rules::run_workspace(&ws, &cg, &dfa, &mut raw);
+
+    // Apply suppressions: a finding is dropped when a suppression in its
+    // own file names its rule and targets its line. Malformed-suppression
+    // findings are not suppressible. Honored suppressions are counted
+    // once per comment (per file).
+    let mut report = Report {
+        files_scanned: ws.files.len(),
+        ..Report::default()
+    };
+    let mut honored: std::collections::BTreeSet<(String, u32)> = std::collections::BTreeSet::new();
+    raw.retain(|f| {
+        if f.rule == "suppression" {
+            return true;
+        }
+        let Some(file) = ws.file_by_path(&f.file) else {
+            return true;
+        };
+        let hit = file
+            .suppressions
+            .iter()
+            .find(|s| s.target_line == f.line && s.rules.iter().any(|r| r == f.rule));
+        match hit {
+            Some(s) => {
+                honored.insert((f.file.clone(), s.comment_line));
+                false
+            }
+            None => true,
+        }
+    });
+    report.suppressions_honored = honored.len();
+    report.findings = raw;
     report.sort();
     Ok(report)
 }
@@ -146,9 +171,12 @@ mod tests {
     use super::*;
 
     fn lint_src(name: &str, src: &str) -> Vec<Finding> {
-        let file = SourceFile::new(name.to_string(), src);
+        let ws = Workspace::new(vec![SourceFile::new(name.to_string(), src)]);
+        let cg = callgraph::CallGraph::build(&ws);
+        let dfa = dataflow::analyze(&ws, &cg);
         let mut raw = Vec::new();
-        rules::run_all(&file, &mut raw);
+        rules::run_file(&ws.files[0], &mut raw);
+        rules::run_workspace(&ws, &cg, &dfa, &mut raw);
         raw
     }
 

@@ -1,0 +1,71 @@
+//! Shared engine for the balanced-pair rules (`phase-balance`,
+//! `cq-discipline`, `trace-context`).
+//!
+//! Each of those rules polices one counted resource kind: the effective
+//! open/close counts come from the dataflow summaries, so an open (or
+//! close) performed by a resolved callee counts at the caller — a leak
+//! hidden behind a helper surfaces, and a close delegated to a helper
+//! lints clean. Functions whose *name* carries the resource's vocabulary
+//! (e.g. `phase_begin`, `in_phase` for phase frames) are delegation
+//! wrappers: their nonzero net is their contract, accounted for at their
+//! call sites, so they are exempt from firing themselves.
+
+use crate::callgraph::CallGraph;
+use crate::dataflow::{balance_of, Dataflow};
+use crate::report::Finding;
+use crate::workspace::Workspace;
+
+/// One balanced-pair rule's configuration.
+pub struct PairSpec {
+    /// Rule id for findings.
+    pub rule: &'static str,
+    /// Counted resource kind index ([`crate::dataflow::Counted`]).
+    pub kind: usize,
+    /// Name fragments marking delegation wrappers (exempt from firing).
+    pub wrapper_fragments: &'static [&'static str],
+    /// Renders the unbalanced-counts message (`name`, opens, closes).
+    pub unbalanced_msg: fn(&str, u32, u32) -> String,
+    /// Renders the escape-hatch message (`name`, escape token, line).
+    pub escape_msg: fn(&str, &str, u32) -> String,
+}
+
+/// Runs one balanced-pair rule over the workspace.
+pub fn run(ws: &Workspace, cg: &CallGraph, dfa: &Dataflow, out: &mut Vec<Finding>, spec: &PairSpec) {
+    for gid in 0..ws.fns.len() {
+        let (file, f) = ws.fn_at(gid);
+        if f.body.1 <= f.body.0 || !file.is_production(f.toks.0) {
+            continue;
+        }
+        if spec.wrapper_fragments.iter().any(|w| f.name.contains(w)) {
+            continue;
+        }
+        let b = balance_of(ws, cg, dfa, gid, spec.kind);
+        if b.opens == 0 && b.closes == 0 {
+            continue;
+        }
+        if b.opens != b.closes {
+            out.push(Finding {
+                rule: spec.rule,
+                file: file.rel_path.clone(),
+                line: f.line,
+                message: (spec.unbalanced_msg)(&f.name, b.opens, b.closes),
+            });
+            continue;
+        }
+        // Balanced counts: police the open interval for escape hatches.
+        let (Some(first), Some(last)) = (b.first_open, b.last_close) else {
+            continue;
+        };
+        for t in file.toks.iter().take(last).skip(first) {
+            if t.is_ident("return") || t.is_punct('?') {
+                out.push(Finding {
+                    rule: spec.rule,
+                    file: file.rel_path.clone(),
+                    line: f.line,
+                    message: (spec.escape_msg)(&f.name, &t.text, t.line),
+                });
+                break;
+            }
+        }
+    }
+}

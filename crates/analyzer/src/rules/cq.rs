@@ -1,74 +1,43 @@
 //! R7 `cq-discipline` — every posted WQE must be polled before the
-//! scope returns.
+//! scope returns, anywhere in the call graph.
 //!
 //! `Qp::post_wqe` hands back a [`WqeTicket`] that stays on the completion
 //! queue until `Qp::poll_wqe` reaps it; a ticket leaked by an early
 //! `return` or `?` leaves a phantom completion outstanding, which skews
 //! the CQ-depth histogram and (in a real NIC) would eventually stall the
-//! queue pair. A function that posts must poll on all control paths.
+//! queue pair. A function that posts must poll on all control paths —
+//! with posts and polls counted *effectively*: a callee with net `+1`
+//! WQE counts as a post at its call site, so a doorbell helper that
+//! posts without reaping surfaces in its caller, and a drain helper
+//! discharges its caller's tickets.
 
+use crate::callgraph::CallGraph;
+use crate::dataflow::{Counted, Dataflow};
 use crate::report::Finding;
-use crate::source::SourceFile;
+use crate::workspace::Workspace;
 
-use super::is_call;
+use super::balance::{self, PairSpec};
 
-/// The QP model's own methods legitimately see only one side of the pair.
-const EXEMPT_FNS: &[&str] = &["post_wqe", "poll_wqe"];
+/// The rule's configuration for the shared balanced-pair engine. The QP
+/// model's own verbs (`post_wqe`, `poll_wqe`) and doorbell helpers carry
+/// `wqe` in their name and are exempt by fragment.
+const SPEC: PairSpec = PairSpec {
+    rule: "cq-discipline",
+    kind: Counted::Wqe as usize,
+    wrapper_fragments: &["wqe"],
+    unbalanced_msg: |name, opens, closes| {
+        format!(
+            "`{name}` posts {opens} WQE(s) but polls {closes}; every `post_wqe` ticket must reach `poll_wqe` before the scope returns",
+        )
+    },
+    escape_msg: |name, tok, line| {
+        format!(
+            "`{name}` has `{tok}` between `post_wqe` and `poll_wqe` (line {line}); an early exit abandons the outstanding completion",
+        )
+    },
+};
 
-/// Runs the rule.
-pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
-    let toks = &file.toks;
-    for f in &file.fns {
-        if f.body.1 <= f.body.0 || !file.is_production(f.toks.0) {
-            continue;
-        }
-        if EXEMPT_FNS.contains(&f.name.as_str()) {
-            continue;
-        }
-        let posts: Vec<usize> = (f.body.0..f.body.1)
-            .filter(|&i| is_call(toks, i, "post_wqe"))
-            .collect();
-        let polls: Vec<usize> = (f.body.0..f.body.1)
-            .filter(|&i| is_call(toks, i, "poll_wqe"))
-            .collect();
-        if posts.is_empty() && polls.is_empty() {
-            continue;
-        }
-        if posts.len() > polls.len() {
-            out.push(Finding {
-                rule: "cq-discipline",
-                file: file.rel_path.clone(),
-                line: f.line,
-                message: format!(
-                    "`{}` posts {} WQE(s) but polls {}; every `post_wqe` ticket must reach `poll_wqe` before the scope returns",
-                    f.name,
-                    posts.len(),
-                    polls.len()
-                ),
-            });
-            continue;
-        }
-        // Counts balance: look for an escape hatch while a ticket could
-        // still be outstanding (between the first post and the last poll).
-        let (first, last) = (posts.first().copied().unwrap_or(0), polls.last().copied().unwrap_or(0));
-        if first >= last {
-            continue;
-        }
-        for t in toks.iter().take(last).skip(first) {
-            if t.is_ident("return") || t.is_punct('?') {
-                out.push(Finding {
-                    rule: "cq-discipline",
-                    file: file.rel_path.clone(),
-                    line: f.line,
-                    message: format!(
-                        "`{}` has `{}` between `post_wqe` and `poll_wqe` (line {}); an early exit abandons the outstanding completion",
-                        f.name,
-                        t.text,
-                        t.line
-                    ),
-                });
-                break;
-            }
-        }
-    }
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, cg: &CallGraph, dfa: &Dataflow, out: &mut Vec<Finding>) {
+    balance::run(ws, cg, dfa, out, &SPEC);
 }

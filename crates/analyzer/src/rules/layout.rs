@@ -185,8 +185,9 @@ fn bit_range(mask: u64) -> String {
 }
 
 /// Parses `const NAME: <ty> = <int literal>;` items, returning
-/// `name -> (value, line)`.
-fn parse_consts(file: &SourceFile) -> BTreeMap<String, (u64, u32)> {
+/// `name -> (value, line)`. Shared with the `mask-consistency` rule,
+/// which derives its allowed-mask set from the same constants.
+pub(crate) fn parse_consts(file: &SourceFile) -> BTreeMap<String, (u64, u32)> {
     let toks = &file.toks;
     let mut out = BTreeMap::new();
     let mut i = 0usize;

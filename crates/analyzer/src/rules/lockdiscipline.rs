@@ -4,73 +4,59 @@
 //! Two clauses, both scoped to the masked-CAS lock-acquire verb
 //! (`masked_cas(addr, 0, 1, 1, 1)`, the Fig. 8 protocol):
 //!
-//! 1. **release** — a function that acquires the lock must also release
-//!    or reclaim it on some path (an `unlock`-family call, or a WRITE
-//!    whose target names the lock address). Protocol helpers whose name
-//!    declares the contract (`lock`, `acquire`, `unlock`, `reclaim`)
-//!    hand the obligation to their caller and are exempt.
-//! 2. **backoff** — a retry loop that issues masked-CAS verbs must
-//!    invoke the seeded backoff inside the loop; bare spinning turns one
-//!    conflict into a convoy and (worse) makes retry timing depend on
-//!    host scheduling.
+//! 1. **release** ([`check_release`], whole-program) — a function that
+//!    acquires the lock (directly, or by calling a locking helper that
+//!    hands the obligation up) must release it on some path *anywhere in
+//!    its call graph*: an `unlock`-family call, or a WRITE whose target
+//!    names the lock address, here or in a resolved callee. Protocol
+//!    helpers whose name declares the contract (`lock`, `acquire`,
+//!    `reclaim`) hand the obligation to their caller and are exempt —
+//!    but the caller is now on the hook, which the old per-file rule
+//!    could not see. Note `reclaim` is obligation-transfer, not release:
+//!    the full-word reclaim CAS keeps the lock bit set.
+//! 2. **backoff** ([`check_loops`], per-file) — a retry loop that issues
+//!    masked-CAS verbs must invoke the seeded backoff inside the loop;
+//!    bare spinning turns one conflict into a convoy and (worse) makes
+//!    retry timing depend on host scheduling.
 
+use crate::callgraph::CallGraph;
+use crate::dataflow::Dataflow;
 use crate::report::Finding;
 use crate::source::SourceFile;
+use crate::workspace::Workspace;
 
-use super::{is_call, masked_cas_calls};
+use super::masked_cas_calls;
 
-/// Identifiers whose presence in a function counts as release/reclaim
-/// evidence.
-const RELEASE_IDENTS: &[&str] = &[
-    "unlock",
-    "unlock_writes",
-    "write_and_unlock",
-    "release",
-    "reclaim",
-    "reclaimed",
-];
-
-/// Name fragments that mark a function as a locking-protocol helper.
-const HELPER_FRAGMENTS: &[&str] = &["lock", "acquire", "reclaim"];
-
-/// Runs the rule.
-pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
-    let toks = &file.toks;
-
-    // Clause 1: acquire implies release, per function.
-    for f in &file.fns {
+/// Clause 1: acquire implies release, judged on the call-graph-closed
+/// dataflow summaries.
+pub fn check_release(ws: &Workspace, _cg: &CallGraph, dfa: &Dataflow, out: &mut Vec<Finding>) {
+    for gid in 0..ws.fns.len() {
+        let (file, f) = ws.fn_at(gid);
         if f.body.1 <= f.body.0 || !file.is_production(f.toks.0) {
             continue;
         }
-        if HELPER_FRAGMENTS.iter().any(|h| f.name.contains(h)) {
-            continue;
+        let s = &dfa.summaries[gid];
+        if s.helper {
+            continue; // ownership transfer by name; callers are on the hook
         }
-        let acquires = masked_cas_calls(toks, f.body)
-            .into_iter()
-            .any(|c| c.is_acquire_shape(toks));
-        if !acquires {
-            continue;
-        }
-        let released = (f.body.0..f.body.1).any(|i| {
-            RELEASE_IDENTS.iter().any(|r| toks[i].is_ident(r))
-                || ((is_call(toks, i, "write") || is_call(toks, i, "write_batch"))
-                    && write_targets_lock(file, i))
-        });
-        if !released {
+        if s.obligation && !s.releases {
             out.push(Finding {
                 rule: "lock-discipline",
                 file: file.rel_path.clone(),
                 line: f.line,
                 message: format!(
-                    "`{}` acquires the lock word with a masked-CAS but never releases or reclaims it; every exit path must unlock",
+                    "`{}` acquires the lock word with a masked-CAS (directly or via a locking helper) but never releases it on any path in its call graph; every exit path must unlock",
                     f.name
                 ),
             });
         }
     }
+}
 
-    // Clause 2: masked-CAS retry loops must invoke the seeded backoff.
-    // Only the innermost loop containing each call is held responsible.
+/// Clause 2: masked-CAS retry loops must invoke the seeded backoff.
+/// Only the innermost loop containing each call is held responsible.
+pub fn check_loops(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
     let mut flagged: Vec<u32> = Vec::new();
     for c in masked_cas_calls(toks, (0, toks.len())) {
         if !file.is_production(c.idx) {
@@ -93,19 +79,5 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                 message: "retry loop issues a masked-CAS without invoking the seeded backoff; bare spinning convoys under contention".to_string(),
             });
         }
-    }
-}
-
-/// Whether the `write`/`write_batch` call at `i` mentions a lock-ish
-/// address in its arguments (e.g. `lock_addr`).
-fn write_targets_lock(file: &SourceFile, i: usize) -> bool {
-    let toks = &file.toks;
-    match crate::source::call_args(toks, i + 1) {
-        Some(args) => args.iter().any(|&(s, e)| {
-            toks[s..e]
-                .iter()
-                .any(|t| t.kind == crate::lexer::TokKind::Ident && t.text.contains("lock"))
-        }),
-        None => false,
     }
 }

@@ -1,0 +1,241 @@
+//! R11 `lock-order` — the static lock acquisition-order graph must be
+//! acyclic.
+//!
+//! CHIME holds three classes of lock: CN-side `LocalLockTable` slots
+//! (RAII guards from `local_lock`/`acquire_with`/`try_acquire`), the
+//! per-partition migration lock (`part_lock` CAS 0→1), and the on-leaf
+//! lock word (the masked-CAS acquire verb). Any two functions that take
+//! two classes in opposite orders can deadlock under contention — and
+//! because lane parking has no timeout on the local slot, such a
+//! deadlock never recovers. This rule scans every production function
+//! with a held-set automaton: each acquisition while another class is
+//! held adds a directed edge `held → acquired` to a repo-wide graph
+//! (acquisitions *inside a callee* count at the call site when the
+//! callee leaks that class, so a helper that returns holding the leaf
+//! lock orders `local → leaf` at its caller). Any cycle in the final
+//! 3-node graph is a finding, anchored at one witnessing edge with the
+//! full cycle spelled out.
+//!
+//! Local-slot acquisitions propagate only through the named table verbs,
+//! not through arbitrary callees: the guard is scope-bound, so a callee
+//! that takes and drops a slot internally must not poison its caller's
+//! held set.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::dataflow::{
+    args_mention_part_lock, class_name, write_targets_lock, Dataflow, LockClass, LOCAL_VERBS,
+    RELEASE_IDENTS,
+};
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::workspace::Workspace;
+
+use super::masked_cas_calls;
+
+const CLASSES: [LockClass; 3] = [LockClass::Local, LockClass::Part, LockClass::Leaf];
+
+fn cls(b: u8) -> LockClass {
+    match b {
+        0 => LockClass::Local,
+        1 => LockClass::Part,
+        _ => LockClass::Leaf,
+    }
+}
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, cg: &CallGraph, dfa: &Dataflow, out: &mut Vec<Finding>) {
+    // Edge (held, acquired) → first witness (file, line). Files are in
+    // canonical sorted order, so the witness is deterministic.
+    let mut edges: BTreeMap<(u8, u8), (String, u32)> = BTreeMap::new();
+    for gid in 0..ws.fns.len() {
+        scan_fn(ws, cg, dfa, gid, &mut edges);
+    }
+
+    // Enumerate the simple cycles of the 3-node graph directly.
+    let has = |a: u8, b: u8| edges.contains_key(&(a, b));
+    let mut cycles: Vec<Vec<(u8, u8)>> = Vec::new();
+    for a in 0u8..3 {
+        for b in (a + 1)..3 {
+            if has(a, b) && has(b, a) {
+                cycles.push(vec![(a, b), (b, a)]);
+            }
+        }
+    }
+    for (a, b, c) in [(0u8, 1u8, 2u8), (0u8, 2u8, 1u8)] {
+        if has(a, b) && has(b, c) && has(c, a) {
+            cycles.push(vec![(a, b), (b, c), (c, a)]);
+        }
+    }
+
+    for cyc in cycles {
+        let desc: Vec<String> = cyc
+            .iter()
+            .map(|&(a, b)| {
+                let (fpath, line) = &edges[&(a, b)];
+                format!("{} → {} ({fpath}:{line})", class_name(cls(a)), class_name(cls(b)))
+            })
+            .collect();
+        let (file, line) = edges[&cyc[0]].clone();
+        out.push(Finding {
+            rule: "lock-order",
+            file,
+            line,
+            message: format!(
+                "lock acquisition-order cycle: {}; a cycle in the static lock-order graph is a deadlock waiting for contention",
+                desc.join(", ")
+            ),
+        });
+    }
+}
+
+/// Runs the held-set automaton over one function body, adding edges.
+fn scan_fn(
+    ws: &Workspace,
+    cg: &CallGraph,
+    dfa: &Dataflow,
+    gid: usize,
+    edges: &mut BTreeMap<(u8, u8), (String, u32)>,
+) {
+    let (file, f) = ws.fn_at(gid);
+    if f.body.1 <= f.body.0 || !file.is_production(f.toks.0) {
+        return;
+    }
+    let toks = &file.toks;
+    let acquire_cas: BTreeSet<usize> = masked_cas_calls(toks, f.body)
+        .iter()
+        .filter(|c| c.is_acquire_shape(toks))
+        .map(|c| c.idx)
+        .collect();
+    let mut held: BTreeSet<u8> = BTreeSet::new();
+    let mut sites = cg.sites[gid].iter().peekable();
+    for i in f.body.0..f.body.1.min(toks.len()) {
+        let site = match sites.peek() {
+            Some(s) if s.tok == i => sites.next(),
+            _ => None,
+        };
+        let t = &toks[i];
+        let mut rel: u8 = 0;
+        let mut acq: u8 = 0;
+        if t.kind == TokKind::Ident && RELEASE_IDENTS.iter().any(|r| t.is_ident(r)) {
+            rel |= 1 << LockClass::Leaf as u8;
+        }
+        let is_call_tok = t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !(i > 0 && toks[i - 1].is_ident("fn"));
+        if is_call_tok {
+            let name = t.text.as_str();
+            if name == "write" || name == "write_batch" {
+                if args_mention_part_lock(toks, i) {
+                    rel |= 1 << LockClass::Part as u8;
+                } else if write_targets_lock(toks, i) {
+                    rel |= 1 << LockClass::Leaf as u8;
+                }
+            }
+            if LOCAL_VERBS.contains(&name) {
+                acq |= 1 << LockClass::Local as u8;
+            } else if name == "cas" && args_mention_part_lock(toks, i) {
+                acq |= 1 << LockClass::Part as u8;
+            } else if acquire_cas.contains(&i) {
+                acq |= 1 << LockClass::Leaf as u8;
+            } else if rel == 0 {
+                // A non-verb call that *leaks* the part or leaf lock
+                // acquires it on the caller's behalf — but only when
+                // every same-named definition agrees (the local-table
+                // `acquire` and the leaf-lock `acquire` share a name;
+                // ambiguity stays quiet). Local stays verb-only: a
+                // dropped guard inside a callee must not poison the
+                // caller's held set.
+                if let Some(s) = site {
+                    for c in [LockClass::Part, LockClass::Leaf] {
+                        if !s.callees.is_empty() && s.callees.iter().all(|&d| dfa.summaries[d].leaks(c)) {
+                            acq |= 1 << c as u8;
+                        }
+                    }
+                }
+            }
+        }
+        for c in CLASSES {
+            if rel & (1 << c as u8) != 0 {
+                held.remove(&(c as u8));
+            }
+        }
+        for c in CLASSES {
+            if acq & (1 << c as u8) == 0 {
+                continue;
+            }
+            for &h in held.iter() {
+                if h != c as u8 {
+                    edges
+                        .entry((h, c as u8))
+                        .or_insert_with(|| (file.rel_path.clone(), t.line));
+                }
+            }
+        }
+        for c in CLASSES {
+            if acq & (1 << c as u8) != 0 {
+                held.insert(c as u8);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::analyze;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ws = Workspace::new(vec![SourceFile::new("crates/x/src/lib.rs".into(), src)]);
+        let cg = CallGraph::build(&ws);
+        let dfa = analyze(&ws, &cg);
+        let mut out = Vec::new();
+        check(&ws, &cg, &dfa, &mut out);
+        out
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let f = findings(
+            "fn op_a(ep: &mut Ep, t: &Table) { let g = t.local_lock(1); ep.masked_cas(7, 0, 1, 1, 1); ep.unlock_writes(7); }\n\
+             fn op_b(ep: &mut Ep, t: &Table) { let g = t.local_lock(2); ep.masked_cas(9, 0, 1, 1, 1); ep.unlock_writes(9); }",
+        );
+        assert!(f.is_empty(), "same order everywhere: {f:?}");
+    }
+
+    #[test]
+    fn opposite_orders_fire() {
+        let f = findings(
+            "fn op_a(ep: &mut Ep, t: &Table) { let g = t.local_lock(1); ep.masked_cas(7, 0, 1, 1, 1); ep.unlock_writes(7); }\n\
+             fn op_b(ep: &mut Ep, t: &Table) { ep.masked_cas(9, 0, 1, 1, 1); let g = t.local_lock(2); ep.unlock_writes(9); }",
+        );
+        assert_eq!(f.len(), 1, "one 2-cycle: {f:?}");
+        assert!(f[0].message.contains("local-slot → leaf-lock"));
+        assert!(f[0].message.contains("leaf-lock → local-slot"));
+    }
+
+    #[test]
+    fn release_clears_the_held_set() {
+        // The leaf lock is released before the slot is taken: no edge back.
+        let f = findings(
+            "fn op_a(ep: &mut Ep, t: &Table) { let g = t.local_lock(1); ep.masked_cas(7, 0, 1, 1, 1); ep.unlock_writes(7); }\n\
+             fn op_b(ep: &mut Ep, t: &Table) { ep.masked_cas(9, 0, 1, 1, 1); ep.unlock_writes(9); let g = t.local_lock(2); }",
+        );
+        assert!(f.is_empty(), "no overlap, no cycle: {f:?}");
+    }
+
+    #[test]
+    fn callee_leak_counts_at_the_call_site() {
+        // `lock_leaf` leaks the leaf lock; taking the part lock while the
+        // caller still holds it orders leaf → part, opposite of `migrate`.
+        let f = findings(
+            "fn lock_leaf(ep: &mut Ep, a: u64) { ep.masked_cas(a, 0, 1, 1, 1); }\n\
+             fn op_a(ep: &mut Ep, ctl: &Ctl, a: u64) { lock_leaf(ep, a); ctl.cas(part_lock_addr(), 0, 1); ep.unlock_writes(a); ctl.write(part_lock_addr(), 0); }\n\
+             fn op_b(ep: &mut Ep, ctl: &Ctl, a: u64) { ctl.cas(part_lock_addr(), 0, 1); lock_leaf(ep, a); ep.unlock_writes(a); ctl.write(part_lock_addr(), 0); }",
+        );
+        assert_eq!(f.len(), 1, "part/leaf 2-cycle: {f:?}");
+        assert!(f[0].message.contains("part-lock"));
+    }
+}

@@ -1,0 +1,191 @@
+//! R12 `mask-consistency` — every masked-CAS literal mask repo-wide must
+//! be a lock-word field mask.
+//!
+//! The masked-CAS verb compares and swaps only the bits selected by
+//! `cmask`/`smask`. A mask that does not coincide with one of the packed
+//! lock-word fields (Fig. 8–9) silently reads or clobbers a *slice* of a
+//! neighbouring field — the classic drift bug when the layout changes
+//! but a hand-written literal does not. This rule derives the legal mask
+//! set from the `lockword.rs` constants themselves (so the allowed set
+//! moves with the layout and never has to be edited): each field's mask,
+//! plus the full word for the reclaim CAS. Protocols with a documented
+//! different packing get a *named allowlist entry* scoped to their crate
+//! rather than a free-floating literal exception.
+//!
+//! Non-literal masks (named constants, expressions) are out of scope:
+//! they derive from the layout by construction, which is exactly the
+//! style this rule pushes hand-written literals toward.
+
+use crate::report::Finding;
+use crate::workspace::Workspace;
+
+use super::layout::parse_consts;
+use super::{group_int, masked_cas_calls};
+
+/// Documented allowlist: (entry name, mask value, path prefix). An entry
+/// admits its mask only under its path — the same literal elsewhere
+/// still fires.
+const ALLOWLIST: &[(&str, u64, &str)] = &[
+    // SMART's lock word packs lock (bit 0) and obsolete (bit 1); its
+    // 2-bit cmask is that protocol's documented acquire shape.
+    ("smart-lock-obsolete", 0b11, "crates/smart/"),
+];
+
+/// The constants a `lockword.rs` must define to serve as the mask source.
+const REQUIRED: &[&str] = &[
+    "LOCK_BIT",
+    "ARGMAX_SHIFT",
+    "ARGMAX_MASK",
+    "VACANCY_SHIFT",
+    "VACANCY_BITS",
+    "EPOCH_SHIFT",
+    "EPOCH_MASK",
+];
+
+/// The documented layout (bit 0 / 1..=10 / 11..=55 / 56..=63), used when
+/// the workspace has no parseable `lockword.rs` (fixture corpora).
+const DEFAULT_FIELDS: [u64; 4] = [0x1, 0x3FF << 1, ((1u64 << 45) - 1) << 11, 0xFFu64 << 56];
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    let fields = derive_fields(ws).unwrap_or(DEFAULT_FIELDS);
+    let allowed_desc = format!(
+        "lock {:#x}, argmax {:#x}, vacancy {:#x}, epoch {:#x}, or the full word",
+        fields[0], fields[1], fields[2], fields[3]
+    );
+    for file in &ws.files {
+        for c in masked_cas_calls(&file.toks, (0, file.toks.len())) {
+            if !file.is_production(c.idx) || c.args.len() != 5 {
+                continue;
+            }
+            for (arg, label) in [(2usize, "cmask"), (4usize, "smask")] {
+                let Some(v) = group_int(&file.toks, c.args[arg]) else {
+                    continue; // non-literal: derived from constants
+                };
+                if v == u64::MAX || fields.contains(&v) {
+                    continue;
+                }
+                if ALLOWLIST
+                    .iter()
+                    .any(|&(_, m, prefix)| m == v && file.rel_path.starts_with(prefix))
+                {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "mask-consistency",
+                    file: file.rel_path.clone(),
+                    line: c.line,
+                    message: format!(
+                        "`masked_cas` {label} {v:#x} is not a lock-word field mask ({allowed_desc}); CAS masks must derive from the `lockword.rs` constants or a named allowlist entry",
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Derives the four field masks from the first `lockword.rs` in the
+/// workspace that defines all required constants. Returns `None` when no
+/// file qualifies or a field overflows the 64-bit word.
+fn derive_fields(ws: &Workspace) -> Option<[u64; 4]> {
+    let src = ws
+        .files
+        .iter()
+        .filter(|f| f.rel_path.rsplit('/').next() == Some("lockword.rs"))
+        .find_map(|f| {
+            let consts = parse_consts(f);
+            REQUIRED
+                .iter()
+                .all(|n| consts.contains_key(*n))
+                .then_some(consts)
+        })?;
+    let get = |n: &str| src[n].0;
+    let shl = |m: u64, s: u64| {
+        if s >= 64 {
+            None
+        } else {
+            Some(m << s)
+        }
+    };
+    let vac_bits = get("VACANCY_BITS");
+    let vac_mask = if vac_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << vac_bits) - 1
+    };
+    Some([
+        get("LOCK_BIT"),
+        shl(get("ARGMAX_MASK"), get("ARGMAX_SHIFT"))?,
+        shl(vac_mask, get("VACANCY_SHIFT"))?,
+        shl(get("EPOCH_MASK"), get("EPOCH_SHIFT"))?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::workspace::Workspace;
+
+    fn run(files: Vec<(&str, &str)>) -> Vec<Finding> {
+        let ws = Workspace::new(
+            files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p.to_string(), s))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn acquire_shape_and_full_word_pass() {
+        let f = run(vec![(
+            "crates/x/src/lib.rs",
+            "fn lock_it(ep: &mut Ep, a: u64) { ep.masked_cas(a, 0, 1, 1, 1); }\n\
+             fn swap_all(ep: &mut Ep, a: u64, old: u64, new: u64) { ep.masked_cas(a, old, u64::MAX, new, !0); }",
+        )]);
+        assert!(f.is_empty(), "unexpected findings: {f:?}");
+    }
+
+    #[test]
+    fn stray_literal_mask_fires() {
+        let f = run(vec![(
+            "crates/x/src/lib.rs",
+            "fn half_word(ep: &mut Ep, a: u64) { ep.masked_cas(a, 0, 0xFFFF_FFFF, 1, 1); }",
+        )]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("cmask 0xffffffff"));
+    }
+
+    #[test]
+    fn allowlist_is_path_scoped() {
+        let smart = "fn lock_it(ep: &mut Ep, a: u64) { ep.masked_cas(a, 0, 0b11, 1, 1); }";
+        let f = run(vec![("crates/smart/src/node.rs", smart)]);
+        assert!(f.is_empty(), "allowlisted in crates/smart: {f:?}");
+        let f = run(vec![("crates/core/src/leaf.rs", smart)]);
+        assert_eq!(f.len(), 1, "same mask outside the allowlisted path fires");
+    }
+
+    #[test]
+    fn masks_derive_from_lockword_constants() {
+        // A deviant (but parseable) layout: epoch moved to bits 48..=55.
+        let lockword = "pub const LOCK_BIT: u64 = 0x1;\n\
+             pub const ARGMAX_SHIFT: u64 = 1;\n\
+             pub const ARGMAX_MASK: u64 = 0x3FF;\n\
+             pub const VACANCY_SHIFT: u64 = 11;\n\
+             pub const VACANCY_BITS: u64 = 37;\n\
+             pub const EPOCH_SHIFT: u64 = 48;\n\
+             pub const EPOCH_MASK: u64 = 0xFF;";
+        let user = "fn bump(ep: &mut Ep, a: u64) { ep.masked_cas(a, 0, 0xFF000000000000, 1, 1); }";
+        let f = run(vec![
+            ("crates/core/src/lockword.rs", lockword),
+            ("crates/x/src/lib.rs", user),
+        ]);
+        assert!(f.is_empty(), "mask matching the *defined* epoch field passes: {f:?}");
+        // Under the documented default layout the same literal fires.
+        let f = run(vec![("crates/x/src/lib.rs", user)]);
+        assert_eq!(f.len(), 1);
+    }
+}

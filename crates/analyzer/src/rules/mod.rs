@@ -4,16 +4,22 @@
 //! engine runs them in a fixed order and sorts findings afterwards, so
 //! rule execution order never shows in the output.
 
+use crate::callgraph::CallGraph;
+use crate::dataflow::Dataflow;
 use crate::lexer::{int_value, Tok, TokKind};
 use crate::report::Finding;
 use crate::source::{call_args, SourceFile, TokRange};
+use crate::workspace::Workspace;
 
 pub mod asyncblock;
+pub mod balance;
 pub mod cq;
 pub mod determinism;
 pub mod epoch;
 pub mod layout;
 pub mod lockdiscipline;
+pub mod lockorder;
+pub mod maskconsistency;
 pub mod phase;
 pub mod tracecontext;
 pub mod unsafety;
@@ -32,21 +38,30 @@ pub const RULES: &[&str] = &[
     "async-block",
     "epoch-discipline",
     "trace-context",
+    "lock-order",
+    "mask-consistency",
     "suppression",
 ];
 
-/// Runs every rule on `file`.
-pub fn run_all(file: &SourceFile, out: &mut Vec<Finding>) {
+/// Runs the per-file rules on `file`.
+pub fn run_file(file: &SourceFile, out: &mut Vec<Finding>) {
     determinism::check(file, out);
-    phase::check(file, out);
-    lockdiscipline::check(file, out);
+    lockdiscipline::check_loops(file, out);
     unsafety::check(file, out);
     layout::check(file, out);
     verbproto::check(file, out);
-    cq::check(file, out);
     asyncblock::check(file, out);
     epoch::check(file, out);
-    tracecontext::check(file, out);
+}
+
+/// Runs the whole-program rules once over the analyzed workspace.
+pub fn run_workspace(ws: &Workspace, cg: &CallGraph, dfa: &Dataflow, out: &mut Vec<Finding>) {
+    phase::check(ws, cg, dfa, out);
+    lockdiscipline::check_release(ws, cg, dfa, out);
+    cq::check(ws, cg, dfa, out);
+    tracecontext::check(ws, cg, dfa, out);
+    lockorder::check(ws, cg, dfa, out);
+    maskconsistency::check(ws, out);
 }
 
 /// Whether the token at `i` is a *call* of the named function: an

@@ -1,71 +1,43 @@
 //! R2 `phase-balance` — every manually opened phase frame must close on
-//! all control paths.
+//! all control paths, anywhere in the call graph.
 //!
 //! `Endpoint::phase_begin` returns a [`PhaseFrame`] that must reach
 //! `Endpoint::phase_end`; a frame leaked by an early `return` or `?`
 //! corrupts phase attribution for the rest of the client's life (the
 //! ambient phase never pops). The closure-based `in_phase` helper is
-//! inherently balanced; this rule polices the manual pairs.
+//! inherently balanced; this rule polices the manual pairs — including
+//! pairs split across functions: a wrapper with net `+1` counts as an
+//! open at each call site, so a leak hidden behind a helper still fires
+//! here, while open-here/close-in-callee code lints clean.
 
+use crate::callgraph::CallGraph;
+use crate::dataflow::{Counted, Dataflow};
 use crate::report::Finding;
-use crate::source::SourceFile;
+use crate::workspace::Workspace;
 
-use super::is_call;
+use super::balance::{self, PairSpec};
 
-/// Delegation wrappers that legitimately call only one side of the pair.
-const EXEMPT_FNS: &[&str] = &["phase_begin", "phase_end"];
+/// The rule's configuration for the shared balanced-pair engine.
+/// Wrapper exemption is by name fragment: `phase_begin`, `phase_end`,
+/// `in_phase` and friends all carry `phase` in their name, which is the
+/// vocabulary contract the old exact-name allowlist approximated.
+const SPEC: PairSpec = PairSpec {
+    rule: "phase-balance",
+    kind: Counted::Phase as usize,
+    wrapper_fragments: &["phase"],
+    unbalanced_msg: |name, opens, closes| {
+        format!(
+            "`{name}` opens {opens} phase frame(s) but closes {closes}; every `phase_begin` must reach `phase_end` on all paths",
+        )
+    },
+    escape_msg: |name, tok, line| {
+        format!(
+            "`{name}` has `{tok}` between `phase_begin` and `phase_end` (line {line}); an early exit leaks the open frame",
+        )
+    },
+};
 
-/// Runs the rule.
-pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
-    let toks = &file.toks;
-    for f in &file.fns {
-        if f.body.1 <= f.body.0 || !file.is_production(f.toks.0) {
-            continue;
-        }
-        if EXEMPT_FNS.contains(&f.name.as_str()) {
-            continue;
-        }
-        let begins: Vec<usize> = (f.body.0..f.body.1)
-            .filter(|&i| is_call(toks, i, "phase_begin"))
-            .collect();
-        let ends: Vec<usize> = (f.body.0..f.body.1)
-            .filter(|&i| is_call(toks, i, "phase_end"))
-            .collect();
-        if begins.is_empty() && ends.is_empty() {
-            continue;
-        }
-        if begins.len() != ends.len() {
-            out.push(Finding {
-                rule: "phase-balance",
-                file: file.rel_path.clone(),
-                line: f.line,
-                message: format!(
-                    "`{}` opens {} phase frame(s) but closes {}; every `phase_begin` must reach `phase_end` on all paths",
-                    f.name,
-                    begins.len(),
-                    ends.len()
-                ),
-            });
-            continue;
-        }
-        // Balanced counts: look for an escape hatch between the first
-        // open and the last close.
-        let (first, last) = (begins[0], *ends.last().unwrap());
-        for t in toks.iter().take(last).skip(first) {
-            if t.is_ident("return") || t.is_punct('?') {
-                out.push(Finding {
-                    rule: "phase-balance",
-                    file: file.rel_path.clone(),
-                    line: f.line,
-                    message: format!(
-                        "`{}` has `{}` between `phase_begin` and `phase_end` (line {}); an early exit leaks the open frame",
-                        f.name,
-                        t.text,
-                        t.line
-                    ),
-                });
-                break;
-            }
-        }
-    }
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, cg: &CallGraph, dfa: &Dataflow, out: &mut Vec<Finding>) {
+    balance::run(ws, cg, dfa, out, &SPEC);
 }

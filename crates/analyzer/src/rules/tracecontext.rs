@@ -1,91 +1,70 @@
-//! R10 `trace-context` — operation spans close on every exit path and
-//! trace ids are minted only at operation entry.
+//! R10 `trace-context` — operation spans close on every exit path
+//! (anywhere in the call graph) and trace ids are minted only at
+//! operation entry.
 //!
 //! `Endpoint::span_begin` (and the tracer-level `begin_span`) opens an
 //! operation span that must reach the matching `span_end`/`end_span` on
 //! all control paths; a span leaked by an early `return` or `?` leaves
 //! the endpoint's span depth permanently off, so the always-on telemetry
-//! never records the op and every later nesting decision is wrong. And a
+//! never records the op and every later nesting decision is wrong. Spans
+//! are counted effectively through the call graph: an open-only helper
+//! counts as an open at each call site, a closer discharges it. And a
 //! `set_trace_id` between a span's open and close re-mints the causal id
 //! mid-operation, splitting one op's verbs across two trace ids — ids
 //! are minted once, at the serve/bench entry point, before the span
 //! opens.
 
+use crate::callgraph::CallGraph;
+use crate::dataflow::{balance_of, Counted, Dataflow};
 use crate::report::Finding;
-use crate::source::SourceFile;
+use crate::workspace::Workspace;
 
+use super::balance::{self, PairSpec};
 use super::is_call;
 
-/// Delegation wrappers that legitimately call only one side of the pair
-/// (or forward the mint itself).
-const EXEMPT_FNS: &[&str] = &[
-    "span_begin",
-    "span_end",
-    "begin_span",
-    "end_span",
-    "set_trace_id",
-    "set_trace",
-];
+/// Name fragments marking span/trace plumbing (the verbs themselves,
+/// `set_trace_id`, tracer internals) — exempt delegation wrappers.
+const WRAPPER_FRAGMENTS: &[&str] = &["span", "trace"];
 
-/// Span-opening calls (endpoint- and tracer-level).
-const BEGINS: &[&str] = &["span_begin", "begin_span"];
-/// Span-closing calls.
-const ENDS: &[&str] = &["span_end", "end_span"];
+/// The rule's configuration for the shared balanced-pair engine.
+const SPEC: PairSpec = PairSpec {
+    rule: "trace-context",
+    kind: Counted::Span as usize,
+    wrapper_fragments: WRAPPER_FRAGMENTS,
+    unbalanced_msg: |name, opens, closes| {
+        format!(
+            "`{name}` opens {opens} op span(s) but closes {closes}; every `span_begin` must reach `span_end` on all exit paths",
+        )
+    },
+    escape_msg: |name, tok, line| {
+        format!(
+            "`{name}` has `{tok}` between `span_begin` and `span_end` (line {line}); an early exit leaks the open span",
+        )
+    },
+};
 
-/// Runs the rule.
-pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
-    let toks = &file.toks;
-    for f in &file.fns {
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, cg: &CallGraph, dfa: &Dataflow, out: &mut Vec<Finding>) {
+    balance::run(ws, cg, dfa, out, &SPEC);
+
+    // Second clause: no trace-id mint inside a balanced open interval.
+    for gid in 0..ws.fns.len() {
+        let (file, f) = ws.fn_at(gid);
         if f.body.1 <= f.body.0 || !file.is_production(f.toks.0) {
             continue;
         }
-        if EXEMPT_FNS.contains(&f.name.as_str()) {
+        if WRAPPER_FRAGMENTS.iter().any(|w| f.name.contains(w)) {
             continue;
         }
-        let begins: Vec<usize> = (f.body.0..f.body.1)
-            .filter(|&i| BEGINS.iter().any(|n| is_call(toks, i, n)))
-            .collect();
-        let ends: Vec<usize> = (f.body.0..f.body.1)
-            .filter(|&i| ENDS.iter().any(|n| is_call(toks, i, n)))
-            .collect();
-        if begins.is_empty() && ends.is_empty() {
+        let b = balance_of(ws, cg, dfa, gid, Counted::Span as usize);
+        if b.opens == 0 || b.opens != b.closes {
+            continue; // unbalanced already fired above
+        }
+        let (Some(first), Some(last)) = (b.first_open, b.last_close) else {
             continue;
-        }
-        if begins.len() != ends.len() {
-            out.push(Finding {
-                rule: "trace-context",
-                file: file.rel_path.clone(),
-                line: f.line,
-                message: format!(
-                    "`{}` opens {} op span(s) but closes {}; every `span_begin` must reach `span_end` on all exit paths",
-                    f.name,
-                    begins.len(),
-                    ends.len()
-                ),
-            });
-            continue;
-        }
-        // Balanced counts: police the open interval for escape hatches
-        // and mid-operation trace-id mints.
-        let (first, last) = (begins[0], *ends.last().unwrap());
-        for t in toks.iter().take(last).skip(first) {
-            if t.is_ident("return") || t.is_punct('?') {
-                out.push(Finding {
-                    rule: "trace-context",
-                    file: file.rel_path.clone(),
-                    line: f.line,
-                    message: format!(
-                        "`{}` has `{}` between `span_begin` and `span_end` (line {}); an early exit leaks the open span",
-                        f.name,
-                        t.text,
-                        t.line
-                    ),
-                });
-                break;
-            }
-        }
+        };
         for i in first..last {
-            if is_call(toks, i, "set_trace_id") || is_call(toks, i, "set_trace") {
+            if is_call(&file.toks, i, "set_trace_id") || is_call(&file.toks, i, "set_trace") {
                 out.push(Finding {
                     rule: "trace-context",
                     file: file.rel_path.clone(),
@@ -93,7 +72,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
                     message: format!(
                         "`{}` mints a fresh trace id inside an open span (line {}); trace ids are minted once at the operation entry, before the span opens",
                         f.name,
-                        toks[i].line
+                        file.toks[i].line
                     ),
                 });
                 break;

@@ -1,0 +1,138 @@
+//! The repo-wide view: every [`SourceFile`] plus a symbol table of
+//! function definitions.
+//!
+//! The whole-program rules (interprocedural lock discipline, phase/CQ/
+//! span balance, lock ordering, mask consistency) need to see across
+//! file boundaries. A [`Workspace`] holds the files in a canonical order
+//! (sorted by relative path, so the analysis is independent of filesystem
+//! enumeration order) and indexes every `fn` definition by name.
+//!
+//! Resolution is *name-level*: a call site `foo(...)` resolves to every
+//! definition named `foo` anywhere in the workspace. That is the honest
+//! precision limit of a lexer-based engine — CHIME's protocol verbs have
+//! globally unique, intention-revealing names, so in practice resolution
+//! is almost always singular; rules that consume ambiguous resolutions
+//! document how they stay conservative.
+
+use std::collections::BTreeMap;
+
+use crate::source::{FnSpan, SourceFile};
+
+/// A function definition, addressed by file index + index into that
+/// file's [`SourceFile::fns`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnRef {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub fn_idx: usize,
+}
+
+/// The whole-program view.
+pub struct Workspace {
+    /// Files, sorted by `rel_path`.
+    pub files: Vec<SourceFile>,
+    /// Every function definition, in (file, source) order. The index into
+    /// this vector is the *global function id* used by the call graph and
+    /// the dataflow summaries.
+    pub fns: Vec<FnRef>,
+    /// Function name → global function ids, each sorted ascending.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    /// Builds the workspace. Files are re-sorted by relative path so the
+    /// result is identical no matter what order they were collected in.
+    pub fn new(mut files: Vec<SourceFile>) -> Self {
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (si, span) in f.fns.iter().enumerate() {
+                let gid = fns.len();
+                fns.push(FnRef { file: fi, fn_idx: si });
+                by_name.entry(span.name.clone()).or_default().push(gid);
+            }
+        }
+        Workspace { files, fns, by_name }
+    }
+
+    /// The file and span of global function `gid`.
+    pub fn fn_at(&self, gid: usize) -> (&SourceFile, &FnSpan) {
+        let r = self.fns[gid];
+        let f = &self.files[r.file];
+        (f, &f.fns[r.fn_idx])
+    }
+
+    /// Global ids of every definition named `name` (empty slice when the
+    /// workspace defines no such function).
+    pub fn defs_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Looks a file up by its relative path.
+    pub fn file_by_path(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files
+            .binary_search_by(|f| f.rel_path.as_str().cmp(rel_path))
+            .ok()
+            .map(|i| &self.files[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace::new(
+            files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p.to_string(), s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn files_are_sorted_and_fns_indexed() {
+        let w = ws(vec![
+            ("crates/b/src/lib.rs", "fn beta() {}\nfn shared() {}"),
+            ("crates/a/src/lib.rs", "fn alpha() {}\nfn shared() {}"),
+        ]);
+        assert_eq!(w.files[0].rel_path, "crates/a/src/lib.rs");
+        assert_eq!(w.fns.len(), 4);
+        let shared = w.defs_named("shared");
+        assert_eq!(shared.len(), 2);
+        // First definition comes from the path-sorted first file.
+        assert_eq!(w.fn_at(shared[0]).0.rel_path, "crates/a/src/lib.rs");
+        assert!(w.defs_named("missing").is_empty());
+    }
+
+    #[test]
+    fn order_is_stable_under_input_reordering() {
+        let a = ws(vec![
+            ("crates/a/src/lib.rs", "fn one() {}"),
+            ("crates/b/src/lib.rs", "fn two() {}"),
+        ]);
+        let b = ws(vec![
+            ("crates/b/src/lib.rs", "fn two() {}"),
+            ("crates/a/src/lib.rs", "fn one() {}"),
+        ]);
+        let names = |w: &Workspace| -> Vec<String> {
+            w.fns
+                .iter()
+                .map(|r| w.files[r.file].fns[r.fn_idx].name.clone())
+                .collect()
+        };
+        assert_eq!(names(&a), names(&b));
+    }
+
+    #[test]
+    fn file_by_path_finds_sorted_entries() {
+        let w = ws(vec![
+            ("crates/b/src/lib.rs", "fn b() {}"),
+            ("crates/a/src/lib.rs", "fn a() {}"),
+        ]);
+        assert!(w.file_by_path("crates/b/src/lib.rs").is_some());
+        assert!(w.file_by_path("crates/c/src/lib.rs").is_none());
+    }
+}

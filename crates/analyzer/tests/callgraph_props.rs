@@ -1,0 +1,203 @@
+//! Property tests for the call-graph builder: generated workspaces of
+//! nested definitions, calls and shadowed names, checked for the
+//! invariants the interprocedural rules lean on. Zero dependencies — the
+//! generator is a seeded xorshift, so every run explores the same
+//! corpus and failures reproduce by seed.
+
+use std::collections::BTreeSet;
+
+use analyzer::callgraph::CallGraph;
+use analyzer::source::SourceFile;
+use analyzer::workspace::Workspace;
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Pool of function names; collisions across files are intentional (the
+/// resolver must return *every* same-named definition).
+fn name(i: u64) -> String {
+    format!("op_{}", i % 7)
+}
+
+/// Generates one file: a handful of functions, each with calls to pooled
+/// names, optional `let`-shadowing, and optional function-typed params.
+fn gen_file(rng: &mut Rng, file_idx: usize) -> (String, String) {
+    let mut src = String::new();
+    let n_fns = 1 + rng.below(4);
+    for f in 0..n_fns {
+        let fname = format!("f{file_idx}_{f}");
+        let shadow = rng.below(3) == 0;
+        let fn_param = rng.below(4) == 0;
+        let callee = name(rng.below(7));
+        src.push_str(&format!(
+            "fn {fname}({}) {{\n",
+            if fn_param {
+                format!("{callee}: impl Fn()")
+            } else {
+                "x: u64".to_string()
+            }
+        ));
+        if shadow {
+            src.push_str(&format!("    let {callee} = || ();\n"));
+        }
+        let n_calls = rng.below(4);
+        for _ in 0..n_calls {
+            src.push_str(&format!("    {}(x);\n", name(rng.below(7))));
+        }
+        src.push_str(&format!("    {callee}(x);\n}}\n"));
+        // Every pooled name also gets definitions sprinkled around.
+        if rng.below(2) == 0 {
+            src.push_str(&format!("fn {}(y: u64) {{ }}\n", name(rng.below(7))));
+        }
+    }
+    (format!("crates/c{file_idx}/src/lib.rs", ), src)
+}
+
+fn gen_workspace(seed: u64) -> Vec<(String, String)> {
+    let mut rng = Rng(seed | 1);
+    let n_files = 2 + rng.below(4) as usize;
+    (0..n_files).map(|i| gen_file(&mut rng, i)).collect()
+}
+
+fn build(files: &[(String, String)]) -> (Workspace, CallGraph) {
+    let ws = Workspace::new(
+        files
+            .iter()
+            .map(|(p, s)| SourceFile::new(p.clone(), s))
+            .collect(),
+    );
+    let cg = CallGraph::build(&ws);
+    (ws, cg)
+}
+
+/// Call sites per function: `(site name, resolved callee names)`.
+type FnShape = (String, Vec<(String, Vec<String>)>);
+
+/// Flattens a call graph to a comparable shape keyed by function name
+/// (stable across workspace index permutations).
+fn shape(ws: &Workspace, cg: &CallGraph) -> Vec<FnShape> {
+    let mut out = Vec::new();
+    for gid in 0..ws.fns.len() {
+        let (file, f) = ws.fn_at(gid);
+        let sites = cg.sites[gid]
+            .iter()
+            .map(|s| {
+                let callees = s
+                    .callees
+                    .iter()
+                    .map(|&d| {
+                        let (df, dfn) = ws.fn_at(d);
+                        format!("{}::{}", df.rel_path, dfn.name)
+                    })
+                    .collect();
+                (s.name.clone(), callees)
+            })
+            .collect();
+        out.push((format!("{}::{}", file.rel_path, f.name), sites));
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn same_seed_same_graph() {
+    for seed in 1..=50u64 {
+        let files = gen_workspace(seed);
+        let (ws_a, cg_a) = build(&files);
+        let (ws_b, cg_b) = build(&files);
+        assert_eq!(
+            shape(&ws_a, &cg_a),
+            shape(&ws_b, &cg_b),
+            "seed {seed}: rebuild must be identical"
+        );
+    }
+}
+
+#[test]
+fn graph_is_stable_under_file_reordering() {
+    for seed in 1..=50u64 {
+        let files = gen_workspace(seed);
+        let (ws_a, cg_a) = build(&files);
+        // Reverse and rotate the input order; the workspace canonicalizes
+        // by path, so the graph shape must not move.
+        let mut rev: Vec<_> = files.clone();
+        rev.reverse();
+        let (ws_b, cg_b) = build(&rev);
+        let mut rot: Vec<_> = files.clone();
+        rot.rotate_left(1);
+        let (ws_c, cg_c) = build(&rot);
+        let a = shape(&ws_a, &cg_a);
+        assert_eq!(a, shape(&ws_b, &cg_b), "seed {seed}: reversed input changed the graph");
+        assert_eq!(a, shape(&ws_c, &cg_c), "seed {seed}: rotated input changed the graph");
+    }
+}
+
+#[test]
+fn resolved_callees_are_exactly_the_same_named_defs() {
+    // For every unshadowed call site, the callee set is exactly the
+    // workspace's definitions of that name; shadowed sites resolve to
+    // nothing. (The generator only shadows via `let` bindings and
+    // function-typed params, mirroring the builder's contract.)
+    for seed in 1..=50u64 {
+        let files = gen_workspace(seed);
+        let (ws, cg) = build(&files);
+        for gid in 0..ws.fns.len() {
+            for site in &cg.sites[gid] {
+                let defs: BTreeSet<usize> = ws.defs_named(&site.name).iter().copied().collect();
+                let got: BTreeSet<usize> = site.callees.iter().copied().collect();
+                if got.is_empty() {
+                    continue; // shadowed or undefined: nothing to check
+                }
+                assert!(
+                    got.is_subset(&defs),
+                    "seed {seed}: site `{}` resolved outside its name set",
+                    site.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shadowed_names_never_resolve() {
+    // Direct invariant: a call through a `let`-bound or param-bound name
+    // must have no callees, even when a same-named global def exists.
+    for seed in 1..=50u64 {
+        let files = gen_workspace(seed);
+        let (ws, cg) = build(&files);
+        for gid in 0..ws.fns.len() {
+            let (file, f) = ws.fn_at(gid);
+            let src_has_shadow = |name: &str| {
+                let toks = &file.toks;
+                (f.body.0..f.body.1.min(toks.len())).any(|i| {
+                    toks[i].is_ident("let")
+                        && toks.get(i + 1).is_some_and(|t| t.is_ident(name))
+                })
+            };
+            for site in &cg.sites[gid] {
+                if src_has_shadow(&site.name) {
+                    assert!(
+                        site.callees.is_empty(),
+                        "seed {seed}: shadowed `{}` in {} resolved to defs",
+                        site.name,
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+}

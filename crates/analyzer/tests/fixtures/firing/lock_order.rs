@@ -1,0 +1,15 @@
+//! Fixture for R11: two operations take the CN-side local slot and the
+//! on-leaf lock word in opposite orders — a deadlock under contention.
+//! Not compiled — consumed as text by `tests/lint.rs`.
+
+pub fn forward_op(ep: &mut Endpoint, table: &LocalLockTable, addr: GlobalAddr) {
+    let _slot = table.local_lock(addr.raw());
+    let word = ep.masked_cas(addr, 0, 1, 1, 1);
+    ep.unlock_writes(addr, word);
+}
+
+pub fn reversed_op(ep: &mut Endpoint, table: &LocalLockTable, addr: GlobalAddr) {
+    let word = ep.masked_cas(addr, 0, 1, 1, 1);
+    let _slot = table.local_lock(addr.raw());
+    ep.unlock_writes(addr, word);
+}

@@ -1,9 +1,11 @@
-//! Fixture: a masked-CAS whose masks match neither the acquire protocol
-//! nor the full-word reclaim protocol, for R6.
+//! Fixture: a masked-CAS whose mask *shape* matches neither the acquire
+//! protocol nor the full-word reclaim protocol, for R6. Each mask on its
+//! own is a legal lock-word field (so R12 stays quiet); the combination
+//! — compare the lock bit, swap the whole word — is the bug.
 //! Not compiled — consumed as text by `tests/lint.rs`.
 
 pub fn partial_word_cas(ep: &mut Endpoint, addr: GlobalAddr) -> u64 {
-    ep.masked_cas(addr, 0, 0xFF, 1, 0xFF)
+    ep.masked_cas(addr, 0, 1, 1, u64::MAX)
 }
 
 pub fn acquire_ok(ep: &mut Endpoint, addr: GlobalAddr) -> u64 {

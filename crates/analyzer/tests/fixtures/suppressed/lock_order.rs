@@ -1,0 +1,15 @@
+//! Fixture: the opposite-order pair, suppressed with a reason at the
+//! cycle's witnessing edge.
+
+pub fn forward_op(ep: &mut Endpoint, table: &LocalLockTable, addr: GlobalAddr) {
+    let _slot = table.local_lock(addr.raw());
+    // chime-lint: allow(lock-order): fixture; the reversed twin is unreachable in this configuration.
+    let word = ep.masked_cas(addr, 0, 1, 1, 1);
+    ep.unlock_writes(addr, word);
+}
+
+pub fn reversed_op(ep: &mut Endpoint, table: &LocalLockTable, addr: GlobalAddr) {
+    let word = ep.masked_cas(addr, 0, 1, 1, 1);
+    let _slot = table.local_lock(addr.raw());
+    ep.unlock_writes(addr, word);
+}

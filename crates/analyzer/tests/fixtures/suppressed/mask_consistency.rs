@@ -1,0 +1,6 @@
+//! Fixture: the stray literal masks, suppressed with a reason.
+
+pub fn epoch_slice_probe(ep: &mut Endpoint, addr: GlobalAddr, old: u64, next: u64) -> u64 {
+    // chime-lint: allow(mask-consistency): fixture; models a probe against a foreign lock-word layout.
+    ep.masked_cas(addr, old, 0xFFFF_FFFF, next, 0xFF00)
+}

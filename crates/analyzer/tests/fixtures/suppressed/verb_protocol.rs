@@ -2,5 +2,5 @@
 
 pub fn partial_word_cas(ep: &mut Endpoint, addr: GlobalAddr) -> u64 {
     // chime-lint: allow(verb-protocol): fixture; models a baseline with a different lock-word layout.
-    ep.masked_cas(addr, 0, 0xFF, 1, 0xFF)
+    ep.masked_cas(addr, 0, 1, 1, u64::MAX)
 }

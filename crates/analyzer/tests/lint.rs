@@ -97,6 +97,22 @@ fn verb_protocol_fires_and_suppresses() {
 }
 
 #[test]
+fn mask_consistency_fires_and_suppresses() {
+    let r = assert_fires("firing/mask_consistency.rs", "mask-consistency", 2);
+    assert!(r.findings.iter().any(|f| f.message.contains("cmask 0xffffffff")));
+    assert!(r.findings.iter().any(|f| f.message.contains("smask 0xff00")));
+    assert_suppressed("suppressed/mask_consistency.rs", 1);
+}
+
+#[test]
+fn lock_order_fires_and_suppresses() {
+    let r = assert_fires("firing/lock_order.rs", "lock-order", 1);
+    assert!(r.findings[0].message.contains("local-slot → leaf-lock"));
+    assert!(r.findings[0].message.contains("leaf-lock → local-slot"));
+    assert_suppressed("suppressed/lock_order.rs", 1);
+}
+
+#[test]
 fn cq_discipline_fires_and_suppresses() {
     let r = assert_fires("firing/cq.rs", "cq-discipline", 2);
     assert!(r.findings[0].message.contains("posts 1 WQE(s) but polls 0"));

@@ -1,0 +1,54 @@
+//! End-to-end tests for `chime-model`: the suite must prove the sound
+//! protocols and refute the seeded probes, byte-identically, against
+//! both the documented layout and the layout extracted from the repo's
+//! real `lockword.rs`.
+
+use std::path::Path;
+
+use analyzer::model::lease::WordLayout;
+use analyzer::model::suite;
+
+#[test]
+fn suite_passes_on_the_documented_layout() {
+    let r = suite::run(WordLayout::documented(), "documented-default");
+    assert!(r.pass(), "suite must pass:\n{}", r.to_text());
+    assert_eq!(r.runs.len(), 4, "two models x sound+probe");
+}
+
+#[test]
+fn suite_passes_on_the_repo_lockword() {
+    // The shipping layout must satisfy the same properties as the
+    // documented one — this is the actual gate `make model-check` runs.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let src = std::fs::read_to_string(repo_root.join("crates/core/src/lockword.rs")).unwrap();
+    let file = analyzer::source::SourceFile::new("crates/core/src/lockword.rs".to_string(), &src);
+    let layout = WordLayout::from_source(&file).expect("repo lockword.rs must parse");
+    let r = suite::run(layout, "crates/core/src/lockword.rs");
+    assert!(r.pass(), "repo layout must verify:\n{}", r.to_text());
+}
+
+#[test]
+fn zombie_release_probe_is_refuted_with_a_witness() {
+    let r = suite::run(WordLayout::documented(), "documented-default");
+    let probe = r
+        .runs
+        .iter()
+        .find(|m| m.mode.contains("zombie-release"))
+        .expect("lease probe present");
+    let v = probe.result.violation.as_ref().expect("probe must refute");
+    assert_eq!(v.property, "lease-safety");
+    assert!(
+        v.trace.iter().any(|s| s.contains("zombie-release")),
+        "witness must contain the stale-owner write: {:?}",
+        v.trace
+    );
+}
+
+#[test]
+fn suite_json_and_text_are_byte_identical_across_runs() {
+    let a = suite::run(WordLayout::documented(), "documented-default");
+    let b = suite::run(WordLayout::documented(), "documented-default");
+    assert_eq!(a.to_json(), b.to_json(), "model JSON must be byte-deterministic");
+    assert_eq!(a.to_text(), b.to_text());
+    assert!(a.to_json().contains("\"tool\""), "report carries its schema header");
+}
